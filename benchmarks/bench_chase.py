@@ -1,0 +1,81 @@
+"""Experiment Q4: chase behaviour with full and embedded tgds.
+
+Paper, Section VIII / Theorem 1: the chase with ``[P, T]`` proves
+``SAT(T) ∩ M(P1) ⊆ M(P2)``; with embedded tgds it may diverge, so the
+implementation is budgeted and three-valued.  Series: chase cost for
+full tgds (always terminates), benign embedded tgds (terminate), and a
+deliberately diverging family (hits the budget, verdict UNKNOWN).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, paper, parse_program, parse_tgd
+from repro.core.chase import ChaseBudget, Verdict, chase, check_model_containment
+from repro.core.tgds import satisfies_all
+from repro.workloads import chain
+
+
+@pytest.mark.parametrize("facts", [10, 40])
+def test_q4_full_tgd_chase(benchmark, facts):
+    tgd = parse_tgd("A(x, y) -> B(x, y)")
+    db = chain(facts)
+    outcome = benchmark(lambda: chase(db, None, [tgd]))
+    assert outcome.saturated
+    assert outcome.nulls_created == 0
+    assert satisfies_all(outcome.database, [tgd])
+
+
+@pytest.mark.parametrize("facts", [10, 40])
+def test_q4_embedded_tgd_chase_terminating(benchmark, facts):
+    # One null per G fact; no cascade.
+    tgd = parse_tgd("G(x, y) -> A(x, w)")
+    db = Database.from_facts({"G": [(i, i + 1) for i in range(facts)]})
+    outcome = benchmark(lambda: chase(db, None, [tgd]))
+    assert outcome.saturated
+    assert outcome.nulls_created == facts
+
+
+def test_q4_diverging_embedded_tgd_budgeted(benchmark):
+    # Every repair spawns a fresh violation: the budget must stop it.
+    tgd = parse_tgd("G(x, y) -> G(y, w)")
+    db = Database.from_facts({"G": [(0, 1)]})
+    budget = ChaseBudget(max_rounds=25, max_nulls=200)
+    outcome = benchmark(lambda: chase(db, None, [tgd], budget=budget))
+    assert not outcome.saturated
+    benchmark.extra_info["nulls_created"] = outcome.nulls_created
+
+
+def test_q4_example11_proof(benchmark):
+    report = benchmark(
+        lambda: check_model_containment(paper.EX11_P1, [paper.EX11_TGD], paper.EX11_P2)
+    )
+    assert report.verdict is Verdict.PROVED
+
+
+def test_q4_unknown_verdict_on_budget(benchmark):
+    p1 = parse_program("G(x, z) :- A(x, z).")
+    p2 = parse_program("G(x, z) :- B(x, z).")
+    tgd = parse_tgd("B(x, y) -> B(y, w)")
+    budget = ChaseBudget(max_rounds=5, max_nulls=20)
+    report = benchmark(
+        lambda: check_model_containment(p1, [tgd], p2, budget=budget)
+    )
+    assert report.verdict is Verdict.UNKNOWN
+
+
+def test_q4_target_short_circuit_beats_saturation(benchmark):
+    """Stopping at the target head (the paper's optimization note) must
+    beat chasing to saturation on a workload where the head appears
+    early."""
+    program = paper.TC_NONLINEAR
+    db = chain(40)
+    from repro.lang import Atom
+
+    target = Atom.of("G", 0, 1)
+
+    outcome = benchmark(lambda: chase(db, program, [], target=target))
+    assert outcome.target_found
+    full = chase(db, program, [])
+    assert full.rounds >= outcome.rounds

@@ -1,0 +1,59 @@
+"""Experiment Q3: the uniform-containment test is one bottom-up run per rule.
+
+Paper, Section VI / Corollary 2: testing ``r ⊑u P`` is a single
+evaluation of ``P`` on the frozen body of ``r``; it is total and cheap
+relative to the undecidable plain-containment problem (which has no
+procedure at all).  Series: test cost as the tested rule's body grows
+and as the container program grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.containment import (
+    rule_uniformly_contained_in,
+    uniformly_contains,
+    uniformly_equivalent,
+)
+from repro.lang import Program
+from repro.workloads import (
+    tc_nonlinear,
+    tc_with_redundant_rules,
+    wide_rule,
+)
+
+
+@pytest.mark.parametrize("body_atoms", [4, 8, 12])
+def test_q3_cost_vs_rule_size(benchmark, body_atoms):
+    rule = wide_rule(core_atoms=3, redundant_atoms=body_atoms - 4, seed=5)
+    program = Program.of(rule)
+    holds = benchmark(lambda: rule_uniformly_contained_in(rule, program))
+    assert holds
+    benchmark.extra_info["body_atoms"] = len(rule.body)
+
+
+@pytest.mark.parametrize("extra_rules", [0, 3, 6])
+def test_q3_cost_vs_program_size(benchmark, extra_rules):
+    program = tc_with_redundant_rules(extra_rules) if extra_rules else tc_nonlinear()
+    contained = tc_nonlinear()
+    holds = benchmark(lambda: uniformly_contains(program, contained))
+    assert holds
+    benchmark.extra_info["program_rules"] = len(program)
+
+
+def test_q3_equivalence_both_directions(benchmark):
+    p1 = tc_with_redundant_rules(2)
+    p2 = tc_nonlinear()
+    equivalent = benchmark(lambda: uniformly_equivalent(p1, p2))
+    assert equivalent
+
+
+def test_q3_always_terminates_on_negative(benchmark):
+    """The negative case is just as fast -- no chase divergence without tgds."""
+    from repro import paper
+
+    holds = benchmark(
+        lambda: uniformly_contains(paper.TC_LINEAR, paper.TC_NONLINEAR)
+    )
+    assert not holds

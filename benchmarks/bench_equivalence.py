@@ -1,0 +1,64 @@
+"""Experiment Q8: cost and benefit of equivalence-based optimization.
+
+Paper, Sections X-XI: the tgd recipe is "just a matter of syntactical
+manipulation, which is conceptually easy" but may run long, so one
+spends "a predetermined amount of time" on it.  Series: proof cost on
+the Example-18/19 families as the guard count grows, plus the join-work
+payoff of the deletions the proofs license.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, optimize, paper, prove_equivalence_with_constraints
+from repro.core.chase import Verdict
+from repro.workloads import chain, guarded_tc, tc_nonlinear
+
+
+@pytest.mark.parametrize("guards", [1, 2, 3])
+def test_q8_proof_cost_vs_guards(benchmark, guards):
+    p1 = guarded_tc(guards)
+    p2 = tc_nonlinear()
+    proof = benchmark(
+        lambda: prove_equivalence_with_constraints(p1, p2, [paper.EX11_TGD])
+    )
+    assert proof.verdict is Verdict.PROVED
+    benchmark.extra_info["guards"] = guards
+
+
+@pytest.mark.parametrize("guards", [1, 2])
+def test_q8_optimizer_end_to_end(benchmark, guards):
+    program = guarded_tc(guards)
+    report = benchmark(lambda: optimize(program))
+    assert report.optimized == tc_nonlinear()
+    benchmark.extra_info["attempts"] = report.equivalence_attempts
+
+
+def test_q8_example19_full_pipeline(benchmark):
+    report = benchmark(lambda: optimize(paper.EX19_P1))
+    assert report.optimized == paper.EX19_P2
+
+
+def test_q8_payoff_on_evaluation():
+    """The deletions licensed only by the §X proof pay off at query time."""
+    program = guarded_tc(3)
+    optimized = optimize(program).optimized
+    for n in (25, 50):
+        edb = chain(n)
+        raw = evaluate(program, edb)
+        opt = evaluate(optimized, edb)
+        assert raw.database == opt.database
+        assert opt.stats.subgoal_attempts < raw.stats.subgoal_attempts
+
+
+def test_q8_uniform_layer_alone_cannot(benchmark):
+    """Control: Fig. 2 alone cannot remove the *last* guard (it is not
+    redundant under uniform equivalence); with several guards the
+    duplicates fold into one another, so exactly one survives."""
+    program = guarded_tc(2)
+    report = benchmark(lambda: optimize(program, use_equivalence=False))
+    recursive = [r for r in report.optimized.rules if len(r.body) > 1]
+    (rule,) = recursive
+    guards = [a for a in rule.body_atoms() if a.predicate == "A"]
+    assert len(guards) == 1  # folded to one, never to zero

@@ -1,0 +1,110 @@
+"""Experiment Q2: removing redundant parts reduces joins and time.
+
+Paper, Section I: "In most cases, removing redundant parts can only
+reduce the time needed to evaluate the query, because it reduces the
+number of joins done during the evaluation."
+
+Series: original vs minimized program over growing EDBs, on both the
+redundant-atom family and the redundant-rule family, on chain and
+random graphs.  The shape claim asserted: the minimized program never
+does more subgoal work and produces identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, minimize_program
+from repro.workloads import (
+    chain,
+    random_graph,
+    tc_with_redundant_atoms,
+    tc_with_redundant_rules,
+)
+
+
+def _edb(kind: str, n: int):
+    if kind == "chain":
+        return chain(n)
+    return random_graph(n, 2 * n, seed=7)
+
+
+@pytest.mark.parametrize("kind", ["chain", "random"])
+@pytest.mark.parametrize("n", [12, 24])
+def test_q2_redundant_atoms_original(benchmark, kind, n):
+    program = tc_with_redundant_atoms(2)
+    edb = _edb(kind, n)
+    result = benchmark(lambda: evaluate(program, edb))
+    benchmark.extra_info["subgoal_attempts"] = result.stats.subgoal_attempts
+    benchmark.extra_info["facts"] = len(result.database)
+
+
+@pytest.mark.parametrize("kind", ["chain", "random"])
+@pytest.mark.parametrize("n", [12, 24])
+def test_q2_redundant_atoms_minimized(benchmark, kind, n):
+    program = minimize_program(tc_with_redundant_atoms(2)).program
+    edb = _edb(kind, n)
+    result = benchmark(lambda: evaluate(program, edb))
+    benchmark.extra_info["subgoal_attempts"] = result.stats.subgoal_attempts
+    benchmark.extra_info["facts"] = len(result.database)
+
+
+@pytest.mark.parametrize("kind", ["chain", "random"])
+def test_q2_shape_atoms(kind):
+    """Shape claim: minimized never does more join work, same answers."""
+    program = tc_with_redundant_atoms(2)
+    minimized = minimize_program(program).program
+    for n in (10, 20, 30):
+        edb = _edb(kind, n)
+        raw = evaluate(program, edb)
+        opt = evaluate(minimized, edb)
+        assert raw.database == opt.database
+        assert opt.stats.subgoal_attempts <= raw.stats.subgoal_attempts
+
+
+@pytest.mark.parametrize("n", [12, 24])
+def test_q2_redundant_rules_original(benchmark, n):
+    program = tc_with_redundant_rules(3)
+    edb = chain(n)
+    result = benchmark(lambda: evaluate(program, edb))
+    benchmark.extra_info["subgoal_attempts"] = result.stats.subgoal_attempts
+
+
+@pytest.mark.parametrize("n", [12, 24])
+def test_q2_redundant_rules_minimized(benchmark, n):
+    program = minimize_program(tc_with_redundant_rules(3)).program
+    edb = chain(n)
+    result = benchmark(lambda: evaluate(program, edb))
+    benchmark.extra_info["subgoal_attempts"] = result.stats.subgoal_attempts
+
+
+def test_q2_shape_rules():
+    program = tc_with_redundant_rules(3)
+    minimized = minimize_program(program).program
+    for n in (10, 20, 30):
+        edb = chain(n)
+        raw = evaluate(program, edb)
+        opt = evaluate(minimized, edb)
+        assert raw.database == opt.database
+        assert opt.stats.subgoal_attempts <= raw.stats.subgoal_attempts
+        assert opt.stats.rule_firings <= raw.stats.rule_firings
+
+
+def test_q2_optimize_plus_evaluate_beats_evaluate(benchmark):
+    """The paper's total-cost argument: on a large enough EDB, paying
+    for minimization up front is cheaper than evaluating the fat
+    program."""
+    from repro.core.minimize import minimize_program as minimize
+
+    program = tc_with_redundant_atoms(2)
+    edb = chain(40)
+
+    def optimized_pipeline():
+        lean = minimize(program).program
+        return evaluate(lean, edb)
+
+    result = benchmark(optimized_pipeline)
+    raw = evaluate(program, edb)
+    assert result.database == raw.database
+    benchmark.extra_info["raw_subgoals"] = raw.stats.subgoal_attempts
+    benchmark.extra_info["optimized_subgoals"] = result.stats.subgoal_attempts

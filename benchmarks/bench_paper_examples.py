@@ -1,0 +1,157 @@
+"""Experiment E01-E19: every worked example of the paper, timed.
+
+The paper's evaluation artifacts are its worked examples; each bench
+re-derives the paper's hand-computed outcome and times the procedure
+involved.  Assertions make the bench double as a regression gate: a
+timing run that produces the wrong answer fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    apply_once,
+    check_model_containment,
+    evaluate,
+    minimize_program,
+    optimize,
+    preserves_nonrecursively,
+    prove_equivalence_with_constraints,
+    uniformly_contains,
+)
+from repro import paper
+from repro.core.chase import Verdict
+from repro.core.minimize import minimize_rule
+from repro.core.preservation import preliminary_db_satisfies
+from repro.paper import single_rule_program
+
+
+def test_e02_bottom_up_output(benchmark):
+    out = benchmark(lambda: evaluate(paper.TC_NONLINEAR, paper.EX2_EDB).database)
+    assert out == paper.EX2_OUTPUT
+
+
+def test_e03_idb_input(benchmark):
+    out = benchmark(lambda: evaluate(paper.TC_NONLINEAR, paper.EX3_INPUT).database)
+    assert out == paper.EX3_OUTPUT
+
+
+def test_e04_uniform_containment_holds(benchmark):
+    holds = benchmark(
+        lambda: uniformly_contains(paper.TC_NONLINEAR, paper.TC_LINEAR)
+    )
+    assert holds
+
+
+def test_e04_uniform_containment_fails(benchmark):
+    holds = benchmark(
+        lambda: uniformly_contains(paper.TC_LINEAR, paper.TC_NONLINEAR)
+    )
+    assert not holds
+
+
+def test_e05_containment_with_idb_edb_mix(benchmark):
+    holds = benchmark(lambda: uniformly_contains(paper.EX5_P2, paper.TC_NONLINEAR))
+    assert holds
+
+
+def test_e07_redundant_atom_containment(benchmark):
+    holds = benchmark(lambda: uniformly_contains(paper.EX7_P1, paper.EX7_P2))
+    assert holds
+
+
+def test_e08_fig1_minimization(benchmark):
+    minimized = benchmark(lambda: minimize_rule(paper.EX7_P1.rules[0]))
+    assert minimized == paper.EX7_P2.rules[0]
+
+
+def test_e08_fig2_minimization(benchmark):
+    result = benchmark(lambda: minimize_program(paper.EX7_P1))
+    assert result.program == paper.EX7_P2
+
+
+def test_e09_tgd_satisfaction(benchmark):
+    def check():
+        return (
+            paper.EX9_TGD_VIOLATED.is_satisfied_by(paper.EX2_OUTPUT),
+            paper.EX9_TGD_SATISFIED.is_satisfied_by(paper.EX2_OUTPUT),
+        )
+
+    violated, satisfied = benchmark(check)
+    assert (violated, satisfied) == (False, True)
+
+
+def test_e11_chase_model_containment(benchmark):
+    report = benchmark(
+        lambda: check_model_containment(paper.EX11_P1, [paper.EX11_TGD], paper.EX11_P2)
+    )
+    assert report.verdict is Verdict.PROVED
+
+
+def test_e12_nonrecursive_application(benchmark):
+    pn = benchmark(lambda: apply_once(paper.TC_NONLINEAR, paper.EX12_INPUT))
+    assert pn == set(paper.EX12_PN)
+
+
+def test_e13_single_rule_preservation(benchmark):
+    report = benchmark(
+        lambda: preserves_nonrecursively(
+            single_rule_program(paper.EX13_RULE), [paper.EX11_TGD]
+        )
+    )
+    assert report.verdict is Verdict.PROVED
+
+
+def test_e14_program_preservation(benchmark):
+    report = benchmark(
+        lambda: preserves_nonrecursively(paper.EX11_P1, [paper.EX11_TGD])
+    )
+    assert report.verdict is Verdict.PROVED
+    assert report.combinations_examined == 3
+
+
+def test_e15_two_atom_lhs_preservation(benchmark):
+    report = benchmark(
+        lambda: preserves_nonrecursively(
+            single_rule_program(paper.EX13_RULE), [paper.EX15_TGD]
+        )
+    )
+    assert report.verdict is Verdict.PROVED
+    assert report.combinations_examined == 4
+
+
+def test_e16_embedded_rhs_preservation(benchmark):
+    report = benchmark(
+        lambda: preserves_nonrecursively(
+            single_rule_program(paper.EX16_RULE), [paper.EX16_TGD]
+        )
+    )
+    assert report.verdict is Verdict.PROVED
+
+
+def test_e17_preliminary_db(benchmark):
+    init = paper.TC_NONLINEAR.initialization_program()
+    pi = benchmark(lambda: apply_once(init, paper.EX17_EDB))
+    assert pi == set(paper.EX17_PI)
+
+
+def test_e18_full_equivalence_proof(benchmark):
+    proof = benchmark(
+        lambda: prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+    )
+    assert proof.verdict is Verdict.PROVED
+
+
+def test_e18_condition_3prime(benchmark):
+    report = benchmark(
+        lambda: preliminary_db_satisfies(paper.EX11_P1, [paper.EX11_TGD])
+    )
+    assert report.verdict is Verdict.PROVED
+
+
+def test_e19_heuristic_optimizer(benchmark):
+    report = benchmark(lambda: optimize(paper.EX19_P1))
+    assert report.optimized == paper.EX19_P2

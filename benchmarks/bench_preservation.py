@@ -1,0 +1,80 @@
+"""Experiment Q5: the preservation test enumerates unification combinations.
+
+Paper, Section IX: "if there are n ground atoms in Pⁿ(d) and each can
+be unified with m rules, then there are [m^n] combinations to
+consider."  Series: combinations examined and wall-clock as the tgd's
+LHS atom count and the program's rule count grow; the combination count
+must match the m^n formula exactly (with m = rules-for-predicate + 1
+trivial rule).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_program, parse_tgd
+from repro.core.chase import Verdict
+from repro.core.preservation import preserves_nonrecursively
+from repro.lang import Program
+from repro.paper import EX13_RULE, EX11_TGD
+
+
+def _guard_tgd(lhs_atoms: int):
+    """A tgd with `lhs_atoms` chained G atoms and the A(y1,w) RHS."""
+    atoms = [f"G(y{i}, y{i + 1})" for i in range(lhs_atoms)]
+    return parse_tgd(", ".join(atoms) + " -> A(y1, w)")
+
+
+@pytest.mark.parametrize("lhs_atoms", [1, 2, 3])
+def test_q5_combinations_vs_lhs_size(benchmark, lhs_atoms):
+    program = Program.of(EX13_RULE)  # one rule for G, plus implicit trivial
+    tgd = _guard_tgd(lhs_atoms)
+    report = benchmark(
+        lambda: preserves_nonrecursively(program, [tgd], stop_at_violation=False)
+    )
+    # m = 2 (the rule + the trivial rule); n = lhs_atoms.
+    assert report.combinations_examined == 2 ** lhs_atoms
+    benchmark.extra_info["combinations"] = report.combinations_examined
+
+
+@pytest.mark.parametrize("rules", [1, 2, 3])
+def test_q5_combinations_vs_rule_count(benchmark, rules):
+    # `rules` alternative derivations of G, all guard-preserving.
+    sources = ["A", "B", "C"][:rules]
+    text = "".join(
+        f"G(x, z) :- {s}(x, z), A(x, w).\n" for s in sources
+    )
+    program = parse_program(text)
+    tgd = parse_tgd("G(x, z) -> A(x, w)")
+    report = benchmark(
+        lambda: preserves_nonrecursively(program, [tgd], stop_at_violation=False)
+    )
+    # One LHS atom; m = rules + 1 trivial.
+    assert report.combinations_examined == rules + 1
+    assert report.verdict is Verdict.PROVED
+
+
+def test_q5_example14_three_cases(benchmark):
+    from repro import paper
+
+    report = benchmark(
+        lambda: preserves_nonrecursively(paper.EX11_P1, [EX11_TGD])
+    )
+    assert report.combinations_examined == 3
+    assert report.verdict is Verdict.PROVED
+
+
+def test_q5_violation_short_circuits(benchmark):
+    """stop_at_violation must terminate the scan at the first failure."""
+    program = parse_program(
+        """
+        H(x, y) :- A(x, y).
+        H(x, y) :- B(x, y).
+        H(x, y) :- C(x, y).
+        """
+    )
+    tgd = parse_tgd("H(x, y) -> Mark(y)")
+    stopped = benchmark(lambda: preserves_nonrecursively(program, [tgd]))
+    assert stopped.verdict is Verdict.DISPROVED
+    exhaustive = preserves_nonrecursively(program, [tgd], stop_at_violation=False)
+    assert stopped.combinations_examined <= exhaustive.combinations_examined

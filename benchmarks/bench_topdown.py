@@ -1,0 +1,114 @@
+"""Experiment Q9 (extension): goal-directed strategies compared.
+
+The paper situates its optimization alongside the goal-directed
+evaluation methods of the era -- bottom-up magic sets (Bancilhon et
+al.) and top-down memoing (Henschen--Naqvi, McKay--Shapiro, Vieille's
+QSQ).  Both are implemented here; this bench compares them against each
+other and against full bottom-up evaluation, and shows that the paper's
+minimization composes with *either* strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, minimize_program, parse_program
+from repro.engine.magic import answer_query
+from repro.engine.supplementary import answer_query_supplementary
+from repro.engine.topdown import tabled_query
+from repro.lang import parse_atom
+from repro.workloads import chain, random_graph, tc_linear
+
+
+def _db(n: int):
+    return random_graph(n, 2 * n, seed=13)
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_q9_magic(benchmark, n):
+    program = tc_linear()
+    db = _db(n)
+    query = parse_atom("G(0, x)")
+    answers, result = benchmark(lambda: answer_query(program, db, query))
+    benchmark.extra_info["answers"] = len(answers)
+    benchmark.extra_info["subgoals"] = result.stats.subgoal_attempts
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_q9_tabled_topdown(benchmark, n):
+    program = tc_linear()
+    db = _db(n)
+    query = parse_atom("G(0, x)")
+    result = benchmark(lambda: tabled_query(program, db, query))
+    benchmark.extra_info["answers"] = len(result.answers)
+    benchmark.extra_info["subgoals"] = result.stats.subgoal_attempts
+    benchmark.extra_info["calls"] = result.calls_made
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_q9_supplementary_magic(benchmark, n):
+    program = tc_linear()
+    db = _db(n)
+    query = parse_atom("G(0, x)")
+    answers, result = benchmark(
+        lambda: answer_query_supplementary(program, db, query)
+    )
+    benchmark.extra_info["answers"] = len(answers)
+    benchmark.extra_info["subgoals"] = result.stats.subgoal_attempts
+
+
+def test_q9_supplementary_beats_plain_on_nonlinear():
+    """Factored prefixes pay off when rules have several IDB subgoals."""
+    from repro.workloads import tc_nonlinear
+
+    program = tc_nonlinear()
+    db = _db(25)
+    query = parse_atom("G(0, x)")
+    _, plain = answer_query(program, db, query)
+    sup_answers, sup = answer_query_supplementary(program, db, query)
+    plain_answers, _ = answer_query(program, db, query)
+    assert set(sup_answers.tuples("G")) == set(plain_answers.tuples("G"))
+    assert sup.stats.subgoal_attempts < plain.stats.subgoal_attempts
+
+
+@pytest.mark.parametrize("n", [30, 60])
+def test_q9_full_bottom_up(benchmark, n):
+    program = tc_linear()
+    db = _db(n)
+
+    def run():
+        full = evaluate(program, db)
+        from repro.lang.terms import Constant
+
+        return {r for r in full.database.tuples("G") if r[0] == Constant(0)}
+
+    answers = benchmark(run)
+    benchmark.extra_info["answers"] = len(answers)
+
+
+def test_q9_strategies_agree():
+    program = tc_linear()
+    db = _db(25)
+    for query_text in ("G(0, x)", "G(x, 7)", "G(2, 9)"):
+        query = parse_atom(query_text)
+        magic_answers, _ = answer_query(program, db, query)
+        tabled = tabled_query(program, db, query)
+        assert set(magic_answers.tuples("G")) == set(tabled.answers.tuples("G"))
+
+
+def test_q9_minimization_composes_with_topdown(benchmark):
+    """The §I claim holds for the top-down strategy too."""
+    fat = parse_program(
+        """
+        G(x, z) :- A(x, z), A(x, w).
+        G(x, z) :- A(x, y), G(y, z).
+        """
+    )
+    lean = minimize_program(fat).program
+    db = chain(40)
+    query = parse_atom("G(0, x)")
+
+    result = benchmark(lambda: tabled_query(lean, db, query))
+    raw = tabled_query(fat, db, query)
+    assert set(result.answers.tuples("G")) == set(raw.answers.tuples("G"))
+    assert result.stats.subgoal_attempts <= raw.stats.subgoal_attempts

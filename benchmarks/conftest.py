@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its subject (pytest-benchmark fixture) and
+*asserts the paper's qualitative claim* (who wins, roughly by how much,
+where the crossover is).  Measured series are attached to
+``benchmark.extra_info`` so ``--benchmark-json`` output carries the
+data EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_series(benchmark, **series):
+    """Attach named data series to the benchmark's extra_info."""
+    for key, value in series.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def series_recorder():
+    return record_series

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The reference environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; keeping a ``setup.py`` (and omitting the
+``[build-system]`` table from pyproject.toml) lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which needs neither
+network access nor ``wheel``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Structural program analysis: dependence graphs, recursion, safety."""
+
+from __future__ import annotations
+
+from .classification import (
+    ProgramProfile,
+    is_initialization_rule,
+    is_nonrecursive,
+    profile,
+    shares_initialization_rules,
+)
+from .dependence import DependenceGraph
+from .relevance import (
+    RelevanceResult,
+    relevant_predicates,
+    restrict_to_goal,
+    unreachable_predicates,
+)
+from .safety import SafetyViolation, check_rule_source
+
+__all__ = [
+    "DependenceGraph",
+    "ProgramProfile",
+    "RelevanceResult",
+    "SafetyViolation",
+    "check_rule_source",
+    "is_initialization_rule",
+    "is_nonrecursive",
+    "profile",
+    "relevant_predicates",
+    "restrict_to_goal",
+    "shares_initialization_rules",
+    "unreachable_predicates",
+]

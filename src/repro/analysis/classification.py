@@ -1,0 +1,74 @@
+"""Program and rule classification helpers.
+
+Thin, well-named predicates over :class:`~repro.lang.programs.Program`
+capturing the classifications the paper relies on: intensional versus
+extensional predicates (Section III), initialization rules (Section X),
+recursive/linear programs (Sections III and V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from .dependence import DependenceGraph
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """A one-stop structural summary of a program."""
+
+    rule_count: int
+    atom_count: int
+    idb_predicates: frozenset[str]
+    edb_predicates: frozenset[str]
+    recursive_predicates: frozenset[str]
+    is_recursive: bool
+    is_linear: bool
+    initialization_rule_count: int
+
+    def __str__(self) -> str:
+        kind = "recursive" if self.is_recursive else "non-recursive"
+        linear = " linear" if self.is_recursive and self.is_linear else ""
+        return (
+            f"{self.rule_count} rules / {self.atom_count} atoms, {kind}{linear}, "
+            f"IDB={sorted(self.idb_predicates)}, EDB={sorted(self.edb_predicates)}"
+        )
+
+
+def profile(program: Program) -> ProgramProfile:
+    """Compute the full structural profile of *program*."""
+    graph = DependenceGraph(program)
+    return ProgramProfile(
+        rule_count=len(program),
+        atom_count=program.size(),
+        idb_predicates=program.idb_predicates,
+        edb_predicates=program.edb_predicates,
+        recursive_predicates=graph.recursive_predicates,
+        is_recursive=graph.is_recursive,
+        is_linear=graph.is_linear,
+        initialization_rule_count=len(program.initialization_rules()),
+    )
+
+
+def is_initialization_rule(program: Program, rule: Rule) -> bool:
+    """Whether *rule*'s body mentions only extensional predicates."""
+    return rule.body_predicates() <= program.edb_predicates
+
+
+def is_nonrecursive(program: Program) -> bool:
+    """Whether the dependence graph is acyclic."""
+    return not DependenceGraph(program).is_recursive
+
+
+def shares_initialization_rules(p1: Program, p2: Program) -> bool:
+    """Whether two programs have identical sets of initialization rules.
+
+    This is the syntactic shortcut for condition (3) of Section X: with
+    identical initialization rules the two programs have the same
+    preliminary DB for every EDB.  (Semantic equivalence of the
+    initialization programs also suffices; see
+    :func:`repro.core.cq.ucq_equivalent`.)
+    """
+    return set(p1.initialization_rules()) == set(p2.initialization_rules())

@@ -1,0 +1,113 @@
+"""Dependence graphs and recursion analysis (Section III).
+
+"A program P has an associated directed graph, called the dependence
+graph, that has a node for each predicate of the program, and an edge
+from predicate Q to predicate R whenever predicate Q is in the body of
+some rule and predicate R is in the head of that same rule."
+
+* ``P`` is *recursive* if the graph has a cycle.
+* A *predicate* is recursive if it lies on a cycle through itself.
+* A *rule* is recursive if some cycle includes the head predicate and a
+  body predicate of that rule -- in particular whenever the head
+  predicate also occurs in the body.
+* A program is *linear* if each rule's body contains at most one
+  recursive predicate (the class for which the paper notes the
+  undecidability results already hold).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import networkx as nx
+
+from ..lang.programs import Program
+from ..lang.rules import Rule
+
+
+class DependenceGraph:
+    """The paper's dependence graph, with recursion queries.
+
+    Edges are labelled with the polarity of the body occurrence that
+    induced them (``negative=True`` if *any* inducing occurrence is
+    negated), which the stratified extension uses.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        graph = nx.DiGraph()
+        graph.add_nodes_from(program.predicates)
+        for rule in program.rules:
+            head = rule.head.predicate
+            for literal in rule.body:
+                body_pred = literal.predicate
+                if graph.has_edge(body_pred, head):
+                    if not literal.positive:
+                        graph[body_pred][head]["negative"] = True
+                else:
+                    graph.add_edge(body_pred, head, negative=not literal.positive)
+        self.graph = graph
+
+    @cached_property
+    def _cyclic_components(self) -> tuple[frozenset[str], ...]:
+        out = []
+        for component in nx.strongly_connected_components(self.graph):
+            if len(component) > 1:
+                out.append(frozenset(component))
+            else:
+                (node,) = component
+                if self.graph.has_edge(node, node):
+                    out.append(frozenset(component))
+        return tuple(out)
+
+    @cached_property
+    def recursive_predicates(self) -> frozenset[str]:
+        """Predicates lying on some cycle (necessarily intensional)."""
+        out: set[str] = set()
+        for component in self._cyclic_components:
+            out.update(component)
+        return frozenset(out)
+
+    @property
+    def is_recursive(self) -> bool:
+        """Whether the *program* is recursive (graph has a cycle)."""
+        return bool(self._cyclic_components)
+
+    def is_recursive_rule(self, rule: Rule) -> bool:
+        """Whether some cycle joins the rule's head and a body predicate."""
+        head = rule.head.predicate
+        for component in self._cyclic_components:
+            if head in component and any(
+                lit.predicate in component for lit in rule.body
+            ):
+                return True
+        return False
+
+    def recursive_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.program.rules if self.is_recursive_rule(r))
+
+    @property
+    def is_linear(self) -> bool:
+        """At most one recursive-predicate occurrence per rule body."""
+        recursive = self.recursive_predicates
+        for rule in self.program.rules:
+            count = sum(1 for lit in rule.body if lit.predicate in recursive)
+            if count > 1:
+                return False
+        return True
+
+    def condensation_order(self) -> tuple[frozenset[str], ...]:
+        """SCCs in a topological order (useful for stratified planning)."""
+        condensed = nx.condensation(self.graph)
+        order = []
+        for node in nx.topological_sort(condensed):
+            order.append(frozenset(condensed.nodes[node]["members"]))
+        return tuple(order)
+
+    def has_negative_cycle(self) -> bool:
+        """Whether any cycle contains a negative edge (unstratifiable)."""
+        for component in self._cyclic_components:
+            for u, v, data in self.graph.edges(data=True):
+                if data.get("negative") and u in component and v in component:
+                    return True
+        return False

@@ -1,0 +1,84 @@
+"""Safety (range-restriction) diagnostics.
+
+Rules already enforce safety at construction time
+(:class:`~repro.errors.UnsafeRuleError`), so a well-typed
+:class:`~repro.lang.programs.Program` is always safe.  This module
+provides *diagnostic* entry points for tools that want to validate text
+before construction, or to explain exactly which variables are loose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError, UnsafeRuleError
+from ..lang.rules import Rule
+from ..lang.terms import Variable
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One loose variable in one rule."""
+
+    rule_text: str
+    variable: Variable
+    location: str  # "head" or "negated literal"
+
+    def __str__(self) -> str:
+        return f"variable {self.variable} in {self.location} of '{self.rule_text}' is not range-restricted"
+
+
+def check_rule_source(source: str) -> list[SafetyViolation]:
+    """Parse one rule from text and report violations instead of raising.
+
+    Returns an empty list when the rule is safe; parse errors still
+    raise :class:`~repro.errors.ParseError`.
+    """
+    from ..lang.parser import _Parser  # local import: diagnostic-only dependency
+
+    parser = _Parser(source)
+    head = parser.parse_atom()
+    body = []
+    if parser.current.kind == "implies":
+        parser.advance()
+        body.append(parser.parse_literal())
+        while parser.accept_punct(","):
+            body.append(parser.parse_literal())
+    parser.expect("punct", ".")
+    parser.finish()
+
+    positive_vars: set[Variable] = set()
+    for literal in body:
+        if literal.positive:
+            positive_vars.update(literal.atom.variables())
+
+    text = _render(head, body)
+    violations = [
+        SafetyViolation(text, var, "head")
+        for var in sorted(set(head.variables()) - positive_vars, key=lambda v: v.name)
+    ]
+    for literal in body:
+        if not literal.positive:
+            for var in sorted(literal.atom.variable_set() - positive_vars, key=lambda v: v.name):
+                violations.append(SafetyViolation(text, var, "negated literal"))
+    return violations
+
+
+def _render(head, body) -> str:
+    if not body:
+        return f"{head}."
+    return f"{head} :- {', '.join(str(b) for b in body)}."
+
+
+def assert_safe(rule: Rule) -> Rule:
+    """Identity assertion; kept for symmetric, self-documenting call sites.
+
+    :class:`~repro.lang.rules.Rule` construction already guarantees
+    safety, so this never raises for a constructed rule.
+    """
+    if rule is None:  # pragma: no cover - defensive
+        raise UnsafeRuleError("no rule given")
+    return rule
+
+
+__all__ = ["SafetyViolation", "assert_safe", "check_rule_source", "ParseError"]

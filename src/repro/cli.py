@@ -1,0 +1,327 @@
+"""Command-line interface: ``repro-datalog``.
+
+Subcommands::
+
+    repro-datalog parse      PROGRAM            # validate + profile
+    repro-datalog eval       PROGRAM --edb F    # bottom-up evaluation
+    repro-datalog minimize   PROGRAM            # Fig. 2 minimization
+    repro-datalog optimize   PROGRAM            # + Section X/XI layer
+    repro-datalog contains   P1 P2              # uniform containment, both ways
+    repro-datalog preserves  PROGRAM --tgds F   # Fig. 3 preservation
+    repro-datalog prove      P1 P2 --tgds F     # Section X equivalence proof
+    repro-datalog query      PROGRAM --edb F Q  # goal-directed query (magic sets)
+    repro-datalog explain    PROGRAM --edb F A  # why-provenance proof of a fact
+    repro-datalog bounded    PROGRAM            # recursion-elimination search
+    repro-datalog examples                      # run the paper's examples
+
+Programs and EDB files use the Datalog syntax of
+:mod:`repro.lang.parser`; an EDB file is simply a program of ground
+facts (``A(1, 2).``).  Tgd files hold one tgd per line
+(``G(x, z) -> A(x, w)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import profile
+from .core import (
+    check_uniform_containment,
+    minimize_program,
+    optimize,
+    preserves_nonrecursively,
+)
+from .core.tgds import Tgd
+from .data.database import Database
+from .engine import evaluate
+from .errors import ReproError
+from .lang import format_database, format_program, parse_program, parse_tgds
+from .lang.programs import Program
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _load_program(path: str) -> Program:
+    return parse_program(_read(path))
+
+
+def _load_edb(path: str) -> Database:
+    facts_program = parse_program(_read(path))
+    db = Database()
+    for rule in facts_program.rules:
+        if not rule.is_fact:
+            raise ReproError(f"EDB file {path} contains a non-fact rule: {rule}")
+        db.add(rule.head)
+    return db
+
+
+def _load_tgds(path: str) -> list[Tgd]:
+    return parse_tgds(_read(path))
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    print(format_program(program))
+    print()
+    print(profile(program))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    edb = _load_edb(args.edb)
+    result = evaluate(program, edb, engine=args.engine)
+    print(format_database(result.database))
+    if args.stats:
+        print()
+        print(result.stats.summary())
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    result = minimize_program(program)
+    print(format_program(result.program))
+    print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    report = optimize(program, use_equivalence=not args.uniform_only)
+    print(format_program(report.optimized))
+    print()
+    print(report.summary())
+    return 0
+
+
+def _cmd_contains(args: argparse.Namespace) -> int:
+    p1 = _load_program(args.p1)
+    p2 = _load_program(args.p2)
+    forward = check_uniform_containment(container=p1, contained=p2)
+    backward = check_uniform_containment(container=p2, contained=p1)
+    if args.verbose:
+        from .core.transcripts import render_uniform_containment
+
+        print(render_uniform_containment(forward))
+        print()
+        print(
+            render_uniform_containment(
+                backward, container_name="P2", contained_name="P1"
+            )
+        )
+        print()
+    print(f"P2 ⊑u P1: {'yes' if forward.holds else 'no'}")
+    for witness in forward.witnesses:
+        if not witness.holds:
+            print(f"  fails for: {witness.rule}")
+    print(f"P1 ⊑u P2: {'yes' if backward.holds else 'no'}")
+    for witness in backward.witnesses:
+        if not witness.holds:
+            print(f"  fails for: {witness.rule}")
+    if forward.holds and backward.holds:
+        print("P1 ≡u P2")
+    return 0
+
+
+def _cmd_preserves(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    tgds = _load_tgds(args.tgds)
+    report = preserves_nonrecursively(program, tgds)
+    if args.verbose:
+        from .core.transcripts import render_preservation
+
+        print(render_preservation(report))
+        print()
+    print(f"non-recursive preservation: {report.verdict.value}")
+    print(f"combinations examined: {report.combinations_examined}")
+    return 0 if report.verdict.value == "proved" else 1
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from .core import prove_equivalence_with_constraints
+    from .core.transcripts import render_equivalence_proof
+
+    p1 = _load_program(args.p1)
+    p2 = _load_program(args.p2)
+    tgds = _load_tgds(args.tgds)
+    proof = prove_equivalence_with_constraints(p1, p2, tgds)
+    if args.verbose:
+        print(render_equivalence_proof(proof))
+    else:
+        print(proof.explain())
+    return 0 if proof.verdict.value == "proved" else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .engine import answer_query
+    from .lang import parse_atom
+
+    program = _load_program(args.program)
+    edb = _load_edb(args.edb)
+    query = parse_atom(args.query)
+    answers, result = answer_query(program, edb, query, engine=args.engine)
+    for atom in sorted(answers.atoms(), key=lambda a: a.sort_key()):
+        print(atom)
+    if args.stats:
+        print()
+        print(result.stats.summary())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .engine.provenance import evaluate_with_provenance, explain
+    from .lang import parse_atom
+
+    program = _load_program(args.program)
+    edb = _load_edb(args.edb)
+    fact = parse_atom(args.fact)
+    provenance = evaluate_with_provenance(program, edb)
+    try:
+        print(explain(provenance, fact))
+    except KeyError:
+        print(f"{fact} does not hold", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bounded(args: argparse.Namespace) -> int:
+    from .core.boundedness import uniform_boundedness
+
+    program = _load_program(args.program)
+    report = uniform_boundedness(program, max_depth=args.max_depth)
+    if report.verdict.value == "proved":
+        print(f"recursion eliminable: uniformly bounded at depth {report.depth}")
+        print()
+        print(format_program(report.nonrecursive))
+        return 0
+    print(
+        f"not shown bounded up to depth {args.max_depth} "
+        "(the program may be unbounded, or bounded only deeper)"
+    )
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import run_differential_suite
+
+    report = run_differential_suite(seeds=args.seeds, start_seed=args.start_seed)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  {failure}")
+    return 0 if report.ok else 1
+
+
+def _cmd_examples(_args: argparse.Namespace) -> int:
+    from . import paper
+
+    for ident in sorted(paper.EXAMPLES):
+        example = paper.EXAMPLES[ident]
+        print(f"{ident} (§{example.section}): {example.claim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-datalog",
+        description="Datalog program optimization (Sagiv, PODS 1987 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("parse", help="validate and profile a program")
+    p.add_argument("program")
+    p.set_defaults(func=_cmd_parse)
+
+    p = sub.add_parser("eval", help="bottom-up evaluation")
+    p.add_argument("program")
+    p.add_argument("--edb", required=True, help="file of ground facts")
+    p.add_argument("--engine", choices=["naive", "seminaive"], default="seminaive")
+    p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser("minimize", help="minimize under uniform equivalence (Fig. 2)")
+    p.add_argument("program")
+    p.set_defaults(func=_cmd_minimize)
+
+    p = sub.add_parser("optimize", help="minimize + equivalence-based optimization")
+    p.add_argument("program")
+    p.add_argument(
+        "--uniform-only", action="store_true", help="skip the Section X/XI layer"
+    )
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("contains", help="test uniform containment both ways")
+    p.add_argument("p1")
+    p.add_argument("p2")
+    p.add_argument("--verbose", action="store_true", help="print the full freezing-test transcripts")
+    p.set_defaults(func=_cmd_contains)
+
+    p = sub.add_parser("preserves", help="test non-recursive tgd preservation (Fig. 3)")
+    p.add_argument("program")
+    p.add_argument("--tgds", required=True, help="file of tgds, one per line")
+    p.add_argument("--verbose", action="store_true", help="print per-combination transcripts")
+    p.set_defaults(func=_cmd_preserves)
+
+    p = sub.add_parser(
+        "prove", help="prove P2 ⊑ P1 and P1 ≡ P2 under tgd constraints (Section X)"
+    )
+    p.add_argument("p1")
+    p.add_argument("p2")
+    p.add_argument("--tgds", required=True, help="file of tgds, one per line")
+    p.add_argument("--verbose", action="store_true", help="print the full three-condition transcript")
+    p.set_defaults(func=_cmd_prove)
+
+    p = sub.add_parser("query", help="answer a query goal-directed (magic sets)")
+    p.add_argument("program")
+    p.add_argument("query", help="query atom, e.g. 'G(0, x)'")
+    p.add_argument("--edb", required=True, help="file of ground facts")
+    p.add_argument("--engine", choices=["naive", "seminaive"], default="seminaive")
+    p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("explain", help="show a proof tree for a derived fact")
+    p.add_argument("program")
+    p.add_argument("fact", help="ground atom to explain, e.g. 'G(1, 3)'")
+    p.add_argument("--edb", required=True, help="file of ground facts")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "bounded", help="search for a non-recursive uniformly-equivalent program"
+    )
+    p.add_argument("program")
+    p.add_argument("--max-depth", type=int, default=4, help="unrolling depth bound")
+    p.set_defaults(func=_cmd_bounded)
+
+    p = sub.add_parser(
+        "fuzz", help="differential-test the engines and optimizers on random inputs"
+    )
+    p.add_argument("--seeds", type=int, default=25)
+    p.add_argument("--start-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("examples", help="list the paper's worked examples")
+    p.set_defaults(func=_cmd_examples)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

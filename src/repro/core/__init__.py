@@ -1,0 +1,159 @@
+"""The paper's algorithms: uniform containment, minimization, tgds, chase,
+preservation, and equivalence-based optimization."""
+
+from __future__ import annotations
+
+from .augment import Augmentation, add_atom, addable_guards, atom_is_addable
+from .boundedness import BoundednessReport, uniform_boundedness, unroll
+from .stratified_opt import (
+    StratifiedMinimizationResult,
+    decode_negation,
+    encode_negation,
+    minimize_stratified,
+    uniformly_contains_stratified,
+)
+from .chase import (
+    ChaseBudget,
+    ChaseOutcome,
+    DEFAULT_BUDGET,
+    ModelContainmentReport,
+    RuleChaseEvidence,
+    Verdict,
+    chase,
+    check_model_containment,
+    rule_contained_under_constraints,
+)
+from .containment import (
+    RuleContainmentWitness,
+    UniformContainmentReport,
+    canonical_database,
+    check_rule_containment,
+    check_uniform_containment,
+    rule_uniformly_contained_in,
+    uniformly_contains,
+    uniformly_equivalent,
+)
+from .cq import (
+    cq_contained_in,
+    cq_equivalent,
+    find_homomorphism,
+    initialization_programs_equivalent,
+    minimize_cq,
+    nonrecursive_equivalent,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from .equivalence import (
+    ContainmentProof,
+    EquivalenceProof,
+    prove_containment_with_constraints,
+    prove_equivalence_with_constraints,
+)
+from .heuristics import TgdCandidate, candidate_tgds
+from .minimize import (
+    AtomRemoval,
+    MinimizationResult,
+    RuleRemoval,
+    is_minimal,
+    minimize_program,
+    minimize_rule,
+)
+from .optimizer import EquivalenceRemoval, OptimizationReport, optimize
+from .reductions import (
+    add_seed_rules,
+    has_seed_rules,
+    plain_equals_uniform,
+    seed_predicate,
+)
+from .preservation import (
+    CombinationEvidence,
+    PreservationReport,
+    UnificationChoice,
+    preliminary_db_satisfies,
+    preserves_nonrecursively,
+)
+from .tgds import Tgd, first_violation, parse_tgds, satisfies_all
+from .transcripts import (
+    render_containment_proof,
+    render_equivalence_proof,
+    render_model_containment,
+    render_preservation,
+    render_uniform_containment,
+)
+from .unfold import UnfoldResult, unfold_and_minimize, unfold_atom
+
+__all__ = [
+    "Augmentation",
+    "AtomRemoval",
+    "BoundednessReport",
+    "StratifiedMinimizationResult",
+    "add_atom",
+    "add_seed_rules",
+    "addable_guards",
+    "atom_is_addable",
+    "decode_negation",
+    "encode_negation",
+    "minimize_stratified",
+    "ChaseBudget",
+    "ChaseOutcome",
+    "CombinationEvidence",
+    "ContainmentProof",
+    "DEFAULT_BUDGET",
+    "EquivalenceProof",
+    "EquivalenceRemoval",
+    "MinimizationResult",
+    "ModelContainmentReport",
+    "OptimizationReport",
+    "PreservationReport",
+    "RuleChaseEvidence",
+    "RuleContainmentWitness",
+    "RuleRemoval",
+    "Tgd",
+    "TgdCandidate",
+    "UnfoldResult",
+    "UnificationChoice",
+    "UniformContainmentReport",
+    "Verdict",
+    "candidate_tgds",
+    "canonical_database",
+    "chase",
+    "check_model_containment",
+    "check_rule_containment",
+    "check_uniform_containment",
+    "cq_contained_in",
+    "cq_equivalent",
+    "find_homomorphism",
+    "first_violation",
+    "has_seed_rules",
+    "initialization_programs_equivalent",
+    "is_minimal",
+    "minimize_cq",
+    "minimize_program",
+    "minimize_rule",
+    "nonrecursive_equivalent",
+    "optimize",
+    "parse_tgds",
+    "plain_equals_uniform",
+    "preliminary_db_satisfies",
+    "render_containment_proof",
+    "render_equivalence_proof",
+    "render_model_containment",
+    "render_preservation",
+    "render_uniform_containment",
+    "preserves_nonrecursively",
+    "prove_containment_with_constraints",
+    "prove_equivalence_with_constraints",
+    "rule_contained_under_constraints",
+    "rule_uniformly_contained_in",
+    "satisfies_all",
+    "seed_predicate",
+    "ucq_contained_in",
+    "unfold_and_minimize",
+    "unfold_atom",
+    "uniform_boundedness",
+    "uniformly_contains_stratified",
+    "unroll",
+    "ucq_equivalent",
+    "uniformly_contains",
+    "uniformly_equivalent",
+]

@@ -1,0 +1,97 @@
+"""Adding redundant atoms (the paper's Section I remark).
+
+The introduction observes that the machinery for *removing* redundant
+atoms "can also be used to determine when a redundant atom can be added
+to the body of a rule", the optimization style of Chakravarthy et al.
+and King: adding a conjunct can pay off when a small relation prunes a
+join early (the paper's intersection-of-three-relations example).
+
+Adding atom ``α`` to rule ``r`` (giving ``r′``) always satisfies
+``r′ ⊑u r`` -- the enlarged body is harder to satisfy.  The program
+stays *uniformly equivalent* iff the original rule is still uniformly
+contained in the modified program, i.e. ``r ⊑u P[r := r′]``, which is
+exactly the Section VI test run in the opposite direction from
+minimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.fixpoint import EngineName
+from ..lang.atoms import Atom, Literal
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from .containment import rule_uniformly_contained_in
+
+
+@dataclass(frozen=True)
+class Augmentation:
+    """A proven-safe atom addition."""
+
+    rule_before: Rule
+    rule_after: Rule
+    added_atom: Atom
+    program_after: Program
+
+    def __str__(self) -> str:
+        return f"added {self.added_atom} to '{self.rule_before}'"
+
+
+def atom_is_addable(
+    program: Program,
+    rule: Rule,
+    atom: Atom,
+    engine: EngineName = "seminaive",
+) -> bool:
+    """Whether appending *atom* to *rule*'s body preserves ``≡u``.
+
+    Requires *rule* to be a (positive) rule of *program*.  The test is
+    ``rule ⊑u program[rule := rule+atom]``; the reverse direction is
+    automatic by monotonicity.
+    """
+    if rule not in program:
+        raise ValueError("rule must belong to the given program")
+    enlarged = Rule(rule.head, [*rule.body, Literal(atom)])
+    candidate = program.replace_rule(rule, enlarged)
+    return rule_uniformly_contained_in(rule, candidate, engine)
+
+
+def add_atom(
+    program: Program,
+    rule: Rule,
+    atom: Atom,
+    engine: EngineName = "seminaive",
+) -> Augmentation:
+    """Append *atom* to *rule* after proving the addition redundant.
+
+    Raises ``ValueError`` if the addition would change the program's
+    meaning (under uniform equivalence) -- callers decide *whether* the
+    guard is profitable; this function guarantees it is *safe*.
+    """
+    if not atom_is_addable(program, rule, atom, engine):
+        raise ValueError(
+            f"adding {atom} to '{rule}' is not redundant: it would change the program"
+        )
+    enlarged = Rule(rule.head, [*rule.body, Literal(atom)])
+    return Augmentation(
+        rule_before=rule,
+        rule_after=enlarged,
+        added_atom=atom,
+        program_after=program.replace_rule(rule, enlarged),
+    )
+
+
+def addable_guards(
+    program: Program,
+    rule: Rule,
+    candidates: list[Atom],
+    engine: EngineName = "seminaive",
+) -> list[Atom]:
+    """Filter *candidates* to the atoms that can be added safely.
+
+    A convenience for cost-based optimizers: generate plausible guards
+    (e.g. small relations sharing variables with the body), keep the
+    provably redundant ones, then pick by estimated selectivity.
+    """
+    return [a for a in candidates if atom_is_addable(program, rule, a, engine)]

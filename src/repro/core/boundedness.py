@@ -1,0 +1,153 @@
+"""Detecting (uniform) boundedness of recursive programs.
+
+A Datalog program is *bounded* when its recursion is superfluous: some
+fixed number of rule-application rounds suffices on every database, so
+the program is equivalent to a non-recursive one.  Boundedness is
+undecidable in general (like the equivalence problems the paper cites),
+but the paper's uniform-containment machinery yields a clean sound
+semi-decision procedure for the **uniform** variant:
+
+    ``P`` is uniformly bounded at depth ``k`` iff ``P ⊑u unroll(P, k)``,
+
+where ``unroll(P, k)`` is the non-recursive program whose rules are all
+at-most-``k``-deep unfoldings of ``P``'s rules into initialization
+rules.  ``unroll(P, k) ⊑u P`` always holds (each unrolled rule is a
+composition of ``P``'s rules), so a positive test certifies
+``P ≡u unroll(P, k)``: the program can be replaced outright by a
+non-recursive one -- the strongest possible outcome of the paper's
+style of optimization.
+
+:func:`uniform_boundedness` searches depths ``1..max_depth`` and
+returns a three-valued outcome; a ``PROVED`` result carries the
+witnessing non-recursive program.
+
+Scope note: the property decided is *uniform equivalence to a
+non-recursive program* (complete recursion elimination).  This is
+strictly stronger than "the fixpoint converges in a constant number of
+rounds on every input": e.g. ``P(x, y) :- P(y, x)`` converges in two
+rounds on every database, yet no non-recursive program is uniformly
+equivalent to it (nothing else can read the initial ``P`` facts), so
+the search correctly reports ``UNKNOWN`` there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.fixpoint import EngineName
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from ..lang.substitution import unify_atoms
+from .chase import Verdict
+from .containment import uniformly_contains
+
+
+def _compose_once(base_rules: list[Rule], program: Program, idb: frozenset[str]) -> list[Rule]:
+    """All single-step expansions of *base_rules*' first IDB atom.
+
+    Each rule with an IDB body atom has that atom resolved against every
+    rule of *program*; rules with EDB-only bodies pass through.
+    """
+    out: list[Rule] = []
+    for serial, rule in enumerate(base_rules):
+        target = None
+        for position, literal in enumerate(rule.body):
+            if literal.positive and literal.predicate in idb:
+                target = position
+                break
+        if target is None:
+            out.append(rule)
+            continue
+        literal = rule.body[target]
+        for def_index, definition in enumerate(program.rules_for(literal.predicate)):
+            renamed = definition.rename_variables(f"_b{serial}_{def_index}")
+            while renamed.variables() & rule.variables():
+                renamed = renamed.rename_variables("x")
+            unifier = unify_atoms(literal.atom, renamed.head)
+            if unifier is None:
+                continue
+            new_body = [
+                *rule.body[:target],
+                *renamed.body,
+                *rule.body[target + 1:],
+            ]
+            out.append(
+                Rule(
+                    unifier.apply_atom(rule.head),
+                    [lit.substitute(unifier) for lit in new_body],
+                )
+            )
+    return out
+
+
+def unroll(program: Program, depth: int, max_rules: int = 2_000) -> Program:
+    """The non-recursive approximation of *program* at *depth*.
+
+    Returns the program whose rules are the unfoldings of *program*'s
+    rules in which every chain of IDB resolutions has length at most
+    *depth* and bottoms out in extensional atoms.  Expansions that still
+    contain IDB atoms after *depth* rounds are dropped (they correspond
+    to deeper derivations, which a bounded program does not need).
+
+    Raises ``ValueError`` if the expansion exceeds *max_rules* -- the
+    construction is worst-case exponential in *depth*.
+    """
+    idb = program.idb_predicates
+    current: list[Rule] = list(program.rules)
+    for _ in range(depth):
+        if all(
+            not (set(r.body_predicates()) & idb) for r in current
+        ):
+            break
+        current = _compose_once(current, program, idb)
+        if len(current) > max_rules:
+            raise ValueError(
+                f"unrolling to depth {depth} exceeded {max_rules} rules"
+            )
+    finished = [r for r in current if not (r.body_predicates() & idb)]
+    # Deduplicate syntactically; Program() collapses exact duplicates.
+    return Program(finished)
+
+
+@dataclass
+class BoundednessReport:
+    """Outcome of the bounded-depth search."""
+
+    verdict: Verdict
+    depth: Optional[int] = None
+    nonrecursive: Optional[Program] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+
+def uniform_boundedness(
+    program: Program,
+    max_depth: int = 4,
+    engine: EngineName = "seminaive",
+    max_rules: int = 2_000,
+) -> BoundednessReport:
+    """Search for a depth at which *program* is uniformly bounded.
+
+    ``PROVED`` means ``program ≡u report.nonrecursive`` -- recursion can
+    be eliminated entirely.  ``UNKNOWN`` means no depth up to
+    *max_depth* certifies boundedness (the program may be unbounded, or
+    bounded only at a greater depth; uniform boundedness of arbitrary
+    programs is undecidable).  A non-recursive input is trivially
+    ``PROVED`` at depth 0.
+    """
+    from ..analysis.dependence import DependenceGraph
+
+    if not DependenceGraph(program).is_recursive:
+        return BoundednessReport(Verdict.PROVED, depth=0, nonrecursive=program)
+    for depth in range(1, max_depth + 1):
+        try:
+            candidate = unroll(program, depth, max_rules=max_rules)
+        except ValueError:
+            return BoundednessReport(Verdict.UNKNOWN)
+        if not len(candidate):
+            continue
+        if uniformly_contains(container=candidate, contained=program, engine=engine):
+            return BoundednessReport(Verdict.PROVED, depth=depth, nonrecursive=candidate)
+    return BoundednessReport(Verdict.UNKNOWN)

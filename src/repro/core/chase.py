@@ -1,0 +1,229 @@
+"""The chase with a program and tgds: ``[P, T]`` (Section VIII, Theorem 1).
+
+``[P, T](d)`` applies the rules of ``P`` and the tgds of ``T`` to a
+database ``d`` until neither adds anything.  Theorem 1 turns this into a
+proof procedure::
+
+    hθ ∈ [P, T](bθ)   iff   SAT(T) ∩ M(P) ⊆ M(r)        (r = h :- b)
+
+and hence, rule by rule, into a test of ``SAT(T) ∩ M(P1) ⊆ M(P2)`` --
+the first of the three conditions in the Section X recipe for proving
+plain containment under constraints.
+
+With embedded tgds the chase may not terminate (repeated applications
+keep inventing nulls), so the procedure is *semi-decidable*: the target
+head, if derivable, appears in finite time, but a negative answer can
+only be certified when the chase saturates.  All entry points therefore
+take a :class:`ChaseBudget` and return three-valued
+:class:`Verdict` outcomes instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..data.database import Database
+from ..engine.fixpoint import EngineName, evaluate
+from ..errors import BudgetExceededError
+from ..lang.atoms import Atom
+from ..lang.freeze import freeze_rule
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from ..lang.terms import NullFactory
+from .tgds import Tgd
+
+
+class Verdict(enum.Enum):
+    """Outcome of a semi-decidable test."""
+
+    PROVED = "proved"
+    DISPROVED = "disproved"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        """Truthy only when proved, so reports read naturally in ``if``."""
+        return self is Verdict.PROVED
+
+
+@dataclass(frozen=True)
+class ChaseBudget:
+    """Resource limits for one chase run.
+
+    The defaults comfortably cover every example in the paper and the
+    benchmark workloads; raise them for adversarial embedded-tgd sets.
+    """
+
+    max_rounds: int = 200
+    max_nulls: int = 2_000
+    max_atoms: int = 200_000
+
+    def check(self, rounds: int, nulls: NullFactory, db: Database) -> None:
+        if rounds > self.max_rounds:
+            raise BudgetExceededError(f"chase exceeded {self.max_rounds} rounds")
+        if nulls.issued > self.max_nulls:
+            raise BudgetExceededError(f"chase created more than {self.max_nulls} nulls")
+        if len(db) > self.max_atoms:
+            raise BudgetExceededError(f"chase database exceeded {self.max_atoms} atoms")
+
+
+DEFAULT_BUDGET = ChaseBudget()
+
+
+@dataclass
+class ChaseOutcome:
+    """Result of running ``[P, T]`` on a database.
+
+    ``saturated`` is ``True`` when a genuine fixpoint was reached;
+    ``False`` means the budget ran out first (the database is then a
+    sound under-approximation of ``[P, T](d)``).
+    """
+
+    database: Database
+    saturated: bool
+    rounds: int = 0
+    nulls_created: int = 0
+    target_found: bool | None = None
+
+
+def chase(
+    db: Database,
+    program: Program | None = None,
+    tgds: list[Tgd] | None = None,
+    budget: ChaseBudget = DEFAULT_BUDGET,
+    target: Atom | None = None,
+    engine: EngineName = "seminaive",
+) -> ChaseOutcome:
+    """Compute ``[P, T](db)`` (the input is not mutated).
+
+    Alternates saturation by the program's rules (which always
+    terminates) with one round of tgd applications, until neither adds
+    atoms.  If *target* is given, the chase stops early as soon as the
+    target atom appears -- the optimization the paper points out when
+    testing uniform containment under constraints.
+    """
+    program = program if program is not None else Program()
+    tgds = tgds or []
+    current = db.copy()
+    nulls = NullFactory()
+    rounds = 0
+    saturated = False
+    found = target is not None and target in current
+    try:
+        while not found:
+            rounds += 1
+            budget.check(rounds, nulls, current)
+            before = len(current)
+            if len(program):
+                result = evaluate(program, current, engine=engine)
+                current = result.database
+            if target is not None and target in current:
+                found = True
+                break
+            added = 0
+            for tgd in tgds:
+                added += tgd.apply_all_once(current, nulls)
+                if target is not None and target in current:
+                    found = True
+                    break
+            if found:
+                break
+            if len(current) == before and added == 0:
+                saturated = True
+                break
+    except BudgetExceededError:
+        saturated = False
+    return ChaseOutcome(
+        database=current,
+        saturated=saturated or found,
+        rounds=rounds,
+        nulls_created=nulls.issued,
+        target_found=found if target is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class RuleChaseEvidence:
+    """Per-rule transcript of the Theorem-1 test."""
+
+    rule: Rule
+    verdict: Verdict
+    frozen_head: Atom
+    chased_atoms: frozenset[Atom]
+    rounds: int
+    nulls_created: int
+
+
+@dataclass
+class ModelContainmentReport:
+    """Outcome of testing ``SAT(T) ∩ M(P1) ⊆ M(P2)``.
+
+    ``PROVED`` means every rule of ``P2`` passed; ``DISPROVED`` means
+    some rule's chase saturated without deriving its frozen head (a
+    finite countermodel exists); ``UNKNOWN`` means a budget ran out.
+    """
+
+    verdict: Verdict
+    evidence: list[RuleChaseEvidence] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+    @property
+    def failing_rules(self) -> list[Rule]:
+        return [e.rule for e in self.evidence if e.verdict is not Verdict.PROVED]
+
+
+def rule_contained_under_constraints(
+    rule: Rule,
+    program: Program,
+    tgds: list[Tgd],
+    budget: ChaseBudget = DEFAULT_BUDGET,
+    engine: EngineName = "seminaive",
+) -> RuleChaseEvidence:
+    """Theorem 1 for one rule: is ``hθ ∈ [program, T](bθ)``?"""
+    frozen = freeze_rule(rule)
+    canonical = Database(frozen.body)
+    outcome = chase(
+        canonical, program, tgds, budget=budget, target=frozen.head, engine=engine
+    )
+    if outcome.target_found:
+        verdict = Verdict.PROVED
+    elif outcome.saturated:
+        verdict = Verdict.DISPROVED
+    else:
+        verdict = Verdict.UNKNOWN
+    return RuleChaseEvidence(
+        rule=rule,
+        verdict=verdict,
+        frozen_head=frozen.head,
+        chased_atoms=outcome.database.as_atom_set(),
+        rounds=outcome.rounds,
+        nulls_created=outcome.nulls_created,
+    )
+
+
+def check_model_containment(
+    p1: Program,
+    tgds: list[Tgd],
+    p2: Program,
+    budget: ChaseBudget = DEFAULT_BUDGET,
+    engine: EngineName = "seminaive",
+) -> ModelContainmentReport:
+    """Test ``SAT(T) ∩ M(p1) ⊆ M(p2)`` rule by rule (Section VIII).
+
+    This is condition (1) of the Section X recipe.  Combined with
+    "``p1`` preserves ``T``" it yields ``p2 ⊑u_SAT(T) p1`` by
+    Corollary 1 of the appendix.
+    """
+    evidence = [
+        rule_contained_under_constraints(rule, p1, tgds, budget, engine)
+        for rule in p2.rules
+    ]
+    if all(e.verdict is Verdict.PROVED for e in evidence):
+        verdict = Verdict.PROVED
+    elif any(e.verdict is Verdict.DISPROVED for e in evidence):
+        verdict = Verdict.DISPROVED
+    else:
+        verdict = Verdict.UNKNOWN
+    return ModelContainmentReport(verdict=verdict, evidence=evidence)

@@ -1,0 +1,141 @@
+"""Uniform containment and uniform equivalence (Sections IV and VI).
+
+The paper's key decidability result: although plain equivalence of
+Datalog programs is undecidable (Shmueli), *uniform* containment is
+decidable, and the test is a single bottom-up evaluation per rule
+(Corollary 2)::
+
+    P2 ⊑u P1   iff   for every rule  h :- b  of P2:  hθ ∈ P1(bθ)
+
+where θ freezes the rule's variables to distinct fresh constants.  The
+test is total: it always terminates because bottom-up evaluation of a
+Datalog program over a finite database cannot invent new constants.
+
+Naming convention used throughout this module: ``contained`` is the
+smaller program (``P2``), ``container`` the larger (``P1``), and the
+relation tested is ``contained ⊑u container``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.database import Database
+from ..engine.fixpoint import EngineName, evaluate
+from ..lang.freeze import freeze_rule
+from ..lang.programs import Program
+from ..lang.rules import Rule
+
+
+@dataclass(frozen=True)
+class RuleContainmentWitness:
+    """Evidence for one rule's uniform containment test.
+
+    ``holds`` is ``True`` iff the frozen head was derived.  When the
+    test fails, ``canonical_output`` is a *countermodel* seed: the
+    database ``container(bθ)`` is a model of the container program that
+    is not a model of the rule.
+    """
+
+    rule: Rule
+    holds: bool
+    frozen_head: object
+    canonical_input: frozenset
+    canonical_output: frozenset
+
+    def __str__(self) -> str:
+        verdict = "⊑u holds" if self.holds else "⊑u FAILS"
+        return f"{verdict} for rule '{self.rule}'"
+
+
+@dataclass
+class UniformContainmentReport:
+    """Outcome of ``contained ⊑u container`` with per-rule transcripts."""
+
+    holds: bool
+    witnesses: list[RuleContainmentWitness] = field(default_factory=list)
+
+    @property
+    def failing_rules(self) -> list[Rule]:
+        return [w.rule for w in self.witnesses if not w.holds]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def rule_uniformly_contained_in(
+    rule: Rule,
+    container: Program,
+    engine: EngineName = "seminaive",
+) -> bool:
+    """Test ``{rule} ⊑u container`` (Section VI, single-rule case)."""
+    return _test_rule(rule, container, engine).holds
+
+
+def check_rule_containment(
+    rule: Rule,
+    container: Program,
+    engine: EngineName = "seminaive",
+) -> RuleContainmentWitness:
+    """Like :func:`rule_uniformly_contained_in` but with full evidence."""
+    return _test_rule(rule, container, engine)
+
+
+def _test_rule(rule: Rule, container: Program, engine: EngineName) -> RuleContainmentWitness:
+    frozen = freeze_rule(rule)
+    canonical = Database(frozen.body)
+    result = evaluate(container, canonical, engine=engine)
+    holds = frozen.head in result.database
+    return RuleContainmentWitness(
+        rule=rule,
+        holds=holds,
+        frozen_head=frozen.head,
+        canonical_input=frozenset(frozen.body),
+        canonical_output=result.database.as_atom_set(),
+    )
+
+
+def uniformly_contains(
+    container: Program,
+    contained: Program,
+    engine: EngineName = "seminaive",
+) -> bool:
+    """Test ``contained ⊑u container``.
+
+    By the model characterization, this holds iff every rule of
+    *contained* is uniformly contained in *container* (Section VI).
+    """
+    return all(
+        _test_rule(rule, container, engine).holds for rule in contained.rules
+    )
+
+
+def check_uniform_containment(
+    container: Program,
+    contained: Program,
+    engine: EngineName = "seminaive",
+) -> UniformContainmentReport:
+    """``contained ⊑u container`` with a per-rule transcript.
+
+    Unlike :func:`uniformly_contains` this does not short-circuit, so
+    the report lists *every* failing rule.
+    """
+    witnesses = [_test_rule(rule, container, engine) for rule in contained.rules]
+    return UniformContainmentReport(
+        holds=all(w.holds for w in witnesses),
+        witnesses=witnesses,
+    )
+
+
+def uniformly_equivalent(
+    p1: Program,
+    p2: Program,
+    engine: EngineName = "seminaive",
+) -> bool:
+    """Test ``p1 ≡u p2`` (both containment directions)."""
+    return uniformly_contains(p1, p2, engine) and uniformly_contains(p2, p1, engine)
+
+
+def canonical_database(rule: Rule) -> Database:
+    """The frozen body ``bθ`` of a rule as a database (for inspection)."""
+    return Database(freeze_rule(rule).body)

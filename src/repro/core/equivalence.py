@@ -1,0 +1,159 @@
+"""Proving containment and equivalence under constraints (Section X).
+
+Plain equivalence of recursive programs is undecidable, but Section X
+gives a sound (incomplete) recipe for proving ``P2 ⊑ P1``:
+
+1. ``SAT(T) ∩ M(P1) ⊆ M(P2)``          -- chase test, Section VIII;
+2. ``P1`` preserves ``T``               -- non-recursive preservation, Fig. 3;
+3′. the preliminary DB of ``P1`` satisfies ``T``.
+
+(1) and (2) give ``P2 ⊑_SAT(T) P1`` (Corollary 1); monotonicity plus
+(3′) then yields ``P2 ⊑ P1`` by the argument at the end of Section X,
+which needs only ``P1``'s preliminary DB -- the original condition
+(3) + (4) pair on both programs is subsumed.
+
+To conclude *equivalence* ``P1 ≡ P2`` we additionally check
+``P1 ⊑u P2`` (decidable, Section VI), which implies ``P1 ⊑ P2``.  In
+the intended use -- ``P2`` is ``P1`` with body atoms deleted -- this
+direction always holds syntactically, but it is verified, never
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..lang.programs import Program
+from .chase import (
+    ChaseBudget,
+    DEFAULT_BUDGET,
+    ModelContainmentReport,
+    Verdict,
+    check_model_containment,
+)
+from .containment import check_uniform_containment, UniformContainmentReport
+from .preservation import (
+    PreservationReport,
+    preliminary_db_satisfies,
+    preserves_nonrecursively,
+)
+from .tgds import Tgd
+
+
+@dataclass
+class ContainmentProof:
+    """Evidence that ``p2 ⊑ p1`` via the Section X recipe.
+
+    ``verdict`` is ``PROVED`` only when all three conditions are; a
+    single ``DISPROVED`` condition does **not** refute ``p2 ⊑ p1``
+    (the recipe is sound, not complete), so the combined verdict then
+    is ``UNKNOWN`` unless the failure certifies nothing was shown.
+    """
+
+    p1: Program
+    p2: Program
+    tgds: tuple[Tgd, ...]
+    model_containment: ModelContainmentReport
+    preservation: Optional[PreservationReport]
+    preliminary: Optional[PreservationReport]
+
+    @property
+    def verdict(self) -> Verdict:
+        parts = [self.model_containment.verdict]
+        if self.preservation is not None:
+            parts.append(self.preservation.verdict)
+        if self.preliminary is not None:
+            parts.append(self.preliminary.verdict)
+        if all(v is Verdict.PROVED for v in parts):
+            return Verdict.PROVED
+        # Any non-proved condition leaves the conclusion open: the
+        # recipe only ever *proves* containment.
+        return Verdict.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+    def explain(self) -> str:
+        lines = [
+            f"(1) SAT(T) ∩ M(P1) ⊆ M(P2): {self.model_containment.verdict.value}",
+        ]
+        if self.preservation is not None:
+            lines.append(f"(2) P1 preserves T non-recursively: {self.preservation.verdict.value}")
+        if self.preliminary is not None:
+            lines.append(f"(3') preliminary DB of P1 satisfies T: {self.preliminary.verdict.value}")
+        lines.append(f"=> P2 ⊑ P1: {self.verdict.value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class EquivalenceProof:
+    """Evidence that ``p1 ≡ p2`` (Section X applied in both directions)."""
+
+    containment: ContainmentProof          # p2 ⊑ p1, via the recipe
+    reverse_uniform: UniformContainmentReport  # p1 ⊑u p2, hence p1 ⊑ p2
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.containment.verdict is Verdict.PROVED and self.reverse_uniform.holds:
+            return Verdict.PROVED
+        return Verdict.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return bool(self.verdict)
+
+    def explain(self) -> str:
+        reverse = "holds" if self.reverse_uniform.holds else "NOT shown"
+        return (
+            self.containment.explain()
+            + f"\nP1 ⊑u P2 (hence P1 ⊑ P2): {reverse}"
+            + f"\n=> P1 ≡ P2: {self.verdict.value}"
+        )
+
+
+def prove_containment_with_constraints(
+    p1: Program,
+    p2: Program,
+    tgds: Sequence[Tgd],
+    budget: ChaseBudget = DEFAULT_BUDGET,
+) -> ContainmentProof:
+    """Attempt to prove ``p2 ⊑ p1`` using the tgds *tgds* (Section X).
+
+    Conditions are checked cheapest-first and later ones are skipped
+    once the proof cannot succeed, but all computed evidence is kept in
+    the returned proof object.
+    """
+    tgds = tuple(tgds)
+    model = check_model_containment(p1, list(tgds), p2, budget=budget)
+    preservation = None
+    preliminary = None
+    if model.verdict is Verdict.PROVED:
+        preservation = preserves_nonrecursively(p1, tgds, budget=budget)
+        if preservation.verdict is Verdict.PROVED:
+            preliminary = preliminary_db_satisfies(p1, tgds)
+    return ContainmentProof(
+        p1=p1,
+        p2=p2,
+        tgds=tgds,
+        model_containment=model,
+        preservation=preservation,
+        preliminary=preliminary,
+    )
+
+
+def prove_equivalence_with_constraints(
+    p1: Program,
+    p2: Program,
+    tgds: Sequence[Tgd],
+    budget: ChaseBudget = DEFAULT_BUDGET,
+) -> EquivalenceProof:
+    """Attempt to prove ``p1 ≡ p2``.
+
+    Forward direction ``p2 ⊑ p1`` via the tgd recipe; reverse direction
+    ``p1 ⊑ p2`` via decidable uniform containment (``⊑u`` implies
+    ``⊑``).  This matches Examples 18 and 19, where ``p2`` is obtained
+    from ``p1`` by deleting atoms so ``p1 ⊑u p2`` holds trivially.
+    """
+    containment = prove_containment_with_constraints(p1, p2, tgds, budget=budget)
+    reverse = check_uniform_containment(container=p2, contained=p1)
+    return EquivalenceProof(containment=containment, reverse_uniform=reverse)

@@ -1,0 +1,115 @@
+"""Heuristic discovery of candidate tgds (Section XI).
+
+Optimization under plain equivalence needs a tgd that witnesses the
+redundancy of some body atoms.  The paper observes that the tgd used in
+Example 18 (``G(y, z) -> A(y, w)`` for the rule
+``G(x, z) :- G(x, y), G(y, z), A(y, w)``) is built from atoms of the
+rule's own body, and distills three syntactic properties for candidate
+tgds:
+
+1. the left-hand side has the same predicate as the head of the rule
+   being optimized;
+2. if the tgd has a variable ``w`` appearing only in its right-hand
+   side, then *all* body atoms containing ``w`` are in the right-hand
+   side;
+3. all such right-hand-side-only variables do not occur in the rule's
+   head.
+
+:func:`candidate_tgds` enumerates the (bounded) space of body-atom
+splits with these properties, most-specific first (larger right-hand
+sides first, since the RHS atoms are the ones deleted if the proof
+succeeds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..lang.atoms import Atom, atoms_variables
+from ..lang.rules import Rule
+from .tgds import Tgd
+
+
+@dataclass(frozen=True)
+class TgdCandidate:
+    """A candidate tgd plus the body positions it would delete."""
+
+    tgd: Tgd
+    rhs_body_positions: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.tgd}  (deletes body positions {list(self.rhs_body_positions)})"
+
+
+def candidate_tgds(
+    rule: Rule,
+    max_lhs_atoms: int = 2,
+    max_rhs_atoms: int = 3,
+) -> Iterator[TgdCandidate]:
+    """Enumerate candidate tgds for optimizing *rule* (Section XI).
+
+    Only positive rules are supported (the paper's fragment).  Yields
+    candidates with larger right-hand sides first; the caller tries each
+    with :func:`repro.core.equivalence.prove_equivalence_with_constraints`.
+    """
+    body = rule.body_atoms()
+    head_pred = rule.head.predicate
+    head_vars = rule.head.variable_set()
+
+    lhs_pool = [i for i, atom in enumerate(body) if atom.predicate == head_pred]
+    if not lhs_pool:
+        return
+
+    #: var -> set of body positions containing it (for property 2).
+    positions_of: dict = {}
+    for i, atom in enumerate(body):
+        for var in atom.variable_set():
+            positions_of.setdefault(var, set()).add(i)
+
+    seen: set[tuple[tuple[Atom, ...], tuple[Atom, ...]]] = set()
+    candidates: list[TgdCandidate] = []
+    for lhs_size in range(1, min(max_lhs_atoms, len(lhs_pool)) + 1):
+        for lhs_positions in itertools.combinations(lhs_pool, lhs_size):
+            lhs_atoms = tuple(body[i] for i in lhs_positions)
+            lhs_vars = atoms_variables(lhs_atoms)
+            rhs_pool = [i for i in range(len(body)) if i not in lhs_positions]
+            max_rhs = min(max_rhs_atoms, len(rhs_pool))
+            for rhs_size in range(1, max_rhs + 1):
+                for rhs_positions in itertools.combinations(rhs_pool, rhs_size):
+                    rhs_atoms = tuple(body[i] for i in rhs_positions)
+                    if not _properties_hold(
+                        lhs_vars, rhs_atoms, rhs_positions, positions_of, head_vars
+                    ):
+                        continue
+                    key = (lhs_atoms, rhs_atoms)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidates.append(
+                        TgdCandidate(Tgd(lhs_atoms, rhs_atoms), tuple(rhs_positions))
+                    )
+    # Most atoms deleted first; deterministic tie-break on the rendering.
+    candidates.sort(key=lambda c: (-len(c.rhs_body_positions), str(c.tgd)))
+    yield from candidates
+
+
+def _properties_hold(
+    lhs_vars,
+    rhs_atoms: tuple[Atom, ...],
+    rhs_positions: tuple[int, ...],
+    positions_of: dict,
+    head_vars,
+) -> bool:
+    """Check properties 2 and 3 for one candidate split."""
+    rhs_only_vars = atoms_variables(rhs_atoms) - lhs_vars
+    rhs_set = set(rhs_positions)
+    for var in rhs_only_vars:
+        # Property 3: existential variables must not reach the head.
+        if var in head_vars:
+            return False
+        # Property 2: every body atom containing the variable is in the RHS.
+        if not positions_of[var] <= rhs_set:
+            return False
+    return True

@@ -1,0 +1,221 @@
+"""Minimization under uniform equivalence (Section VII, Figs. 1 and 2).
+
+Two algorithms, faithful to the paper's figures:
+
+* :func:`minimize_rule` (Fig. 1) -- delete redundant atoms from a single
+  rule: for each body atom ``α`` (considered exactly once), let ``r̂``
+  be the rule without ``α``; if ``r̂ ⊑u r`` replace ``r`` by ``r̂``.
+
+* :func:`minimize_program` (Fig. 2) -- first minimize every rule's body
+  against the *whole current program* (an atom may be redundant in the
+  context of ``P`` even if not within its own rule alone), then delete
+  redundant rules: if ``r ⊑u P̂`` where ``P̂ = P - r``, drop ``r``.
+
+Theorem 2 (appendix) proves that considering each atom and each rule
+exactly once suffices, *provided atoms are removed before rules* --
+the implementation preserves that order.  The result is uniformly
+equivalent to the input and has no redundant atom or rule, but is not
+necessarily unique: it may depend on consideration order, which both
+functions accept as a parameter to make that explicit (and testable).
+
+Atoms whose deletion would strand a head variable are skipped: by the
+paper's standing assumption (head variables must appear in the body) the
+truncated rule would not be a Datalog rule, and such atoms can never be
+redundant (a program cannot invent the frozen constant standing for the
+stranded variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..engine.fixpoint import EngineName
+from ..lang.atoms import Atom
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from .containment import rule_uniformly_contained_in
+
+#: An atom-consideration order: given a rule, the body indexes to try, in order.
+AtomOrder = Callable[[Rule], Sequence[int]]
+#: A rule-consideration order: given a program, the rules to try, in order.
+RuleOrder = Callable[[Program], Sequence[Rule]]
+
+
+def natural_atom_order(rule: Rule) -> Sequence[int]:
+    """Body atoms in their written order (the default)."""
+    return range(len(rule.body))
+
+
+def natural_rule_order(program: Program) -> Sequence[Rule]:
+    """Rules in their written order (the default)."""
+    return program.rules
+
+
+@dataclass(frozen=True)
+class AtomRemoval:
+    """One successful body-atom deletion."""
+
+    rule_before: Rule
+    atom: Atom
+    rule_after: Rule
+
+    def __str__(self) -> str:
+        return f"removed {self.atom} from '{self.rule_before}'"
+
+
+@dataclass(frozen=True)
+class RuleRemoval:
+    """One successful whole-rule deletion."""
+
+    rule: Rule
+
+    def __str__(self) -> str:
+        return f"removed rule '{self.rule}'"
+
+
+@dataclass
+class MinimizationResult:
+    """The outcome of Fig. 2 minimization with a full audit trail."""
+
+    original: Program
+    program: Program
+    atom_removals: list[AtomRemoval] = field(default_factory=list)
+    rule_removals: list[RuleRemoval] = field(default_factory=list)
+    containment_tests: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.atom_removals or self.rule_removals)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.atom_removals)} atom(s) and {len(self.rule_removals)} rule(s) removed; "
+            f"{self.original.size()} -> {self.program.size()} atoms "
+            f"({self.containment_tests} containment tests)"
+        )
+
+
+def minimize_rule(
+    rule: Rule,
+    within: Program | None = None,
+    engine: EngineName = "seminaive",
+    atom_order: AtomOrder = natural_atom_order,
+) -> Rule:
+    """Fig. 1: remove all redundant atoms from one rule.
+
+    Args:
+        rule: the rule to minimize.
+        within: the program context for the containment test.  ``None``
+            (the single-rule case of Fig. 1) tests ``r̂ ⊑u r``;
+            a program tests ``r̂ ⊑u P`` as in the first loop of Fig. 2.
+            When a program is given it must contain *rule*; the test is
+            against the program with the current (partially minimized)
+            version of the rule, exactly as Fig. 2 specifies.
+        engine: evaluation engine for the containment tests.
+        atom_order: the order in which atoms are considered (the final
+            result may legitimately depend on it; see Section VII).
+    """
+    context = within if within is not None else Program.of(rule)
+    if rule not in context:
+        raise ValueError("rule being minimized must be part of the given program context")
+    minimized, _removals, _tests = _minimize_rule_within(context, rule, engine, atom_order)
+    return minimized
+
+
+def minimize_program(
+    program: Program,
+    engine: EngineName = "seminaive",
+    atom_order: AtomOrder = natural_atom_order,
+    rule_order: RuleOrder = natural_rule_order,
+) -> MinimizationResult:
+    """Fig. 2: minimize a whole program under uniform equivalence.
+
+    Phase 1 removes redundant atoms from every rule, testing against
+    the *current whole program*; phase 2 removes redundant rules.  The
+    output has neither redundant atoms nor redundant rules (Theorem 2)
+    and is uniformly equivalent to the input.
+    """
+    result = MinimizationResult(original=program, program=program)
+
+    # Phase 1: atom deletions, each atom considered once, context = whole program.
+    current = program
+    for rule in rule_order(program):
+        if rule not in current:  # pragma: no cover - defensive; orders must yield program rules
+            continue
+        minimized, removals, tests = _minimize_rule_within(current, rule, engine, atom_order)
+        result.containment_tests += tests
+        if removals:
+            result.atom_removals.extend(removals)
+            current = current.replace_rule(rule, minimized)
+
+    # Phase 2: rule deletions, each rule considered once.
+    for rule in rule_order(current):
+        if rule not in current:
+            # The rule object from the order may predate phase-1 edits;
+            # phase 2 must consider the *minimized* rules, which
+            # rule_order(current) already yields for the default order.
+            continue
+        candidate_program = current.without_rule(rule)
+        result.containment_tests += 1
+        if rule_uniformly_contained_in(rule, candidate_program, engine):
+            result.rule_removals.append(RuleRemoval(rule))
+            current = candidate_program
+
+    result.program = current
+    return result
+
+
+def _minimize_rule_within(
+    program: Program,
+    rule: Rule,
+    engine: EngineName,
+    atom_order: AtomOrder,
+) -> tuple[Rule, list[AtomRemoval], int]:
+    """Minimize one rule's body against the evolving program."""
+    removals: list[AtomRemoval] = []
+    tests = 0
+    current_rule = rule
+    current_program = program
+    pending = list(atom_order(rule))
+    position_map = list(range(len(rule.body)))
+    for original_index in pending:
+        try:
+            current_index = position_map.index(original_index)
+        except ValueError:  # pragma: no cover
+            continue
+        if not current_rule.can_drop_body_literal(current_index):
+            continue
+        candidate = current_rule.without_body_literal(current_index)
+        tests += 1
+        if rule_uniformly_contained_in(candidate, current_program, engine):
+            removals.append(
+                AtomRemoval(
+                    rule_before=current_rule,
+                    atom=current_rule.body[current_index].atom,
+                    rule_after=candidate,
+                )
+            )
+            current_program = current_program.replace_rule(current_rule, candidate)
+            current_rule = candidate
+            del position_map[current_index]
+    return current_rule, removals, tests
+
+
+def is_minimal(program: Program, engine: EngineName = "seminaive") -> bool:
+    """Whether no single atom or rule deletion preserves uniform equivalence.
+
+    Used by tests and benchmarks to verify the guarantee of Theorem 2 on
+    the output of :func:`minimize_program`.
+    """
+    for rule in program.rules:
+        for index in range(len(rule.body)):
+            if not rule.can_drop_body_literal(index):
+                continue
+            candidate = rule.without_body_literal(index)
+            if rule_uniformly_contained_in(candidate, program, engine):
+                return False
+    for rule in program.rules:
+        if rule_uniformly_contained_in(rule, program.without_rule(rule), engine):
+            return False
+    return True

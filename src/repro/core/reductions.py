@@ -1,0 +1,111 @@
+"""The paper's reduction from uniform to plain containment (end of §IV).
+
+"Given programs P1 and P2, we can construct programs P1′ and P2′ such
+that P2 ⊑u P1 if and only if P2′ ⊑ P1′.  The programs P1′ and P2′ are
+obtained by adding rules that give arbitrary initial values to the
+intentional predicates.  The rule added for an intentional predicate
+``B(x1, ..., xn)`` is simply ``B(x1, ..., xn) :- B0(x1, ..., xn)``,
+where ``B0`` is a predicate that does not appear in any other rule."
+
+The construction matters in both directions:
+
+* it shows uniform containment is a *special case* of plain
+  containment (so deciding it is never harder);
+* conversely, if both programs already contain such seed rules for
+  every IDB predicate, plain and uniform containment coincide -- a
+  syntactic condition under which the paper's decidable test answers
+  the (generally undecidable) plain-containment question exactly.
+
+:func:`add_seed_rules` builds ``P′``; :func:`has_seed_rules` recognizes
+the syntactic condition; :func:`plain_equals_uniform` packages the
+conclusion.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..lang.atoms import Atom, Literal
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from ..lang.terms import Variable
+
+#: Suffix for the fresh seed predicates (the paper's ``B0``).
+SEED_SUFFIX = "0"
+
+
+def seed_predicate(predicate: str, suffix: str = SEED_SUFFIX) -> str:
+    return predicate + suffix
+
+
+def add_seed_rules(program: Program, suffix: str = SEED_SUFFIX) -> Program:
+    """The paper's ``P′``: one ``B(x̄) :- B0(x̄)`` rule per IDB predicate.
+
+    Raises :class:`~repro.errors.ValidationError` when a seed name is
+    already taken (the paper requires ``B0`` to "not appear in any
+    other rule"); pass a different *suffix* in that case.
+    """
+    taken = program.predicates
+    rules = list(program.rules)
+    for pred in sorted(program.idb_predicates):
+        seed = seed_predicate(pred, suffix)
+        if seed in taken:
+            raise ValidationError(
+                f"seed predicate {seed!r} already occurs in the program; choose another suffix"
+            )
+        arity = program.arity(pred)
+        args = tuple(Variable(f"x{i + 1}") for i in range(arity))
+        rules.append(Rule(Atom(pred, args), [Literal(Atom(seed, args))]))
+    return Program(rules)
+
+
+def has_seed_rules(program: Program) -> bool:
+    """Whether every IDB predicate has a private copy-from-EDB rule.
+
+    The paper's condition: for each intensional ``B`` there is a rule
+    ``B(x1, ..., xn) :- C(x1, ..., xn)`` whose body predicate ``C`` is
+    extensional and appears in no other rule.  Under this condition,
+    plain containment against another such program coincides with
+    uniform containment.
+    """
+    edb = program.edb_predicates
+    for pred in program.idb_predicates:
+        if not any(
+            _is_seed_rule(program, rule) for rule in program.rules_for(pred)
+        ):
+            return False
+    return True
+
+
+def _is_seed_rule(program: Program, rule: Rule) -> bool:
+    if len(rule.body) != 1 or not rule.body[0].positive:
+        return False
+    body_atom = rule.body[0].atom
+    if body_atom.predicate not in program.edb_predicates:
+        return False
+    # Head and body must carry the same tuple of distinct variables.
+    if rule.head.args != body_atom.args:
+        return False
+    args = rule.head.args
+    if not all(isinstance(t, Variable) for t in args):
+        return False
+    if len(set(args)) != len(args):
+        return False
+    # The seed predicate appears in no other rule.
+    occurrences = 0
+    for other in program.rules:
+        for literal in other.body:
+            if literal.predicate == body_atom.predicate:
+                occurrences += 1
+        if other.head.predicate == body_atom.predicate:
+            occurrences += 1
+    return occurrences == 1
+
+
+def plain_equals_uniform(p1: Program, p2: Program) -> bool:
+    """Whether plain and uniform containment provably coincide for the pair.
+
+    True when both programs satisfy :func:`has_seed_rules` (the paper's
+    sufficient condition).  When it holds, the decidable Section VI
+    test answers plain containment exactly.
+    """
+    return has_seed_rules(p1) and has_seed_rules(p2)

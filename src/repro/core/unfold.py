@@ -1,0 +1,114 @@
+"""Rule unfolding (partial evaluation of a body atom).
+
+A classic equivalence-preserving transformation that composes with the
+paper's minimization: *unfolding* an intensional body atom replaces it
+by the bodies of its defining rules, producing one new rule per
+definition.  Formally, for a rule ``r = h :- b1, ..., α, ..., bn`` with
+``α`` an IDB atom, and defining rules ``α_i :- c_i`` (heads unifiable
+with ``α``), the unfolded program replaces ``r`` by the rules
+``(h :- b1, ..., c_i, ..., bn)·σ_i`` where ``σ_i`` unifies ``α`` with
+the (renamed-apart) head of definition ``i``.
+
+Unfolding a *non-recursive* atom preserves plain equivalence; it also
+preserves **uniform** equivalence only in one direction
+(``unfolded ⊑u original`` always; the converse fails because initial
+IDB facts for ``α``'s predicate no longer feed ``r``).  Both facts are
+surfaced: :func:`unfold_atom` reports which relation is guaranteed,
+and the tests pin both.
+
+Unfolding often *creates* redundancy that Fig. 2 can then remove --
+the ``unfold + minimize`` loop is a standard optimization pipeline,
+demonstrated in the tests and the integration suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..lang.programs import Program
+from ..lang.rules import Rule
+from ..lang.substitution import unify_atoms
+
+
+@dataclass
+class UnfoldResult:
+    """The unfolded program plus the relationship guarantees."""
+
+    original: Program
+    program: Program
+    unfolded_rule: Rule
+    replacements: tuple[Rule, ...]
+    #: The unfolded program is always uniformly contained in the
+    #: original; full uniform equivalence would additionally require the
+    #: unfolded atom's predicate to receive no initial IDB facts.
+    uniform_direction: str = "unfolded ⊑u original"
+
+
+def unfold_atom(program: Program, rule: Rule, position: int) -> UnfoldResult:
+    """Unfold the *position*-th body literal of *rule* within *program*.
+
+    The literal must be positive and its predicate intensional.  The
+    rule is replaced by one rule per definition of that predicate; if a
+    definition's head does not unify with the atom, it contributes
+    nothing.
+
+    Raises :class:`ValidationError` on a negated or extensional target,
+    and ``ValueError`` if *rule* is not part of *program*.
+    """
+    if rule not in program:
+        raise ValueError("rule to unfold must belong to the program")
+    if not 0 <= position < len(rule.body):
+        raise IndexError(f"rule has {len(rule.body)} body literals, no index {position}")
+    literal = rule.body[position]
+    if not literal.positive:
+        raise ValidationError("cannot unfold a negated literal")
+    predicate = literal.predicate
+    if predicate not in program.idb_predicates:
+        raise ValidationError(
+            f"cannot unfold extensional atom {literal.atom}: no defining rules"
+        )
+
+    replacements: list[Rule] = []
+    for index, definition in enumerate(program.rules_for(predicate)):
+        renamed = definition.rename_variables(f"_u{index}")
+        # Ensure freshness even against the unfolded rule's own names.
+        while renamed.variables() & rule.variables():
+            renamed = renamed.rename_variables("x")
+        unifier = unify_atoms(literal.atom, renamed.head)
+        if unifier is None:
+            continue
+        new_body = [
+            *rule.body[:position],
+            *renamed.body,
+            *rule.body[position + 1:],
+        ]
+        new_rule = Rule(
+            unifier.apply_atom(rule.head),
+            [lit.substitute(unifier) for lit in new_body],
+        )
+        replacements.append(new_rule)
+
+    new_program = program.without_rule(rule)
+    for replacement in replacements:
+        new_program = new_program.with_rule(replacement)
+    return UnfoldResult(
+        original=program,
+        program=new_program,
+        unfolded_rule=rule,
+        replacements=tuple(replacements),
+    )
+
+
+def unfold_and_minimize(program: Program, rule: Rule, position: int):
+    """Convenience pipeline: unfold, then run Fig. 2 minimization.
+
+    Unfolding frequently duplicates atoms that minimization then
+    removes; the combined step returns the
+    :class:`~repro.core.minimize.MinimizationResult` of the unfolded
+    program.
+    """
+    from .minimize import minimize_program
+
+    unfolded = unfold_atom(program, rule, position)
+    return minimize_program(unfolded.program)

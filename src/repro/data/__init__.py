@@ -1,0 +1,15 @@
+"""Fact storage: databases of ground atoms, relations, and hash indexes."""
+
+from __future__ import annotations
+
+from .database import Database
+from .indexes import PredicateIndex
+from .relations import Relation, relation_of, split_edb_idb
+
+__all__ = [
+    "Database",
+    "PredicateIndex",
+    "Relation",
+    "relation_of",
+    "split_edb_idb",
+]

@@ -1,0 +1,259 @@
+"""Databases of ground atoms.
+
+Section III: "A collection of relations, such as a database, can be
+viewed as a single set consisting of all the ground atoms of these
+relations."  :class:`Database` is exactly that set, stored per-predicate
+for efficient joins, with lazily-built per-position hash indexes.
+
+The same class serves as
+
+* the EDB / input of a program,
+* the combined DB (EDB plus IDB) computed by a program,
+* the canonical databases of the chase (which may contain
+  :class:`~repro.lang.terms.Null` and
+  :class:`~repro.lang.terms.FrozenConstant` terms).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ArityError, GroundnessError
+from ..lang.atoms import Atom, coerce_term
+from .indexes import PredicateIndex
+
+
+class Database:
+    """A mutable set of ground atoms, grouped by predicate."""
+
+    __slots__ = ("_relations", "_arities", "_indexes", "_size")
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._relations: dict[str, set[tuple]] = {}
+        self._arities: dict[str, int] = {}
+        self._indexes: dict[str, PredicateIndex] = {}
+        self._size = 0
+        for atom in atoms:
+            self.add(atom)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "Database":
+        return cls(atoms)
+
+    @classmethod
+    def from_facts(cls, facts: Mapping[str, Iterable[tuple]]) -> "Database":
+        """Build from ``{"A": [(1, 2), (1, 4)], ...}`` with raw Python values."""
+        db = cls()
+        for pred, rows in facts.items():
+            for row in rows:
+                db.add_fact(pred, *row)
+        return db
+
+    def copy(self) -> "Database":
+        """An independent copy (indexes are rebuilt lazily on demand)."""
+        new = Database.__new__(Database)
+        new._relations = {p: set(rows) for p, rows in self._relations.items()}
+        new._arities = dict(self._arities)
+        new._indexes = {}
+        new._size = self._size
+        return new
+
+    # -- mutation ----------------------------------------------------------------
+    def add(self, atom: Atom) -> bool:
+        """Add a ground atom; return ``True`` iff it was new."""
+        if not atom.is_ground:
+            raise GroundnessError(f"cannot store non-ground atom {atom}")
+        return self._add_row(atom.predicate, atom.args)
+
+    def add_fact(self, predicate: str, *args) -> bool:
+        """Add a fact from raw Python values (ints/strings become constants)."""
+        row = tuple(coerce_term(a) for a in args)
+        for term in row:
+            if not term.is_ground:
+                raise GroundnessError(f"cannot store non-ground fact {predicate}{row}")
+        return self._add_row(predicate, row)
+
+    def _add_row(self, predicate: str, row: tuple) -> bool:
+        known_arity = self._arities.get(predicate)
+        if known_arity is None:
+            self._arities[predicate] = len(row)
+            self._relations[predicate] = set()
+        elif known_arity != len(row):
+            raise ArityError(
+                f"predicate {predicate} has arity {known_arity}, got a {len(row)}-tuple"
+            )
+        relation = self._relations[predicate]
+        if row in relation:
+            return False
+        relation.add(row)
+        self._size += 1
+        index = self._indexes.get(predicate)
+        if index is not None:
+            index.insert(row)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Add many atoms; return how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove a ground atom; return ``True`` iff it was present.
+
+        Built indexes are maintained.  Used by incremental view
+        maintenance; most other code treats databases as grow-only.
+        """
+        rows = self._relations.get(atom.predicate)
+        if rows is None or atom.args not in rows:
+            return False
+        rows.discard(atom.args)
+        self._size -= 1
+        index = self._indexes.get(atom.predicate)
+        if index is not None:
+            index.remove(atom.args)
+        return True
+
+    def discard_all(self, atoms: Iterable[Atom]) -> int:
+        """Remove many atoms; return how many were present."""
+        return sum(1 for atom in atoms if self.discard(atom))
+
+    def update(self, other: "Database") -> int:
+        """Union-in another database; return the number of new atoms."""
+        added = 0
+        for pred, rows in other._relations.items():
+            for row in rows:
+                if self._add_row(pred, row):
+                    added += 1
+        return added
+
+    # -- queries ---------------------------------------------------------------------
+    def __contains__(self, atom: Atom) -> bool:
+        rows = self._relations.get(atom.predicate)
+        return rows is not None and atom.args in rows
+
+    def contains_tuple(self, predicate: str, row: tuple) -> bool:
+        rows = self._relations.get(predicate)
+        return rows is not None and row in rows
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {p: rows for p, rows in self._relations.items() if rows}
+        theirs = {p: rows for p, rows in other._relations.items() if rows}
+        return mine == theirs
+
+    def __hash__(self):  # pragma: no cover - mutable containers are unhashable
+        raise TypeError("Database is mutable and unhashable; use frozenset(db.atoms())")
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        """Predicates with at least one stored fact."""
+        return frozenset(p for p, rows in self._relations.items() if rows)
+
+    def arity(self, predicate: str) -> int:
+        return self._arities[predicate]
+
+    def count(self, predicate: str) -> int:
+        rows = self._relations.get(predicate)
+        return len(rows) if rows is not None else 0
+
+    def tuples(self, predicate: str) -> frozenset[tuple]:
+        """All tuples of one predicate (empty if unknown)."""
+        rows = self._relations.get(predicate)
+        return frozenset(rows) if rows is not None else frozenset()
+
+    def atoms(self) -> Iterator[Atom]:
+        """Iterate over every ground atom in the database."""
+        for pred, rows in self._relations.items():
+            for row in rows:
+                yield Atom(pred, row)
+
+    def atoms_for(self, predicate: str) -> Iterator[Atom]:
+        for row in self._relations.get(predicate, ()):
+            yield Atom(predicate, row)
+
+    def as_atom_set(self) -> frozenset[Atom]:
+        return frozenset(self.atoms())
+
+    def restrict_to(self, predicates: Iterable[str]) -> "Database":
+        """A copy containing only the given predicates' facts."""
+        wanted = set(predicates)
+        new = Database()
+        for pred in wanted:
+            for row in self._relations.get(pred, ()):
+                new._add_row(pred, row)
+        return new
+
+    def difference(self, other: "Database") -> frozenset[Atom]:
+        """Atoms in ``self`` but not in *other*."""
+        out: set[Atom] = set()
+        for pred, rows in self._relations.items():
+            other_rows = other._relations.get(pred, set())
+            for row in rows:
+                if row not in other_rows:
+                    out.add(Atom(pred, row))
+        return frozenset(out)
+
+    def issubset(self, other: "Database") -> bool:
+        for pred, rows in self._relations.items():
+            if rows and not rows <= other._relations.get(pred, set()):
+                return False
+        return True
+
+    # -- indexed matching -----------------------------------------------------------
+    def candidates(self, predicate: str, bound: Mapping[int, object]) -> Iterable[tuple]:
+        """Tuples of *predicate* consistent with the *bound* positions.
+
+        *bound* maps argument positions to required ground terms.  With
+        no bound positions this is a full scan; otherwise the smallest
+        available index bucket is used (built lazily) and remaining
+        bound positions are checked per tuple by the caller or here.
+
+        Returned tuples always satisfy **all** the bound positions.
+        """
+        rows = self._relations.get(predicate)
+        if not rows:
+            return ()
+        if not bound:
+            return rows
+        index = self._indexes.get(predicate)
+        if index is None:
+            index = PredicateIndex(self._arities[predicate])
+            self._indexes[predicate] = index
+        # Choose the bound position with the smallest bucket; build missing
+        # indexes for the positions we consider.
+        best_pos = None
+        best_size = None
+        for pos in bound:
+            if pos not in index.built_positions():
+                index.build(pos, rows)
+            size = index.bucket_size(pos, bound[pos])
+            if best_size is None or (size is not None and size < best_size):
+                best_pos, best_size = pos, size
+        bucket = index.bucket(best_pos, bound[best_pos])  # type: ignore[arg-type]
+        if not bucket:
+            return ()
+        if len(bound) == 1:
+            return bucket
+        remaining = [(p, v) for p, v in bound.items() if p != best_pos]
+        return (row for row in bucket if all(row[p] == v for p, v in remaining))
+
+    def probe_count(self) -> int:
+        """Total index probes across all predicates (join-work metric)."""
+        return sum(ix.probes for ix in self._indexes.values())
+
+    # -- presentation ------------------------------------------------------------------
+    def __str__(self) -> str:
+        from ..lang.pretty import format_atoms
+
+        return format_atoms(self.atoms())
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{p}:{len(rows)}" for p, rows in sorted(self._relations.items()) if rows)
+        return f"<Database {self._size} atoms ({counts})>"

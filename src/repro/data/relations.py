@@ -1,0 +1,71 @@
+"""Relation views and EDB/IDB splitting.
+
+The paper treats a database interchangeably as one set of ground atoms
+and as "an assignment of relations to predicates".  :class:`Relation`
+is the second view: an immutable named snapshot of one predicate's
+tuples, convenient for assertions in tests and for presenting results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..lang.atoms import Atom
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lang.programs import Program
+    from .database import Database
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable snapshot of one predicate's extension."""
+
+    name: str
+    arity: int
+    rows: frozenset[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self.rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def atoms(self) -> Iterator[Atom]:
+        for row in self.rows:
+            yield Atom(self.name, row)
+
+    def values(self) -> frozenset[tuple]:
+        """Rows as raw Python values (constants unwrapped)."""
+        out = set()
+        for row in self.rows:
+            out.add(tuple(getattr(t, "value", t) for t in row))
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        from ..lang.pretty import format_atoms
+
+        return format_atoms(self.atoms())
+
+
+def relation_of(db: "Database", predicate: str) -> Relation:
+    """Snapshot one predicate of *db* as a :class:`Relation`."""
+    rows = db.tuples(predicate)
+    arity = db.arity(predicate) if rows else 0
+    return Relation(predicate, arity, rows)
+
+
+def split_edb_idb(db: "Database", program: "Program") -> tuple["Database", "Database"]:
+    """Split *db* into its EDB-part and IDB-part relative to *program*.
+
+    Predicates not mentioned by the program at all are grouped with the
+    EDB (they are extensional from the program's point of view).
+    """
+    idb_preds = program.idb_predicates
+    edb = db.restrict_to(db.predicates - idb_preds)
+    idb = db.restrict_to(db.predicates & idb_preds)
+    return edb, idb

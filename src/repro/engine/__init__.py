@@ -1,0 +1,69 @@
+"""Bottom-up evaluation engines: naive, semi-naive, magic sets, stratified."""
+
+from __future__ import annotations
+
+from .costs import (
+    JoinEstimate,
+    PredicateStatistics,
+    collect_statistics,
+    estimate_guard_benefit,
+    estimate_rule,
+    rank_guards,
+)
+from .fixpoint import EngineName, EvaluationResult, apply_once, evaluate
+from .incremental import MaintenanceStats, MaterializedView
+from .joins import fire_rule, match_body, plan_order
+from .magic import Adornment, MagicRewriting, answer_query, magic_transform
+from .naive import naive_fixpoint
+from .provenance import (
+    Justification,
+    ProofNode,
+    ProvenanceResult,
+    derivation_tree,
+    evaluate_with_provenance,
+    explain,
+)
+from .seminaive import seminaive_fixpoint
+from .stats import EvaluationStats
+from .stratified import Stratification, evaluate_stratified, stratify
+from .supplementary import answer_query_supplementary, supplementary_magic_transform
+from .topdown import Call, TabledResult, tabled_query
+
+__all__ = [
+    "Adornment",
+    "Call",
+    "EngineName",
+    "EvaluationResult",
+    "EvaluationStats",
+    "JoinEstimate",
+    "Justification",
+    "MaintenanceStats",
+    "MagicRewriting",
+    "MaterializedView",
+    "PredicateStatistics",
+    "ProofNode",
+    "ProvenanceResult",
+    "Stratification",
+    "TabledResult",
+    "derivation_tree",
+    "evaluate_with_provenance",
+    "explain",
+    "answer_query",
+    "answer_query_supplementary",
+    "apply_once",
+    "collect_statistics",
+    "evaluate",
+    "estimate_guard_benefit",
+    "estimate_rule",
+    "evaluate_stratified",
+    "fire_rule",
+    "magic_transform",
+    "match_body",
+    "naive_fixpoint",
+    "plan_order",
+    "rank_guards",
+    "seminaive_fixpoint",
+    "stratify",
+    "supplementary_magic_transform",
+    "tabled_query",
+]

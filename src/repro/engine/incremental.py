@@ -1,0 +1,200 @@
+"""Incremental maintenance of materialized Datalog views (DRed).
+
+A database system that materializes a program's IDB must maintain it as
+the EDB changes.  Insertions are easy -- semi-naive evaluation seeded
+with the new facts.  Deletions are the classic hard case, solved by
+Gupta--Mumick--Subrahmanian's *delete-and-rederive* (DRed):
+
+1. **over-delete**: remove every fact with *some* derivation using a
+   deleted fact (computed as a delta fixpoint over the rules);
+2. **rederive**: re-prove over-deleted facts that still have an
+   alternative derivation from the surviving database;
+3. the net deletions are the over-deleted facts that failed step 2.
+
+:class:`MaterializedView` wraps a program plus its computed database
+and offers ``insert`` / ``delete`` with counters, asserting nothing
+about negation (positive programs only -- the stratified extension
+would maintain per-stratum, which is out of scope here).
+
+Protected facts: facts present in the *base* (given) database are never
+deleted by maintenance unless explicitly deleted themselves, matching
+the paper's convention that the EDB-part of the output equals the
+input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.database import Database
+from ..errors import GroundnessError, UnsafeRuleError
+from ..lang.atoms import Atom
+from ..lang.programs import Program
+from .joins import fire_rule, match_body
+from .stats import EvaluationStats
+
+
+@dataclass
+class MaintenanceStats:
+    """Work counters for one maintenance operation."""
+
+    inserted: int = 0
+    deleted: int = 0
+    overdeleted: int = 0
+    rederived: int = 0
+
+
+class MaterializedView:
+    """A program's output kept up to date under fact insertions/deletions."""
+
+    def __init__(self, program: Program, base: Database):
+        if not program.is_positive:
+            raise UnsafeRuleError("incremental maintenance requires a positive program")
+        from .fixpoint import evaluate
+
+        self.program = program
+        #: The *given* facts (EDB plus any initial IDB facts): protected.
+        self._base = base.copy()
+        self._materialized = evaluate(program, base).database
+
+    # -- read access ---------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The maintained output (do not mutate; use insert/delete)."""
+        return self._materialized
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._materialized
+
+    def __len__(self) -> int:
+        return len(self._materialized)
+
+    # -- insertions ----------------------------------------------------------
+    def insert(self, atom: Atom) -> MaintenanceStats:
+        """Add one given fact and propagate its consequences."""
+        return self.insert_all([atom])
+
+    def insert_all(self, atoms) -> MaintenanceStats:
+        """Add several given facts; one semi-naive propagation pass."""
+        stats = MaintenanceStats()
+        delta = Database()
+        for atom in atoms:
+            if not atom.is_ground:
+                raise GroundnessError(f"cannot insert non-ground atom {atom}")
+            self._base.add(atom)
+            if self._materialized.add(atom):
+                delta.add(atom)
+                stats.inserted += 1
+        work = EvaluationStats()
+        while delta:
+            new_delta = Database()
+            for rule in self.program.rules:
+                if rule.is_fact:
+                    continue
+                for position, literal in enumerate(rule.body):
+                    if delta.count(literal.predicate) == 0:
+                        continue
+                    derived = fire_rule(
+                        self._materialized,
+                        rule.head,
+                        rule.body,
+                        stats=work,
+                        source_for={position: delta},
+                    )
+                    for fact in derived:
+                        if fact not in self._materialized and fact not in new_delta:
+                            new_delta.add(fact)
+            stats.inserted += self._materialized.update(new_delta)
+            delta = new_delta
+        return stats
+
+    # -- deletions -----------------------------------------------------------
+    def delete(self, atom: Atom) -> MaintenanceStats:
+        """Remove one given fact, DRed-maintaining the consequences."""
+        return self.delete_all([atom])
+
+    def delete_all(self, atoms) -> MaintenanceStats:
+        """Remove several given facts (delete-and-rederive)."""
+        stats = MaintenanceStats()
+        seed = Database()
+        for atom in atoms:
+            if self._base.discard(atom):
+                seed.add(atom)
+        if not seed:
+            return stats
+
+        # Step 1: over-delete everything with a derivation through a
+        # deleted fact.
+        overdeleted = self._overdelete(seed)
+        stats.overdeleted = len(overdeleted)
+
+        survivor = self._materialized.copy()
+        survivor.discard_all(overdeleted.atoms())
+
+        # Step 2: rederive from the surviving database plus the
+        # protected base facts that were not themselves deleted.
+        rederived = self._rederive(overdeleted, survivor)
+        stats.rederived = len(rederived)
+
+        stats.deleted = len(overdeleted) - len(rederived)
+        self._materialized = survivor
+        self._materialized.update(rederived)
+        return stats
+
+    def _overdelete(self, seed: Database) -> Database:
+        """Facts with some derivation using a seed fact (incl. the seed)."""
+        overdeleted = seed.copy()
+        delta = seed.copy()
+        work = EvaluationStats()
+        while delta:
+            new_delta = Database()
+            for rule in self.program.rules:
+                if rule.is_fact:
+                    continue
+                for position, literal in enumerate(rule.body):
+                    if delta.count(literal.predicate) == 0:
+                        continue
+                    derived = fire_rule(
+                        self._materialized,
+                        rule.head,
+                        rule.body,
+                        stats=work,
+                        source_for={position: delta},
+                    )
+                    for fact in derived:
+                        # Base facts not explicitly deleted are protected.
+                        if fact in self._base:
+                            continue
+                        if fact not in overdeleted:
+                            new_delta.add(fact)
+            overdeleted.update(new_delta)
+            delta = new_delta
+        return overdeleted
+
+    def _rederive(self, overdeleted: Database, survivor: Database) -> Database:
+        """Over-deleted facts still derivable from the survivors."""
+        rederived = Database()
+        changed = True
+        work = EvaluationStats()
+        current = survivor.copy()
+        while changed:
+            changed = False
+            for rule in self.program.rules:
+                if rule.is_fact:
+                    if rule.head in overdeleted and rule.head not in rederived:
+                        rederived.add(rule.head)
+                        current.add(rule.head)
+                        changed = True
+                    continue
+                # Collect first, apply after: the match iterates over
+                # `current`, which must not grow mid-scan.
+                found: list[Atom] = []
+                for bindings in match_body(current, rule.body, stats=work):
+                    fact = rule.head.substitute(bindings)
+                    if fact in overdeleted and fact not in rederived:
+                        found.append(fact)
+                for fact in found:
+                    if rederived.add(fact):
+                        current.add(fact)
+                        changed = True
+        return rederived

@@ -1,0 +1,42 @@
+"""Naive bottom-up evaluation.
+
+Section III: "Computing the output by repeatedly instantiating rules,
+until no new ground atoms can be generated, is known as bottom-up
+computation.  For a fixed program, this method runs in polynomial time
+in the size of the EDB."
+
+The naive engine re-derives everything every iteration; it exists as the
+correctness baseline and as the slow end of the Q7 engine benchmark.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..errors import UnsafeRuleError
+from ..lang.programs import Program
+from .fixpoint import EvaluationResult
+from .joins import fire_rule
+from .stats import EvaluationStats
+
+
+def naive_fixpoint(program: Program, db: Database) -> EvaluationResult:
+    """Iterate all rules over the full database until nothing is new."""
+    if not program.is_positive:
+        raise UnsafeRuleError(
+            "naive evaluation requires a positive program; "
+            "use repro.engine.stratified for programs with negation"
+        )
+    stats = EvaluationStats()
+    stats.start()
+    result = db.copy()
+    changed = True
+    while changed:
+        stats.iterations += 1
+        changed = False
+        for rule in program.rules:
+            for atom in fire_rule(result, rule.head, rule.body, stats=stats):
+                if result.add(atom):
+                    stats.facts_derived += 1
+                    changed = True
+    stats.stop()
+    return EvaluationResult(result, stats)

@@ -1,0 +1,110 @@
+"""Semi-naive bottom-up evaluation.
+
+The standard differential fixpoint: a rule can only derive a genuinely
+new fact if at least one of its body subgoals matches a fact derived in
+the *previous* iteration (the delta).  For each rule and each body
+position, a variant is evaluated in which that position is forced onto
+the delta relation and the others read the full database.
+
+Correctness note: using the full database (rather than the pre-delta
+snapshot) for non-delta positions can re-derive a fact through more than
+one delta position in the same round; set semantics absorbs the
+duplicates, so the result is identical to the naive engine -- only the
+constant factor differs.  The Q7 benchmark quantifies the remaining gap
+to the naive engine.
+
+In the first round the delta is the entire input database, which makes
+initial IDB facts (Section III's generalized inputs) participate
+correctly.
+"""
+
+from __future__ import annotations
+
+from ..data.database import Database
+from ..errors import UnsafeRuleError
+from ..lang.atoms import Atom
+from ..lang.programs import Program
+from .fixpoint import EvaluationResult
+from .joins import fire_rule, plan_order
+from .stats import EvaluationStats
+
+
+def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
+    """Compute ``P(db)`` with differential iteration."""
+    if not program.is_positive:
+        raise UnsafeRuleError(
+            "semi-naive evaluation requires a positive program; "
+            "use repro.engine.stratified for programs with negation"
+        )
+    stats = EvaluationStats()
+    stats.start()
+    full = db.copy()
+    #: (rule, delta position) -> cached join order.  Greedy planning
+    #: depends only on relation sizes (for tie-breaks), so one plan per
+    #: variant amortizes across all iterations.
+    plans: dict[tuple[int, int], list[int]] = {}
+
+    # Round 0: fire ground facts (empty bodies) and seed the delta with
+    # the whole input, so every rule sees the input as "new".
+    delta = db.copy()
+    stats.iterations += 1
+    for rule in program.rules:
+        if rule.is_fact:
+            if full.add(rule.head):
+                stats.facts_derived += 1
+                delta.add(rule.head)
+
+    while delta:
+        stats.iterations += 1
+        new_delta = Database()
+        for rule_index, rule in enumerate(program.rules):
+            if rule.is_fact:
+                continue
+            derived = _fire_rule_seminaive(
+                rule.head, rule, full, delta, stats, plans, rule_index
+            )
+            for atom in derived:
+                if atom not in full and atom not in new_delta:
+                    new_delta.add(atom)
+        stats.facts_derived += full.update(new_delta)
+        delta = new_delta
+    stats.stop()
+    return EvaluationResult(full, stats)
+
+
+def _fire_rule_seminaive(
+    head: Atom,
+    rule,
+    full: Database,
+    delta: Database,
+    stats: EvaluationStats,
+    plans: dict[tuple[int, int], list[int]],
+    rule_index: int,
+) -> set[Atom]:
+    """Union of the rule's delta-variants for this iteration."""
+    derived: set[Atom] = set()
+    body = rule.body
+    head_vars = frozenset(head.variables())
+    for position, literal in enumerate(body):
+        if not literal.positive:
+            continue
+        if delta.count(literal.predicate) == 0:
+            continue
+        key = (rule_index, position)
+        order = plans.get(key)
+        if order is None:
+            order = plan_order(
+                body, full, prefer_vars=head_vars, first=position
+            )
+            plans[key] = order
+        derived.update(
+            fire_rule(
+                full,
+                head,
+                body,
+                stats=stats,
+                source_for={position: delta},
+                order=order,
+            )
+        )
+    return derived

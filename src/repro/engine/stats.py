@@ -1,0 +1,53 @@
+"""Evaluation statistics.
+
+The paper's motivation for minimization is that "removing redundant
+parts ... reduces the number of joins done during the evaluation"
+(Section I).  To make that claim measurable, every fixpoint run records
+its join work:
+
+* ``iterations`` -- rounds of the fixpoint loop,
+* ``rule_firings`` -- successful body matches (one per derived head
+  instantiation, including duplicates),
+* ``subgoal_attempts`` -- body-atom match attempts during join search
+  (the dominant cost driver; proportional to join work),
+* ``facts_derived`` -- new atoms added to the database,
+* ``elapsed`` -- wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EvaluationStats:
+    """Mutable counters filled in by the engines."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    subgoal_attempts: int = 0
+    facts_derived: int = 0
+    elapsed: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        self.elapsed = time.perf_counter() - self._started
+
+    def merge(self, other: "EvaluationStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.iterations += other.iterations
+        self.rule_firings += other.rule_firings
+        self.subgoal_attempts += other.subgoal_attempts
+        self.facts_derived += other.facts_derived
+        self.elapsed += other.elapsed
+
+    def summary(self) -> str:
+        return (
+            f"iterations={self.iterations} firings={self.rule_firings} "
+            f"subgoals={self.subgoal_attempts} derived={self.facts_derived} "
+            f"elapsed={self.elapsed * 1000:.2f}ms"
+        )

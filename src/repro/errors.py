@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ``repro`` Datalog optimization library.
+
+Every error deliberately raised by the library derives from
+:class:`ReproError`, so downstream users can catch a single base class.
+Errors are grouped by the stage that raises them:
+
+* language / validation errors (:class:`ParseError`,
+  :class:`UnsafeRuleError`, :class:`ArityError`, ...),
+* evaluation errors (:class:`StratificationError`),
+* resource errors raised by the semi-decidable chase procedures
+  (:class:`BudgetExceededError`) -- note that most chase entry points
+  prefer returning a three-valued outcome over raising; the exception is
+  only used by the low-level ``chase`` driver when asked to raise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when Datalog or tgd source text cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token
+    when available, so tools can point at the failure location.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ValidationError(ReproError):
+    """Base class for structural problems in programs, rules, or tgds."""
+
+
+class UnsafeRuleError(ValidationError):
+    """A rule violates the range-restriction (safety) requirement.
+
+    The paper assumes every variable in the head of a rule also appears
+    in the body; for the stratified-negation extension, variables of
+    negated literals must also occur in some positive body atom.
+    """
+
+
+class ArityError(ValidationError):
+    """The same predicate is used with two different arities."""
+
+
+class GroundnessError(ValidationError):
+    """An operation that requires ground atoms received a non-ground one.
+
+    For example, adding a fact with variables to a database.
+    """
+
+
+class TgdError(ValidationError):
+    """A tuple-generating dependency is structurally malformed.
+
+    For example, an empty left- or right-hand side.
+    """
+
+
+class StratificationError(ReproError):
+    """The program uses negation through recursion and cannot be stratified."""
+
+
+class BudgetExceededError(ReproError):
+    """A chase run exhausted its step/null/fact budget.
+
+    Most public procedures catch this internally and report an
+    ``UNKNOWN`` outcome instead; it escapes only from low-level drivers
+    invoked with ``on_budget='raise'``.
+    """

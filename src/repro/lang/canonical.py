@@ -1,0 +1,99 @@
+"""Canonical forms: variable normalization and rule/program isomorphism.
+
+Section VII notes that the result of minimization "is not necessarily
+unique (i.e., it may depend upon the order in which atoms and rules are
+considered)" -- but distinct outputs are often the *same rule up to
+variable renaming*.  Comparing optimizer outputs, deduplicating rule
+sets, and caching containment results all need equality modulo renaming,
+which this module provides:
+
+* :func:`canonicalize_rule` -- rename variables to ``v0, v1, ...`` in
+  first-occurrence order (head first, then body left to right);
+  two rules are *renamings* of each other iff their canonical forms are
+  equal.
+* :func:`rules_isomorphic` / :func:`programs_isomorphic` -- equality
+  modulo variable renaming (for programs: as multisets of canonical
+  rules; body-literal order still matters, as it does everywhere else
+  in the library).
+* :func:`canonicalize_program` -- canonicalize every rule and sort
+  deterministically, giving a normal form usable as a cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .atoms import Literal
+from .programs import Program
+from .rules import Rule
+from .terms import Term, Variable
+
+
+def _occurrence_order(rule: Rule) -> Iterator[Term]:
+    yield from rule.head.args
+    for literal in rule.body:
+        yield from literal.atom.args
+
+
+def canonical_renaming(rule: Rule) -> dict[Variable, Variable]:
+    """The renaming onto ``v0, v1, ...`` in first-occurrence order."""
+    mapping: dict[Variable, Variable] = {}
+    for term in _occurrence_order(rule):
+        if isinstance(term, Variable) and term not in mapping:
+            mapping[term] = Variable(f"v{len(mapping)}")
+    return mapping
+
+
+def canonicalize_rule(rule: Rule) -> Rule:
+    """The rule with variables renamed to the canonical ``v<i>`` scheme.
+
+    Canonicalization is idempotent, and two rules have equal canonical
+    forms iff one is a variable-renaming of the other.
+    """
+    return rule.substitute(canonical_renaming(rule))
+
+
+def rules_isomorphic(left: Rule, right: Rule) -> bool:
+    """Equality modulo variable renaming (atom order still significant)."""
+    return canonicalize_rule(left) == canonicalize_rule(right)
+
+
+def canonicalize_program(program: Program) -> Program:
+    """Canonicalize each rule and order rules deterministically.
+
+    The result is a normal form: programs that differ only in variable
+    names and rule order canonicalize identically.  Note that canonical
+    forms may merge rules that become syntactically equal.
+    """
+    canonical = sorted((canonicalize_rule(r) for r in program.rules), key=str)
+    return Program(canonical)
+
+
+def programs_isomorphic(left: Program, right: Program) -> bool:
+    """Whether two programs are equal modulo variable renaming and rule order."""
+    return canonicalize_program(left) == canonicalize_program(right)
+
+
+def modulo_body_order(rule: Rule) -> Rule:
+    """A body-order-insensitive canonical form.
+
+    Sorts body literals by their rendering *after* canonicalizing, then
+    re-canonicalizes so the variable numbering matches the new order.
+    Fixed point is reached in a bounded number of alternations; two
+    rules that differ only in body order and variable names usually --
+    though not always, since sorting keys depend on the interim
+    numbering -- normalize identically.  Use for deduplication
+    heuristics, not as a decision procedure (rule isomorphism modulo
+    body order is GI-hard in general).
+    """
+    current = canonicalize_rule(rule)
+    for _ in range(4):
+        reordered = Rule(
+            current.head,
+            sorted(current.body, key=lambda lit: (lit.predicate, str(lit))),
+        )
+        renamed = canonicalize_rule(reordered)
+        if renamed == current:
+            break
+        current = renamed
+    return current

@@ -1,0 +1,81 @@
+"""Freezing rules into canonical databases (Section VI).
+
+To test whether a single rule ``r = h :- b`` is uniformly contained in a
+program ``P``, the paper instantiates the variables of ``r`` to
+*distinct constants not already in r* (the substitution ``θ``), turning
+the body into a canonical database ``bθ``; then ``r ⊑u P`` holds iff
+``hθ ∈ P(bθ)`` (Corollary 2).
+
+:func:`freeze_rule` performs exactly this construction using
+:class:`~repro.lang.terms.FrozenConstant` terms, which can never collide
+with constants that occur in the rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .atoms import Atom
+from .rules import Rule
+from .substitution import Substitution
+from .terms import FrozenConstant, Variable
+
+
+@dataclass(frozen=True)
+class FrozenRule:
+    """The outcome of freezing a rule.
+
+    Attributes:
+        head: the frozen (ground) head ``hθ``.
+        body: the frozen (ground) body atoms ``bθ`` in original order.
+        theta: the freezing substitution ``θ`` (variables to frozen
+            constants), kept for producing readable transcripts.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+    theta: Substitution
+
+    def unfreeze(self) -> Substitution:
+        """The inverse mapping as a plain dict-backed substitution.
+
+        Only meaningful for display purposes: frozen constants map back
+        to the variables they stand for.
+        """
+        inverse = {}
+        for var, const in self.theta.items():
+            inverse[const] = var
+        return inverse  # type: ignore[return-value]
+
+
+def freeze_rule(rule: Rule, serial: int = 0) -> FrozenRule:
+    """Freeze *rule*'s variables to distinct fresh constants.
+
+    Each variable ``x`` maps to ``FrozenConstant(x.name, serial)`` -- the
+    paper's ``x0``.  Pass a different *serial* when several independent
+    freezings must coexist in one database.
+
+    Only positive rules can be frozen (the paper's procedures apply to
+    positive programs).
+    """
+    mapping = {
+        var: FrozenConstant(var.name, serial)
+        for var in sorted(rule.variables(), key=lambda v: v.name)
+    }
+    theta = Substitution(mapping)
+    body = tuple(theta.apply_atom(atom) for atom in rule.body_atoms())
+    head = theta.apply_atom(rule.head)
+    return FrozenRule(head=head, body=body, theta=theta)
+
+
+def freeze_atoms(atoms: tuple[Atom, ...], serial: int = 0) -> tuple[tuple[Atom, ...], Substitution]:
+    """Freeze a conjunction of atoms (used for tgd left-hand sides).
+
+    Returns the frozen atoms and the substitution used.
+    """
+    variables: set[Variable] = set()
+    for atom in atoms:
+        variables.update(atom.variables())
+    mapping = {var: FrozenConstant(var.name, serial) for var in sorted(variables, key=lambda v: v.name)}
+    theta = Substitution(mapping)
+    return tuple(theta.apply_atom(a) for a in atoms), theta

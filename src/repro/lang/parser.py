@@ -1,0 +1,260 @@
+"""Parser for Datalog programs and tuple-generating dependencies.
+
+The concrete syntax follows the paper's conventions:
+
+* **predicates** are identifiers beginning with an uppercase letter:
+  ``G``, ``Anc``;
+* **variables** are identifiers beginning with a lowercase letter or
+  underscore: ``x``, ``y1``, ``w``;
+* **constants** are integers (``3``, ``-10``) or quoted strings
+  (``'alice'``);
+* a **rule** is ``Head :- Atom, ..., Atom.`` and a **fact** is a ground
+  atom followed by ``.``;
+* a **negated literal** (stratified extension only) is written
+  ``not Atom`` or ``!Atom``;
+* a **tgd** is ``Atom, ... -> Atom & Atom`` -- commas and ``&`` are
+  interchangeable conjunction separators on both sides (the paper
+  writes the right-hand side with ``∧``);
+* comments run from ``%`` or ``#`` to the end of the line.
+
+Example::
+
+    % transitive closure (paper, Example 1)
+    G(x, z) :- A(x, z).
+    G(x, z) :- G(x, y), G(y, z).
+
+All entry points raise :class:`~repro.errors.ParseError` with a line and
+column on malformed input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+from .atoms import Atom, Literal
+from .programs import Program
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>[%\#][^\n]*)
+  | (?P<arrow>->)
+  | (?P<implies>:-)
+  | (?P<int>-?\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),.&!])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens, skipping whitespace and comments.
+
+    Raises :class:`ParseError` on any character outside the grammar.
+    """
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, column)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "ws":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        elif kind != "comment":
+            yield Token(kind, text, line, pos - line_start + 1)
+        pos = match.end()
+    yield Token("eof", "", line, pos - line_start + 1)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self.tokens = list(tokenize(source))
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r} but found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def at_punct(self, text: str) -> bool:
+        return self.current.kind == "punct" and self.current.text == text
+
+    def accept_punct(self, text: str) -> bool:
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return Constant(int(token.text))
+        if token.kind == "string":
+            self.advance()
+            raw = token.text[1:-1]
+            return Constant(raw.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "name":
+            self.advance()
+            if token.text[0].isupper():
+                raise ParseError(
+                    f"{token.text!r} starts uppercase (a predicate name) where a term is expected; "
+                    "variables start lowercase, symbolic constants are quoted",
+                    token.line,
+                    token.column,
+                )
+            return Variable(token.text)
+        raise ParseError(
+            f"expected a term but found {token.text or 'end of input'!r}", token.line, token.column
+        )
+
+    def parse_atom(self) -> Atom:
+        token = self.expect("name")
+        if not token.text[0].isupper():
+            raise ParseError(
+                f"predicate names start with an uppercase letter, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        self.expect("punct", "(")
+        args: list[Term] = []
+        if not self.at_punct(")"):
+            args.append(self.parse_term())
+            while self.accept_punct(","):
+                args.append(self.parse_term())
+        self.expect("punct", ")")
+        return Atom(token.text, tuple(args))
+
+    def parse_literal(self) -> Literal:
+        if self.current.kind == "name" and self.current.text == "not":
+            self.advance()
+            return Literal(self.parse_atom(), positive=False)
+        if self.accept_punct("!"):
+            return Literal(self.parse_atom(), positive=False)
+        return Literal(self.parse_atom())
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Literal] = []
+        if self.current.kind == "implies":
+            self.advance()
+            body.append(self.parse_literal())
+            while self.accept_punct(","):
+                body.append(self.parse_literal())
+        self.expect("punct", ".")
+        return Rule(head, body)
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while self.current.kind != "eof":
+            rules.append(self.parse_rule())
+        return Program(rules)
+
+    def parse_conjunction(self) -> list[Atom]:
+        atoms = [self.parse_atom()]
+        while self.accept_punct(",") or self.accept_punct("&"):
+            atoms.append(self.parse_atom())
+        return atoms
+
+    def parse_tgd(self):
+        from ..core.tgds import Tgd
+
+        lhs = self.parse_conjunction()
+        self.expect("arrow")
+        rhs = self.parse_conjunction()
+        self.accept_punct(".")
+        return Tgd(tuple(lhs), tuple(rhs))
+
+    def parse_tgds(self):
+        out = []
+        while self.current.kind != "eof":
+            out.append(self.parse_tgd())
+        return out
+
+    def finish(self) -> None:
+        token = self.current
+        if token.kind != "eof":
+            raise ParseError(f"trailing input {token.text!r}", token.line, token.column)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole program (zero or more rules/facts)."""
+    parser = _Parser(source)
+    program = parser.parse_program()
+    parser.finish()
+    return program
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse exactly one rule or fact."""
+    parser = _Parser(source)
+    rule = parser.parse_rule()
+    parser.finish()
+    return rule
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse exactly one atom (no trailing period)."""
+    parser = _Parser(source)
+    atom = parser.parse_atom()
+    parser.finish()
+    return atom
+
+
+def parse_tgd(source: str):
+    """Parse one tgd, e.g. ``G(x, z) -> A(x, w)``."""
+    parser = _Parser(source)
+    tgd = parser.parse_tgd()
+    parser.finish()
+    return tgd
+
+
+def parse_tgds(source: str):
+    """Parse a sequence of tgds (each optionally ``.``-terminated)."""
+    parser = _Parser(source)
+    tgds = parser.parse_tgds()
+    parser.finish()
+    return tgds

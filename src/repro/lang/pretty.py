@@ -1,0 +1,71 @@
+"""Pretty-printing helpers.
+
+``str()`` on any AST object already produces parseable source text; this
+module adds multi-line formatting, alignment, and round-trip helpers
+used by the CLI, the examples, and EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from .atoms import Atom
+from .programs import Program
+from .rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.tgds import Tgd
+    from ..data.database import Database
+
+
+def format_atom(atom: Atom) -> str:
+    """Render one atom, identical to ``str(atom)``."""
+    return str(atom)
+
+
+def format_rule(rule: Rule, align_at: int | None = None) -> str:
+    """Render one rule; optionally pad the head to *align_at* columns."""
+    if not rule.body:
+        return f"{rule.head}."
+    head = str(rule.head)
+    if align_at is not None:
+        head = head.ljust(align_at)
+    inner = ", ".join(str(lit) for lit in rule.body)
+    return f"{head} :- {inner}."
+
+
+def format_program(program: Program, align: bool = True) -> str:
+    """Render a program one rule per line, heads column-aligned.
+
+    The output is valid input for :func:`repro.lang.parser.parse_program`.
+    """
+    if not program.rules:
+        return ""
+    width = max(len(str(r.head)) for r in program.rules) if align else None
+    return "\n".join(format_rule(r, width) for r in program.rules)
+
+
+def format_tgd(tgd: "Tgd") -> str:
+    """Render a tgd as ``LHS -> RHS`` with ``&``-joined conjunctions."""
+    lhs = ", ".join(str(a) for a in tgd.lhs)
+    rhs = " & ".join(str(a) for a in tgd.rhs)
+    return f"{lhs} -> {rhs}"
+
+
+def format_atoms(atoms: Iterable[Atom], sort: bool = True) -> str:
+    """Render a set of ground atoms as ``{A(1,2), G(1,4), ...}``."""
+    items = list(atoms)
+    if sort:
+        items.sort(key=lambda a: a.sort_key())
+    inner = ", ".join(str(a) for a in items)
+    return "{" + inner + "}"
+
+
+def format_database(db: "Database", sort: bool = True) -> str:
+    """Render a database grouped by predicate, one predicate per line."""
+    lines = []
+    for pred in sorted(db.predicates):
+        atoms = sorted(db.atoms_for(pred), key=lambda a: a.sort_key()) if sort else db.atoms_for(pred)
+        inner = ", ".join(str(a) for a in atoms)
+        lines.append(f"{pred}: {inner}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Predicate renaming and program namespacing.
+
+Composition utilities for working with several programs at once:
+renaming predicates (with collision checks), prefixing a whole program
+into a namespace, and merging programs whose predicate vocabularies
+must stay disjoint.  Used by tooling and tests; the complement encoding
+of :mod:`repro.core.stratified_opt` and the seed construction of
+:mod:`repro.core.reductions` are specialized instances of the same
+idea.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ValidationError
+from .atoms import Atom, Literal
+from .programs import Program
+from .rules import Rule
+
+
+def rename_predicates(program: Program, mapping: Mapping[str, str]) -> Program:
+    """Rename predicates throughout *program* according to *mapping*.
+
+    Unmapped predicates pass through.  Raises
+    :class:`~repro.errors.ValidationError` if the renaming would merge
+    two previously distinct predicates (including mapping onto an
+    existing unmapped name) -- silent merges change semantics.
+    """
+    targets: dict[str, str] = {}
+    for pred in program.predicates:
+        new = mapping.get(pred, pred)
+        for existing_old, existing_new in targets.items():
+            if existing_new == new and existing_old != pred:
+                raise ValidationError(
+                    f"renaming merges predicates {existing_old!r} and {pred!r} into {new!r}"
+                )
+        targets[pred] = new
+
+    def rename_atom(atom: Atom) -> Atom:
+        return Atom(targets.get(atom.predicate, atom.predicate), atom.args)
+
+    rules = [
+        Rule(
+            rename_atom(rule.head),
+            [Literal(rename_atom(lit.atom), lit.positive) for lit in rule.body],
+        )
+        for rule in program.rules
+    ]
+    return Program(rules)
+
+
+def namespace(program: Program, prefix: str) -> Program:
+    """Prefix every predicate with ``<prefix>_`` (capitalization kept).
+
+    The prefix must itself start with an uppercase letter so the result
+    still parses under the paper's naming convention.
+    """
+    if not prefix or not prefix[0].isupper():
+        raise ValidationError(
+            f"namespace prefix {prefix!r} must start with an uppercase letter"
+        )
+    mapping = {pred: f"{prefix}_{pred}" for pred in program.predicates}
+    return rename_predicates(program, mapping)
+
+
+def merge_disjoint(*programs: Program) -> Program:
+    """Union of programs whose predicate sets must not overlap.
+
+    Raises :class:`~repro.errors.ValidationError` on any shared
+    predicate; use :func:`namespace` first when overlap is intended to
+    be kept apart, or ``Program.union`` when sharing is intended.
+    """
+    seen: dict[str, int] = {}
+    for index, program in enumerate(programs):
+        for pred in program.predicates:
+            if pred in seen:
+                raise ValidationError(
+                    f"programs #{seen[pred]} and #{index} both use predicate {pred!r}; "
+                    "namespace them or use Program.union for intentional sharing"
+                )
+            seen[pred] = index
+    merged: tuple[Rule, ...] = ()
+    for program in programs:
+        merged = merged + program.rules
+    return Program(merged)

@@ -1,0 +1,163 @@
+"""JSON-serializable representations of programs, rules, and databases.
+
+Tooling around the optimizer (result caches, experiment manifests,
+cross-process pipelines) needs a stable interchange format.  The schema
+is deliberately simple and versioned:
+
+* a term is ``{"var": name}``, ``{"int": n}``, ``{"str": s}``,
+  ``{"null": id}`` or ``{"frozen": [name, serial]}``;
+* an atom is ``{"pred": name, "args": [term, ...]}``;
+* a literal adds ``"neg": true`` when negated;
+* a rule is ``{"head": atom, "body": [literal, ...]}``;
+* a program is ``{"format": 1, "rules": [rule, ...]}``;
+* a database is ``{"format": 1, "facts": {pred: [[term, ...], ...]}}``.
+
+Round-trip guarantees are covered by tests; unknown keys raise
+:class:`~repro.errors.ValidationError` so schema drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - break the lang -> data import cycle
+    from ..data.database import Database
+from .atoms import Atom, Literal
+from .programs import Program
+from .rules import Rule
+from .terms import Constant, FrozenConstant, Null, Term, Variable
+
+FORMAT_VERSION = 1
+
+
+# -- terms ----------------------------------------------------------------------
+def term_to_dict(term: Term) -> dict[str, Any]:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        key = "int" if isinstance(term.value, int) else "str"
+        return {key: term.value}
+    if isinstance(term, Null):
+        return {"null": term.ident}
+    if isinstance(term, FrozenConstant):
+        return {"frozen": [term.name, term.serial]}
+    raise ValidationError(f"cannot serialize term {term!r}")
+
+
+def term_from_dict(data: dict[str, Any]) -> Term:
+    if len(data) != 1:
+        raise ValidationError(f"malformed term object: {data!r}")
+    ((key, value),) = data.items()
+    if key == "var":
+        return Variable(value)
+    if key == "int":
+        return Constant(int(value))
+    if key == "str":
+        return Constant(str(value))
+    if key == "null":
+        return Null(int(value))
+    if key == "frozen":
+        name, serial = value
+        return FrozenConstant(name, int(serial))
+    raise ValidationError(f"unknown term kind {key!r}")
+
+
+# -- atoms / literals / rules -----------------------------------------------------
+def atom_to_dict(atom: Atom) -> dict[str, Any]:
+    return {"pred": atom.predicate, "args": [term_to_dict(t) for t in atom.args]}
+
+
+def atom_from_dict(data: dict[str, Any]) -> Atom:
+    try:
+        pred = data["pred"]
+        args = data["args"]
+    except KeyError as missing:
+        raise ValidationError(f"atom object missing key {missing}") from None
+    return Atom(pred, tuple(term_from_dict(t) for t in args))
+
+
+def literal_to_dict(literal: Literal) -> dict[str, Any]:
+    out = atom_to_dict(literal.atom)
+    if not literal.positive:
+        out["neg"] = True
+    return out
+
+
+def literal_from_dict(data: dict[str, Any]) -> Literal:
+    negated = bool(data.get("neg", False))
+    atom = atom_from_dict({k: v for k, v in data.items() if k != "neg"})
+    return Literal(atom, positive=not negated)
+
+
+def rule_to_dict(rule: Rule) -> dict[str, Any]:
+    return {
+        "head": atom_to_dict(rule.head),
+        "body": [literal_to_dict(lit) for lit in rule.body],
+    }
+
+
+def rule_from_dict(data: dict[str, Any]) -> Rule:
+    return Rule(
+        atom_from_dict(data["head"]),
+        [literal_from_dict(lit) for lit in data.get("body", [])],
+    )
+
+
+# -- programs ------------------------------------------------------------------------
+def program_to_dict(program: Program) -> dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "rules": [rule_to_dict(r) for r in program.rules],
+    }
+
+
+def program_from_dict(data: dict[str, Any]) -> Program:
+    _check_format(data)
+    return Program([rule_from_dict(r) for r in data.get("rules", [])])
+
+
+def program_to_json(program: Program, indent: int | None = None) -> str:
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def program_from_json(text: str) -> Program:
+    return program_from_dict(json.loads(text))
+
+
+# -- databases ----------------------------------------------------------------------
+def database_to_dict(db: "Database") -> dict[str, Any]:
+    facts: dict[str, list[list[dict[str, Any]]]] = {}
+    for pred in sorted(db.predicates):
+        rows = sorted(db.tuples(pred), key=lambda row: [str(t) for t in row])
+        facts[pred] = [[term_to_dict(t) for t in row] for row in rows]
+    return {"format": FORMAT_VERSION, "facts": facts}
+
+
+def database_from_dict(data: dict[str, Any]) -> "Database":
+    from ..data.database import Database
+
+    _check_format(data)
+    db = Database()
+    for pred, rows in data.get("facts", {}).items():
+        for row in rows:
+            db._add_row(pred, tuple(term_from_dict(t) for t in row))
+    return db
+
+
+def database_to_json(db: "Database", indent: int | None = None) -> str:
+    return json.dumps(database_to_dict(db), indent=indent)
+
+
+def database_from_json(text: str) -> "Database":
+    return database_from_dict(json.loads(text))
+
+
+def _check_format(data: dict[str, Any]) -> None:
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported serialization format {version!r}; this build reads format {FORMAT_VERSION}"
+        )

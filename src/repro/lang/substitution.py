@@ -1,0 +1,206 @@
+"""Substitutions, matching and unification.
+
+Three related operations appear throughout the paper:
+
+* **instantiation** -- applying a substitution that maps variables to
+  ground terms (Section III: rules deduce facts by instantiating their
+  variables to constants);
+
+* **matching** -- one-way unification of a pattern atom (with
+  variables) against a ground fact; this is the inner step of bottom-up
+  evaluation and of tgd-violation search;
+
+* **unification** -- two-way, as used in the Fig. 3 preservation
+  procedure ("unify each atom with the head of the rule chosen for
+  it").  Since there are no function symbols, unification is a simple
+  variable-binding walk; no occurs check is needed beyond
+  variable-to-variable chains.
+
+:class:`Substitution` is a persistent (immutable) mapping: ``bind``
+returns an extended copy, which makes backtracking joins and chase
+search trivially correct.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .terms import Term, Variable
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Supports the usual mapping protocol plus :meth:`bind` /
+    :meth:`bind_many` (functional extension), :meth:`apply_term` /
+    :meth:`apply_atom` (application), and :meth:`compose`.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] | None = None):
+        self._map: dict[Variable, Term] = dict(mapping) if mapping else {}
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: Variable) -> Term:
+        return self._map[key]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Substitution):
+            return self._map == other._map
+        if isinstance(other, Mapping):
+            return self._map == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(self._map.items(), key=lambda kv: kv[0].name))
+        return f"Substitution({{{inner}}})"
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Substitution":
+        return cls()
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Return a copy of ``self`` with ``var -> term`` added.
+
+        If ``var`` is already bound to a *different* term the binding is
+        inconsistent and ``ValueError`` is raised; callers performing
+        search should test with :meth:`consistent_with` or use
+        :func:`match_atom` instead.
+        """
+        existing = self._map.get(var)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise ValueError(f"variable {var} already bound to {existing}, cannot rebind to {term}")
+        new = Substitution.__new__(Substitution)
+        new._map = {**self._map, var: term}
+        return new
+
+    def bind_many(self, pairs: Mapping[Variable, Term]) -> "Substitution":
+        """Extend with several bindings at once (same rules as :meth:`bind`)."""
+        out = self
+        for var, term in pairs.items():
+            out = out.bind(var, term)
+        return out
+
+    # -- application -------------------------------------------------------
+    def apply_term(self, term: Term) -> Term:
+        """Resolve *term* through the substitution (single step).
+
+        Bindings produced by matching map variables directly to ground
+        terms, so no chain-following is needed there; :func:`unify_atoms`
+        resolves chains eagerly, keeping this single-step application
+        sound for both use cases.
+        """
+        if isinstance(term, Variable):
+            return self._map.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of *atom*."""
+        return Atom(atom.predicate, tuple(self.apply_term(t) for t in atom.args))
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying ``self`` then *other*.
+
+        ``(self.compose(other)).apply_atom(a) ==
+        other.apply_atom(self.apply_atom(a))`` for all atoms ``a`` whose
+        variables are in the domain of the two substitutions.
+        """
+        merged: dict[Variable, Term] = {v: other.apply_term(t) for v, t in self._map.items()}
+        for var, term in other.items():
+            merged.setdefault(var, term)
+        new = Substitution.__new__(Substitution)
+        new._map = merged
+        return new
+
+    def restrict(self, variables) -> "Substitution":
+        """The substitution restricted to the given variables."""
+        wanted = set(variables)
+        new = Substitution.__new__(Substitution)
+        new._map = {v: t for v, t in self._map.items() if v in wanted}
+        return new
+
+    def is_ground(self) -> bool:
+        """``True`` iff every binding target is a ground term."""
+        return all(t.is_ground for t in self._map.values())
+
+
+def match_atom(pattern: Atom, fact: Atom, subst: Substitution | None = None) -> Optional[Substitution]:
+    """One-way match of *pattern* (may contain variables) against *fact*.
+
+    Ground arguments of the pattern must equal the corresponding fact
+    argument; variables are bound (consistently with *subst* and with
+    repeated occurrences).  Returns the extended substitution, or
+    ``None`` if the match fails.
+
+    The fact is typically ground, but the function only requires that
+    its terms be acceptable binding targets, so it also works when
+    matching against atoms containing nulls or frozen constants.
+    """
+    if pattern.predicate != fact.predicate or pattern.arity != fact.arity:
+        return None
+    bindings: dict[Variable, Term] = dict(subst._map) if subst is not None else {}
+    extended = False
+    for pat_term, fact_term in zip(pattern.args, fact.args):
+        if isinstance(pat_term, Variable):
+            bound = bindings.get(pat_term)
+            if bound is None:
+                bindings[pat_term] = fact_term
+                extended = True
+            elif bound != fact_term:
+                return None
+        elif pat_term != fact_term:
+            return None
+    if not extended and subst is not None:
+        return subst
+    result = Substitution.__new__(Substitution)
+    result._map = bindings
+    return result
+
+
+def unify_atoms(left: Atom, right: Atom, subst: Substitution | None = None) -> Optional[Substitution]:
+    """Two-way unification of two atoms (no function symbols).
+
+    Returns a most-general unifier extending *subst*, or ``None``.
+    Variable-to-variable chains are resolved eagerly so the resulting
+    substitution can be applied in a single step.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    bindings: dict[Variable, Term] = dict(subst._map) if subst is not None else {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for l_term, r_term in zip(left.args, right.args):
+        l_res = resolve(l_term)
+        r_res = resolve(r_term)
+        if l_res == r_res:
+            continue
+        if isinstance(l_res, Variable):
+            bindings[l_res] = r_res
+        elif isinstance(r_res, Variable):
+            bindings[r_res] = l_res
+        else:
+            return None
+
+    # Normalize: resolve chains so apply_term is single-step sound.
+    normalized = {var: resolve(var) for var in bindings}
+    result = Substitution.__new__(Substitution)
+    result._map = normalized
+    return result

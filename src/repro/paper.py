@@ -1,0 +1,255 @@
+"""The paper's worked examples as executable data.
+
+Every numbered example of *Optimizing Datalog Programs* (Sagiv, PODS
+1987) is reproduced here verbatim: the programs, tgds, inputs, and the
+outcome the paper derives by hand.  Tests assert these outcomes, the
+benchmark harness times them, and EXPERIMENTS.md records them.
+
+Module-level constants use the paper's names where it has them
+(``P1``/``P2`` per example); the :data:`EXAMPLES` registry maps example
+identifiers (``"E04"`` for Example 4, ...) to a structured description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core.tgds import Tgd
+from .data.database import Database
+from .lang.parser import parse_program, parse_rule, parse_tgd
+from .lang.programs import Program
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+#: Example 1: transitive closure with the doubly-recursive rule.
+TC_NONLINEAR: Program = parse_program(
+    """
+    G(x, z) :- A(x, z).
+    G(x, z) :- G(x, y), G(y, z).
+    """
+)
+
+#: Example 4's second program: right-linear transitive closure.
+TC_LINEAR: Program = parse_program(
+    """
+    G(x, z) :- A(x, z).
+    G(x, z) :- A(x, y), G(y, z).
+    """
+)
+
+#: Example 2's EDB for the transitive-closure program.
+EX2_EDB: Database = Database.from_facts({"A": [(1, 2), (1, 4), (4, 1)]})
+
+#: Example 2's full output DB (quoted verbatim in Section III).
+EX2_OUTPUT: Database = Database.from_facts(
+    {
+        "A": [(1, 2), (1, 4), (4, 1)],
+        "G": [(1, 2), (1, 4), (4, 1), (1, 1), (4, 4), (4, 2)],
+    }
+)
+
+#: Example 3's input: as Example 2 but with ``G(4,1)`` replacing ``A(4,1)``.
+EX3_INPUT: Database = Database.from_facts(
+    {"A": [(1, 2), (1, 4)], "G": [(4, 1)]}
+)
+
+#: Example 3's expected output: Example 2's output minus ``A(4,1)``.
+EX3_OUTPUT: Database = Database.from_facts(
+    {
+        "A": [(1, 2), (1, 4)],
+        "G": [(1, 2), (1, 4), (4, 1), (1, 1), (4, 4), (4, 2)],
+    }
+)
+
+#: Example 5: Example 1's program plus a rule making ``A`` intensional.
+EX5_P2: Program = TC_NONLINEAR.with_rule(parse_rule("A(x, z) :- A(x, y), G(y, z)."))
+
+#: Example 7's ``P1``: a single rule with the redundant atom ``A(w, y)``.
+EX7_P1: Program = parse_program(
+    "G(x, y, z) :- G(x, w, z), A(w, y), A(w, z), A(z, z), A(z, y)."
+)
+
+#: Example 7's ``P2``: the same rule with ``A(w, y)`` deleted.
+EX7_P2: Program = parse_program(
+    "G(x, y, z) :- G(x, w, z), A(w, z), A(z, z), A(z, y)."
+)
+
+#: Example 11/18's ``P1``: transitive closure with the redundant ``A(y, w)``.
+EX11_P1: Program = parse_program(
+    """
+    G(x, z) :- A(x, z).
+    G(x, z) :- G(x, y), G(y, z), A(y, w).
+    """
+)
+
+#: Example 11/18's ``P2``: plain transitive closure (= Example 1's program).
+EX11_P2: Program = TC_NONLINEAR
+
+#: Example 11/13/14/18's tgd set ``T``.
+EX11_TGD: Tgd = parse_tgd("G(x, z) -> A(x, w)")
+
+#: Example 12's input database.
+EX12_INPUT: Database = Database.from_facts({"A": [(1, 2)], "G": [(2, 3), (3, 4)]})
+
+#: Example 12's ``Pⁿ(d)`` (non-recursive application).
+EX12_PN: frozenset = frozenset(
+    Database.from_facts({"G": [(1, 2), (2, 4)]}).atoms()
+)
+
+#: Example 12's full ``P(d)``.
+EX12_OUTPUT: Database = Database.from_facts(
+    {"A": [(1, 2)], "G": [(2, 3), (3, 4), (1, 2), (1, 3), (2, 4), (1, 4)]}
+)
+
+#: Example 13's single recursive rule.
+EX13_RULE = parse_rule("G(x, z) :- G(x, y), G(y, z), A(y, w).")
+
+#: Example 15's two-atom-LHS tgd.
+EX15_TGD: Tgd = parse_tgd("G(x, y), G(y, z) -> A(y, w)")
+
+#: Example 16's rule (the recursive rule of Example 19's program).
+EX16_RULE = parse_rule("G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).")
+
+#: Example 16/19's tgd.
+EX16_TGD: Tgd = parse_tgd("G(y, z) -> G(y, w) & C(w)")
+
+#: Example 17's EDB (a 4-node chain).
+EX17_EDB: Database = Database.from_facts({"A": [(1, 2), (2, 3), (3, 4)]})
+
+#: Example 17's ``Pⁱ(d)``.
+EX17_PI: frozenset = frozenset(
+    Database.from_facts({"G": [(1, 2), (2, 3), (3, 4)]}).atoms()
+)
+
+#: Example 19's ``P1``.
+EX19_P1: Program = parse_program(
+    """
+    G(x, z) :- A(x, z), C(z).
+    G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).
+    """
+)
+
+#: Example 19's optimized program: ``G(y, w)`` and ``C(w)`` deleted from
+#: the recursive rule.  (The paper's prose says "deleting A(y,w) and
+#: C(w)", a typo for the atoms actually shown redundant by the tgd
+#: ``G(y,z) -> G(y,w) ∧ C(w)``, namely ``G(y,w)`` and ``C(w)``.)
+EX19_P2: Program = parse_program(
+    """
+    G(x, z) :- A(x, z), C(z).
+    G(x, z) :- A(x, y), G(y, z).
+    """
+)
+
+#: Example 9's violated tgd over Example 2's output DB.
+EX9_TGD_VIOLATED: Tgd = parse_tgd("G(x, y) -> A(y, z) & A(z, x)")
+
+#: Example 9's satisfied tgd over Example 2's output DB.
+EX9_TGD_SATISFIED: Tgd = parse_tgd("G(x, y) -> G(x, z) & A(z, y)")
+
+#: Example 10's full tgd and its equivalent pair of rules.
+EX10_TGD: Tgd = parse_tgd("A(x, y, z), B(w, y, v) -> A(x, y, v) & T(w, y, z)")
+EX10_RULES = (
+    parse_rule("A(x, y, v) :- A(x, y, z), B(w, y, v)."),
+    parse_rule("T(w, y, z) :- A(x, y, z), B(w, y, v)."),
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PaperExample:
+    """One worked example: identifier, section, and a short claim."""
+
+    ident: str
+    section: str
+    claim: str
+    artifacts: dict = field(default_factory=dict)
+
+
+EXAMPLES: dict[str, PaperExample] = {
+    "E01": PaperExample(
+        "E01", "II", "the two-rule program computes the transitive closure of A",
+        {"program": TC_NONLINEAR},
+    ),
+    "E02": PaperExample(
+        "E02", "III", "bottom-up output on {A(1,2),A(1,4),A(4,1)} is the 9-atom DB quoted in the text",
+        {"program": TC_NONLINEAR, "input": EX2_EDB, "output": EX2_OUTPUT},
+    ),
+    "E03": PaperExample(
+        "E03", "III", "with G(4,1) given as an initial IDB fact the output loses only A(4,1)",
+        {"program": TC_NONLINEAR, "input": EX3_INPUT, "output": EX3_OUTPUT},
+    ),
+    "E04": PaperExample(
+        "E04", "IV", "TC variants: P2 ⊑u P1 holds but P1 ⊑u P2 fails (equivalent, not uniformly)",
+        {"p1": TC_NONLINEAR, "p2": TC_LINEAR},
+    ),
+    "E05": PaperExample(
+        "E05", "IV", "adding rule A(x,z) :- A(x,y), G(y,z) yields P1 ⊑u P2",
+        {"p1": TC_NONLINEAR, "p2": EX5_P2},
+    ),
+    "E06": PaperExample(
+        "E06", "VI", "the freezing test proves P2 ⊑u P1 and refutes P1 ⊑u P2 rule by rule",
+        {"p1": TC_NONLINEAR, "p2": TC_LINEAR},
+    ),
+    "E07": PaperExample(
+        "E07", "VI", "A(w,y) is redundant: P2 ⊑u P1 shown by two chase applications",
+        {"p1": EX7_P1, "p2": EX7_P2},
+    ),
+    "E08": PaperExample(
+        "E08", "VII", "Fig. 1 minimizes Example 7's rule to P2, which is minimal",
+        {"p1": EX7_P1, "p2": EX7_P2},
+    ),
+    "E09": PaperExample(
+        "E09", "VIII", "one tgd is violated and another satisfied by Example 2's output DB",
+        {"db": EX2_OUTPUT, "violated": EX9_TGD_VIOLATED, "satisfied": EX9_TGD_SATISFIED},
+    ),
+    "E10": PaperExample(
+        "E10", "VIII", "a full tgd applies exactly like its two Datalog rules",
+        {"tgd": EX10_TGD, "rules": EX10_RULES},
+    ),
+    "E11": PaperExample(
+        "E11", "VIII", "the chase with [P1, T] proves SAT(T) ∩ M(P1) ⊆ M(P2)",
+        {"p1": EX11_P1, "p2": EX11_P2, "tgds": [EX11_TGD]},
+    ),
+    "E12": PaperExample(
+        "E12", "IX", "Pⁿ(d) = {G(1,2), G(2,4)} while P(d) has seven atoms",
+        {"program": TC_NONLINEAR, "input": EX12_INPUT, "pn": EX12_PN, "output": EX12_OUTPUT},
+    ),
+    "E13": PaperExample(
+        "E13", "IX", "the single rule preserves G(x,z) -> A(x,w) non-recursively",
+        {"rule": EX13_RULE, "tgds": [EX11_TGD]},
+    ),
+    "E14": PaperExample(
+        "E14", "IX", "P1 preserves T non-recursively (three head-unification cases)",
+        {"program": EX11_P1, "tgds": [EX11_TGD]},
+    ),
+    "E15": PaperExample(
+        "E15", "IX", "two-atom-LHS tgd: all four unification combinations pass",
+        {"rule": EX13_RULE, "tgds": [EX15_TGD]},
+    ),
+    "E16": PaperExample(
+        "E16", "IX", "the rule preserves G(y,z) -> G(y,w) ∧ C(w) non-recursively",
+        {"rule": EX16_RULE, "tgds": [EX16_TGD]},
+    ),
+    "E17": PaperExample(
+        "E17", "X", "Pⁱ(d) on the 3-edge chain is {G(1,2), G(2,3), G(3,4)}",
+        {"program": TC_NONLINEAR, "input": EX17_EDB, "pi": EX17_PI},
+    ),
+    "E18": PaperExample(
+        "E18", "X", "the full recipe proves P1 ≡ P2: A(y,w) is redundant under equivalence",
+        {"p1": EX11_P1, "p2": EX11_P2, "tgds": [EX11_TGD]},
+    ),
+    "E19": PaperExample(
+        "E19", "XI", "the heuristic finds the tgd and G(y,w), C(w) are deleted",
+        {"p1": EX19_P1, "p2": EX19_P2, "tgds": [EX16_TGD]},
+    ),
+}
+
+
+def single_rule_program(rule) -> Program:
+    """Wrap one rule as a program (several examples treat rules as programs)."""
+    return Program.of(rule)

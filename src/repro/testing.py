@@ -1,0 +1,229 @@
+"""Differential-testing harness, exposed as a public API.
+
+The repository's own property tests cross-check every engine and every
+optimizer against independent oracles; this module packages those
+oracles so that downstream users who extend the library (a new engine,
+a new rewriting, a new optimization) can fuzz their change with one
+call::
+
+    from repro.testing import run_differential_suite
+
+    report = run_differential_suite(seeds=100)
+    assert report.ok, report.failures
+
+Checks performed per seed:
+
+* **engines agree** -- naive, semi-naive and (on queries) magic,
+  supplementary magic and tabled top-down all produce the same answers;
+* **optimization is sound** -- `minimize_program` output is uniformly
+  equivalent to its input and produces identical databases on sampled
+  EDBs; `optimize` output produces identical databases on sampled EDBs;
+* **maintenance is exact** -- a DRed-maintained view equals
+  recomputation after random insert/delete scripts.
+
+All generators take explicit seeds and are deterministic, so a failure
+report is sufficient to reproduce the bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .core.containment import uniformly_equivalent
+from .core.minimize import minimize_program
+from .core.optimizer import optimize
+from .data.database import Database
+from .engine.fixpoint import evaluate
+from .engine.incremental import MaterializedView
+from .engine.magic import answer_query
+from .engine.naive import naive_fixpoint
+from .engine.seminaive import seminaive_fixpoint
+from .engine.supplementary import answer_query_supplementary
+from .engine.topdown import tabled_query
+from .lang.atoms import Atom
+from .lang.programs import Program
+from .lang.terms import Variable
+from .workloads.programs import random_positive_program
+
+
+@dataclass
+class Failure:
+    """One failed check, with everything needed to reproduce it."""
+
+    check: str
+    seed: int
+    detail: str
+    program: Program | None = None
+
+    def __str__(self) -> str:
+        return f"[{self.check}] seed={self.seed}: {self.detail}"
+
+
+@dataclass
+class DifferentialReport:
+    """The outcome of a differential run."""
+
+    seeds_run: int = 0
+    checks_run: int = 0
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return f"{status}: {self.checks_run} checks over {self.seeds_run} seeds"
+
+
+def random_database(seed: int, domain: int = 4, facts: int = 12) -> Database:
+    """A random EDB over predicates ``E0``/``E1`` with a small domain."""
+    rng = random.Random(seed)
+    db = Database()
+    for _ in range(rng.randint(0, facts)):
+        pred = f"E{rng.randrange(2)}"
+        db.add_fact(pred, rng.randrange(domain), rng.randrange(domain))
+    return db
+
+
+def random_program(seed: int) -> Program:
+    """A random safe positive program (wraps the workload generator)."""
+    rng = random.Random(seed)
+    return random_positive_program(
+        rules=rng.randint(1, 5),
+        max_body=3,
+        predicates=2,
+        variables_per_rule=4,
+        seed=seed,
+    )
+
+
+def check_engines_agree(program: Program, db: Database) -> str | None:
+    """Naive vs semi-naive; returns an error string or ``None``."""
+    naive = naive_fixpoint(program, db).database
+    semi = seminaive_fixpoint(program, db).database
+    if naive != semi:
+        return (
+            f"naive and semi-naive disagree: "
+            f"{sorted(map(str, naive.difference(semi)))} vs "
+            f"{sorted(map(str, semi.difference(naive)))}"
+        )
+    return None
+
+
+def check_query_strategies_agree(
+    program: Program, db: Database, query: Atom
+) -> str | None:
+    """Magic, supplementary magic, tabled top-down vs full evaluation."""
+    full = evaluate(program, db).database
+    from .lang.substitution import match_atom
+
+    expected = {
+        row
+        for row in full.tuples(query.predicate)
+        if match_atom(query, Atom(query.predicate, row)) is not None
+    }
+    strategies: list[tuple[str, Callable]] = [
+        ("magic", lambda: set(answer_query(program, db, query)[0].tuples(query.predicate))),
+        (
+            "supplementary",
+            lambda: set(
+                answer_query_supplementary(program, db, query)[0].tuples(query.predicate)
+            ),
+        ),
+        (
+            "tabled",
+            lambda: set(tabled_query(program, db, query).answers.tuples(query.predicate)),
+        ),
+    ]
+    for name, run in strategies:
+        got = run()
+        if got != expected:
+            return f"{name} disagrees with full evaluation: {len(got)} vs {len(expected)} answers"
+    return None
+
+
+def check_minimization_sound(program: Program, sample_dbs: list[Database]) -> str | None:
+    """Fig. 2 output: uniformly equivalent + identical on sampled EDBs."""
+    minimized = minimize_program(program).program
+    if not uniformly_equivalent(program, minimized):
+        return "minimize_program output is not uniformly equivalent to its input"
+    for index, db in enumerate(sample_dbs):
+        if evaluate(program, db).database != evaluate(minimized, db).database:
+            return f"minimize_program changed results on sample EDB #{index}"
+    return None
+
+
+def check_optimizer_sound(program: Program, sample_dbs: list[Database]) -> str | None:
+    """Full optimizer output: identical databases on sampled EDBs."""
+    optimized = optimize(program).optimized
+    for index, db in enumerate(sample_dbs):
+        if evaluate(program, db).database != evaluate(optimized, db).database:
+            return f"optimize changed results on sample EDB #{index}"
+    return None
+
+
+def check_maintenance_exact(program: Program, seed: int) -> str | None:
+    """DRed view vs recomputation over a random insert/delete script."""
+    rng = random.Random(seed)
+    base = random_database(seed, domain=4, facts=10)
+    view = MaterializedView(program, base)
+    live = set(base.atoms())
+    for step in range(8):
+        if live and rng.random() < 0.5:
+            atom = rng.choice(sorted(live, key=str))
+            view.delete(atom)
+            live.discard(atom)
+        else:
+            atom = Atom.of(f"E{rng.randrange(2)}", rng.randrange(4), rng.randrange(4))
+            view.insert(atom)
+            live.add(atom)
+        if view.database != evaluate(program, Database(live)).database:
+            return f"maintained view diverged from recomputation at step {step}"
+    return None
+
+
+def run_differential_suite(
+    seeds: int = 50,
+    start_seed: int = 0,
+    include_maintenance: bool = True,
+) -> DifferentialReport:
+    """Run every check over *seeds* consecutive seeds."""
+    report = DifferentialReport()
+    tc_query_program = Program.from_source(
+        """
+        G(x, z) :- E0(x, z).
+        G(x, z) :- E0(x, y), G(y, z).
+        """
+    )
+    for seed in range(start_seed, start_seed + seeds):
+        report.seeds_run += 1
+        program = random_program(seed)
+        db = random_database(seed)
+        samples = [random_database(seed * 31 + i, facts=8) for i in range(2)]
+
+        for check, error in (
+            ("engines-agree", check_engines_agree(program, db)),
+            ("minimization-sound", check_minimization_sound(program, samples)),
+            ("optimizer-sound", check_optimizer_sound(program, samples)),
+        ):
+            report.checks_run += 1
+            if error:
+                report.failures.append(Failure(check, seed, error, program))
+
+        # Query strategies on a known-recursive program over this seed's EDB.
+        rng = random.Random(seed ^ 0xBEEF)
+        query = Atom.of("G", rng.randrange(4), Variable("x"))
+        report.checks_run += 1
+        error = check_query_strategies_agree(tc_query_program, db, query)
+        if error:
+            report.failures.append(Failure("query-strategies", seed, error))
+
+        if include_maintenance:
+            report.checks_run += 1
+            error = check_maintenance_exact(tc_query_program, seed)
+            if error:
+                report.failures.append(Failure("maintenance", seed, error, tc_query_program))
+    return report

@@ -1,0 +1,57 @@
+"""Synthetic workloads: EDB generators, program families, benchmark suites."""
+
+from __future__ import annotations
+
+from .graphs import (
+    chain,
+    complete,
+    cycle,
+    grid,
+    layered_dag,
+    merged,
+    random_graph,
+    random_tree,
+    star,
+    unary_marks,
+)
+from .programs import (
+    ancestry,
+    andersen,
+    guarded_tc,
+    random_positive_program,
+    pointer_statements,
+    same_generation,
+    tc_linear,
+    tc_nonlinear,
+    tc_with_redundant_atoms,
+    tc_with_redundant_rules,
+    wide_rule,
+)
+from .suites import SUITES, Workload, load
+
+__all__ = [
+    "SUITES",
+    "Workload",
+    "ancestry",
+    "andersen",
+    "chain",
+    "complete",
+    "cycle",
+    "grid",
+    "guarded_tc",
+    "layered_dag",
+    "load",
+    "merged",
+    "pointer_statements",
+    "random_graph",
+    "random_positive_program",
+    "random_tree",
+    "same_generation",
+    "star",
+    "tc_linear",
+    "tc_nonlinear",
+    "tc_with_redundant_atoms",
+    "tc_with_redundant_rules",
+    "unary_marks",
+    "wide_rule",
+]

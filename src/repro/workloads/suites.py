@@ -1,0 +1,146 @@
+"""Named workload suites for the benchmark harness.
+
+Each suite packages a program (possibly with planted redundancies), a
+matching EDB generator, and optional tgds/queries, so that the
+benchmarks in ``benchmarks/`` stay declarative and EXPERIMENTS.md can
+point at one identifier per measurement series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.tgds import Tgd
+from ..data.database import Database
+from ..lang.atoms import Atom
+from ..lang.parser import parse_atom, parse_tgd
+from ..lang.programs import Program
+from . import graphs, programs
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named (program, EDB generator) pairing for benchmarking."""
+
+    name: str
+    program: Program
+    edb: Callable[[int], Database]
+    description: str
+    tgds: tuple[Tgd, ...] = ()
+    query: Optional[Atom] = None
+    expected_minimal: Optional[Program] = None
+
+
+def _tc_edb_chain(n: int) -> Database:
+    return graphs.chain(n)
+
+
+def _tc_edb_random(n: int) -> Database:
+    # Edge count ~2n keeps the closure quadratic but tractable.
+    return graphs.random_graph(n, 2 * n, seed=7)
+
+
+def _ex19_edb(n: int) -> Database:
+    return graphs.merged(graphs.chain(n), graphs.unary_marks(range(n + 1)))
+
+
+def tc_redundant_atoms(k: int, base: str = "chain") -> Workload:
+    """Q2 series: TC with *k* planted redundant atoms in the recursive rule."""
+    edb = _tc_edb_chain if base == "chain" else _tc_edb_random
+    return Workload(
+        name=f"tc+{k}atoms/{base}",
+        program=programs.tc_with_redundant_atoms(k),
+        edb=edb,
+        description=f"transitive closure, recursive rule carries {k} redundant atoms",
+        expected_minimal=programs.tc_nonlinear(),
+    )
+
+
+def tc_redundant_rules(k: int, base: str = "chain") -> Workload:
+    """Q2 series: TC plus *k* redundant path rules."""
+    edb = _tc_edb_chain if base == "chain" else _tc_edb_random
+    return Workload(
+        name=f"tc+{k}rules/{base}",
+        program=programs.tc_with_redundant_rules(k),
+        edb=edb,
+        description=f"transitive closure plus {k} redundant path rules",
+        expected_minimal=programs.tc_nonlinear(),
+    )
+
+
+def guarded_tc_workload(k: int) -> Workload:
+    """Q8 series: Example-18 family, removable only under equivalence."""
+    return Workload(
+        name=f"guarded-tc+{k}",
+        program=programs.guarded_tc(k),
+        edb=_tc_edb_chain,
+        description=f"TC with {k} guards redundant under equivalence only",
+        tgds=(parse_tgd("G(x, z) -> A(x, w)"),),
+        expected_minimal=programs.tc_nonlinear(),
+    )
+
+
+def magic_tc_workload() -> Workload:
+    """Q6: single-source reachability query over linear TC."""
+    return Workload(
+        name="magic-tc",
+        program=programs.tc_linear(),
+        edb=_tc_edb_random,
+        description="reachability from node 0, magic-sets friendly",
+        query=parse_atom("G(0, x)"),
+    )
+
+
+def andersen_workload() -> Workload:
+    """Domain workload: Andersen points-to over random pointer programs."""
+
+    def edb(n: int) -> Database:
+        return programs.pointer_statements(statements=n, variables=max(4, n // 8), seed=23)
+
+    return Workload(
+        name="andersen",
+        program=programs.andersen(),
+        edb=edb,
+        description="inclusion-based points-to analysis on random pointer code",
+    )
+
+
+def same_generation_workload() -> Workload:
+    """Domain workload: same-generation over a random tree + person marks."""
+
+    def edb(n: int) -> Database:
+        tree = graphs.random_tree(n, seed=11, predicate="Par")
+        people = graphs.unary_marks(range(n), predicate="Per")
+        return graphs.merged(tree, people)
+
+    return Workload(
+        name="same-generation",
+        program=programs.same_generation(),
+        edb=edb,
+        description="same-generation over a random parent tree",
+    )
+
+
+#: The standard suite indexed by name (used by `repro.cli bench-list`).
+SUITES: dict[str, Callable[[], Workload]] = {
+    "tc+2atoms/chain": lambda: tc_redundant_atoms(2, "chain"),
+    "tc+4atoms/chain": lambda: tc_redundant_atoms(4, "chain"),
+    "tc+2atoms/random": lambda: tc_redundant_atoms(2, "random"),
+    "tc+3rules/chain": lambda: tc_redundant_rules(3, "chain"),
+    "tc+3rules/random": lambda: tc_redundant_rules(3, "random"),
+    "guarded-tc+1": lambda: guarded_tc_workload(1),
+    "guarded-tc+2": lambda: guarded_tc_workload(2),
+    "magic-tc": magic_tc_workload,
+    "same-generation": same_generation_workload,
+    "andersen": andersen_workload,
+}
+
+
+def load(name: str) -> Workload:
+    """Look up a named workload; raise ``KeyError`` with suggestions."""
+    try:
+        return SUITES[name]()
+    except KeyError:
+        known = ", ".join(sorted(SUITES))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,41 @@
+"""Shared fixtures: the paper's programs and small databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, parse_program
+from repro import paper
+
+
+@pytest.fixture
+def tc():
+    """Example 1: non-linear transitive closure."""
+    return paper.TC_NONLINEAR
+
+
+@pytest.fixture
+def tc_linear():
+    """Example 4: right-linear transitive closure."""
+    return paper.TC_LINEAR
+
+
+@pytest.fixture
+def ex2_edb():
+    return paper.EX2_EDB.copy()
+
+
+@pytest.fixture
+def chain4():
+    """A(1,2), A(2,3), A(3,4)."""
+    return Database.from_facts({"A": [(1, 2), (2, 3), (3, 4)]})
+
+
+@pytest.fixture
+def ancestry_program():
+    return parse_program(
+        """
+        Anc(x, y) :- Par(x, y).
+        Anc(x, y) :- Par(x, z), Anc(z, y).
+        """
+    )

@@ -1,0 +1,118 @@
+"""Unit tests for repro.lang.atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GroundnessError
+from repro.lang.atoms import Atom, Literal, atoms_variables, coerce_term
+from repro.lang.terms import Constant, Null, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestCoercion:
+    def test_int_becomes_constant(self):
+        assert coerce_term(3) == Constant(3)
+
+    def test_str_becomes_constant(self):
+        assert coerce_term("alice") == Constant("alice")
+
+    def test_terms_pass_through(self):
+        assert coerce_term(x) is x
+        assert coerce_term(Null(1)) == Null(1)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_term(3.14)
+
+
+class TestAtom:
+    def test_of_coerces(self):
+        atom = Atom.of("A", 1, x)
+        assert atom.args == (Constant(1), x)
+
+    def test_arity(self):
+        assert Atom.of("Q", 1, 2, 3).arity == 3
+        assert Atom("P", ()).arity == 0
+
+    def test_is_ground(self):
+        assert Atom.of("A", 1, 2).is_ground
+        assert not Atom.of("A", 1, x).is_ground
+
+    def test_null_atoms_are_ground(self):
+        assert Atom("A", (Constant(3), Null(1))).is_ground
+
+    def test_variables_with_repeats(self):
+        atom = Atom("A", (x, y, x))
+        assert list(atom.variables()) == [x, y, x]
+        assert atom.variable_set() == {x, y}
+
+    def test_constants_iterator(self):
+        atom = Atom.of("A", 1, x, "b")
+        assert list(atom.constants()) == [Constant(1), Constant("b")]
+
+    def test_substitute(self):
+        atom = Atom("A", (x, y))
+        assert atom.substitute({x: Constant(1)}) == Atom.of("A", 1, y)
+
+    def test_substitute_leaves_constants(self):
+        atom = Atom.of("A", 7, x)
+        assert atom.substitute({x: y}) == Atom.of("A", 7, y)
+
+    def test_require_ground_raises(self):
+        with pytest.raises(GroundnessError):
+            Atom("A", (x,)).require_ground()
+
+    def test_require_ground_passes(self):
+        atom = Atom.of("A", 1)
+        assert atom.require_ground() is atom
+
+    def test_equality_and_hash(self):
+        assert Atom.of("A", 1, 2) == Atom.of("A", 1, 2)
+        assert len({Atom.of("A", 1), Atom.of("A", 1), Atom.of("B", 1)}) == 2
+
+    def test_str(self):
+        assert str(Atom.of("G", x, 3, 10)) == "G(x, 3, 10)"
+
+    def test_sort_key_orders_by_predicate_then_args(self):
+        atoms = [Atom.of("B", 1), Atom.of("A", 2), Atom.of("A", 1)]
+        ordered = sorted(atoms, key=lambda a: a.sort_key())
+        assert ordered == [Atom.of("A", 1), Atom.of("A", 2), Atom.of("B", 1)]
+
+
+class TestLiteral:
+    def test_positive_default(self):
+        assert Literal(Atom.of("A", 1)).positive
+
+    def test_negated(self):
+        literal = Literal(Atom.of("A", 1))
+        assert not literal.negated().positive
+        assert literal.negated().negated() == literal
+
+    def test_predicate_and_args_delegate(self):
+        literal = Literal(Atom.of("A", 1, 2))
+        assert literal.predicate == "A"
+        assert literal.args == (Constant(1), Constant(2))
+
+    def test_substitute(self):
+        literal = Literal(Atom("A", (x,)), positive=False)
+        out = literal.substitute({x: Constant(5)})
+        assert out.atom == Atom.of("A", 5)
+        assert not out.positive
+
+    def test_str(self):
+        assert str(Literal(Atom.of("A", 1))) == "A(1)"
+        assert str(Literal(Atom.of("A", 1), positive=False)) == "not A(1)"
+
+
+class TestAtomsVariables:
+    def test_union_over_atoms(self):
+        atoms = [Atom("A", (x, y)), Atom("B", (y, z))]
+        assert atoms_variables(atoms) == {x, y, z}
+
+    def test_empty(self):
+        assert atoms_variables([]) == frozenset()
+
+    def test_ground_atoms(self):
+        assert atoms_variables([Atom.of("A", 1, 2)]) == frozenset()

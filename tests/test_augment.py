@@ -1,0 +1,94 @@
+"""Unit tests for redundant-atom *addition* (the Section I remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, parse_program
+from repro.core.augment import add_atom, addable_guards, atom_is_addable
+from repro.core.containment import uniformly_equivalent
+from repro.lang import parse_atom
+from repro.workloads import chain
+
+
+@pytest.fixture
+def guarded():
+    """A program where G implies an A guard exists (uniformly)."""
+    return parse_program(
+        """
+        G(x, z) :- A(x, z).
+        G(x, z) :- A(x, y), G(y, z).
+        """
+    )
+
+
+class TestAtomIsAddable:
+    def test_implied_atom_addable(self, guarded):
+        # In the recursive rule, A(x, y) is already present; adding a
+        # weakened copy A(x, v) is redundant.
+        rule = guarded.rules[1]
+        assert atom_is_addable(guarded, rule, parse_atom("A(x, v)"))
+
+    def test_constraining_atom_not_addable(self, guarded):
+        # Adding B(x) genuinely constrains the rule.
+        rule = guarded.rules[1]
+        assert not atom_is_addable(guarded, rule, parse_atom("B(x)"))
+
+    def test_derived_atom_addable(self, guarded):
+        # G(x, z) holds whenever the recursive rule fires (it is the
+        # head's own derivation through the other rules? no -- but
+        # G(y, z) is a body atom; a weakened copy is addable).
+        rule = guarded.rules[1]
+        assert atom_is_addable(guarded, rule, parse_atom("G(y, u)"))
+
+    def test_foreign_rule_rejected(self, guarded):
+        from repro.lang import parse_rule
+
+        with pytest.raises(ValueError):
+            atom_is_addable(guarded, parse_rule("H(x) :- A(x, x)."), parse_atom("A(x, x)"))
+
+
+class TestAddAtom:
+    def test_add_preserves_uniform_equivalence(self, guarded):
+        rule = guarded.rules[1]
+        augmentation = add_atom(guarded, rule, parse_atom("A(x, v)"))
+        assert uniformly_equivalent(guarded, augmentation.program_after)
+
+    def test_add_preserves_results(self, guarded):
+        rule = guarded.rules[1]
+        augmentation = add_atom(guarded, rule, parse_atom("A(x, v)"))
+        edb = chain(8)
+        assert (
+            evaluate(guarded, edb).database
+            == evaluate(augmentation.program_after, edb).database
+        )
+
+    def test_unsafe_addition_rejected(self, guarded):
+        rule = guarded.rules[1]
+        with pytest.raises(ValueError, match="not redundant"):
+            add_atom(guarded, rule, parse_atom("B(x)"))
+
+    def test_str(self, guarded):
+        rule = guarded.rules[1]
+        augmentation = add_atom(guarded, rule, parse_atom("A(x, v)"))
+        assert "added A(x, v)" in str(augmentation)
+
+
+class TestAddableGuards:
+    def test_filters_candidates(self, guarded):
+        rule = guarded.rules[1]
+        guards = addable_guards(
+            guarded,
+            rule,
+            [parse_atom("A(x, v)"), parse_atom("B(x)"), parse_atom("G(y, u)")],
+        )
+        assert [str(g) for g in guards] == ["A(x, v)", "G(y, u)"]
+
+    def test_roundtrip_with_minimization(self, guarded):
+        # Adding a redundant guard and minimizing again returns the
+        # original program.
+        from repro.core.minimize import minimize_program
+
+        rule = guarded.rules[1]
+        augmented = add_atom(guarded, rule, parse_atom("A(x, v)")).program_after
+        assert minimize_program(augmented).program == guarded

@@ -1,0 +1,137 @@
+"""Unit tests for uniform-boundedness detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, parse_program, uniformly_equivalent
+from repro.core.boundedness import uniform_boundedness, unroll
+from repro.core.chase import Verdict
+from repro.workloads import chain, random_graph
+
+
+@pytest.fixture
+def vacuous_recursion():
+    """P(x) :- P(x), B(x): the recursion never derives anything new."""
+    return parse_program(
+        """
+        P(x) :- A(x).
+        P(x) :- P(x), B(x).
+        """
+    )
+
+
+class TestUnroll:
+    def test_nonrecursive_fixed_point(self):
+        program = parse_program("G(x, z) :- A(x, z).")
+        assert unroll(program, 3) == program
+
+    def test_depth_one_of_tc(self, tc_linear):
+        unrolled = unroll(tc_linear, 1)
+        # Only paths of length <= 2 derivable.
+        assert all("G(" not in str(lit) for r in unrolled.rules for lit in r.body)
+
+    def test_unrolled_contained_in_original(self, tc_linear):
+        from repro.core.containment import uniformly_contains
+
+        for depth in (1, 2, 3):
+            unrolled = unroll(tc_linear, depth)
+            assert uniformly_contains(container=tc_linear, contained=unrolled)
+
+    def test_depth_controls_path_length(self, tc_linear):
+        edb = chain(6)
+        shallow = evaluate(unroll(tc_linear, 1), edb).database
+        deep = evaluate(unroll(tc_linear, 3), edb).database
+        assert shallow.count("G") < deep.count("G")
+
+    def test_rule_explosion_guarded(self, tc):
+        with pytest.raises(ValueError):
+            unroll(tc, 10, max_rules=20)
+
+
+class TestUniformBoundedness:
+    def test_nonrecursive_trivially_bounded(self):
+        program = parse_program("G(x, z) :- A(x, z).")
+        report = uniform_boundedness(program)
+        assert report.verdict is Verdict.PROVED
+        assert report.depth == 0
+
+    def test_vacuous_recursion_bounded(self, vacuous_recursion):
+        report = uniform_boundedness(vacuous_recursion)
+        assert report.verdict is Verdict.PROVED
+        assert report.depth == 1
+        assert uniformly_equivalent(vacuous_recursion, report.nonrecursive)
+
+    def test_witness_is_nonrecursive(self, vacuous_recursion):
+        report = uniform_boundedness(vacuous_recursion)
+        from repro.analysis import is_nonrecursive
+
+        assert is_nonrecursive(report.nonrecursive)
+
+    def test_witness_computes_same_results(self, vacuous_recursion):
+        report = uniform_boundedness(vacuous_recursion)
+        from repro import Database
+
+        db = Database.from_facts({"A": [(1,), (2,)], "B": [(1,), (3,)]})
+        assert (
+            evaluate(vacuous_recursion, db).database
+            == evaluate(report.nonrecursive, db).database
+        )
+
+    def test_transitive_closure_not_bounded(self, tc):
+        report = uniform_boundedness(tc, max_depth=3)
+        assert report.verdict is Verdict.UNKNOWN
+        assert report.nonrecursive is None
+
+    def test_plain_but_not_uniform_boundedness_stays_unknown(self):
+        # The classic Trendy/Buys program is bounded under plain
+        # equivalence but NOT uniformly (initial Buys facts feed the
+        # recursion); the uniform test must not claim it.
+        program = parse_program(
+            """
+            Buys(x, y) :- Likes(x, y).
+            Buys(x, y) :- Trendy(x), Buys(z, y).
+            """
+        )
+        report = uniform_boundedness(program, max_depth=4)
+        assert report.verdict is Verdict.UNKNOWN
+
+    def test_guarded_vacuous_recursion(self):
+        # The recursive rule can only re-derive the E facts it reads.
+        program = parse_program(
+            """
+            P(x, y) :- E(x, y).
+            P(x, y) :- E(x, y), P(x, y).
+            """
+        )
+        report = uniform_boundedness(program)
+        assert report.verdict is Verdict.PROVED
+        assert uniformly_equivalent(program, report.nonrecursive)
+
+    def test_bounded_program_results_match_on_data(self):
+        program = parse_program(
+            """
+            P(x, y) :- E(x, y).
+            P(x, y) :- E(x, y), P(x, y).
+            """
+        )
+        report = uniform_boundedness(program)
+        edb = random_graph(10, 20, seed=5, predicate="E")
+        assert (
+            evaluate(program, edb).database
+            == evaluate(report.nonrecursive, edb).database
+        )
+
+    def test_round_bounded_but_not_eliminable(self):
+        # P(x, y) :- P(y, x) converges in two rounds on every input,
+        # yet no non-recursive program reads the initial P facts; the
+        # recursion-elimination search must stay UNKNOWN (scope note in
+        # the module docstring).
+        program = parse_program(
+            """
+            P(x, y) :- E(x, y).
+            P(x, y) :- P(y, x).
+            """
+        )
+        report = uniform_boundedness(program, max_depth=3)
+        assert report.verdict is Verdict.UNKNOWN

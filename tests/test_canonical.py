@@ -1,0 +1,113 @@
+"""Unit tests for canonical forms and isomorphism."""
+
+from __future__ import annotations
+
+from repro.lang import parse_program, parse_rule
+from repro.lang.canonical import (
+    canonical_renaming,
+    canonicalize_program,
+    canonicalize_rule,
+    modulo_body_order,
+    programs_isomorphic,
+    rules_isomorphic,
+)
+
+
+class TestCanonicalizeRule:
+    def test_renames_in_occurrence_order(self):
+        rule = parse_rule("G(a, b) :- G(a, c), G(c, b).")
+        assert str(canonicalize_rule(rule)) == "G(v0, v1) :- G(v0, v2), G(v2, v1)."
+
+    def test_idempotent(self):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z), A(y, w).")
+        once = canonicalize_rule(rule)
+        assert canonicalize_rule(once) == once
+
+    def test_constants_untouched(self):
+        rule = parse_rule("G(a, 3) :- A(a, 3).")
+        assert str(canonicalize_rule(rule)) == "G(v0, 3) :- A(v0, 3)."
+
+    def test_renaming_covers_all_variables(self):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z), A(y, w).")
+        mapping = canonical_renaming(rule)
+        assert set(mapping) == rule.variables()
+
+    def test_facts(self):
+        rule = parse_rule("A(1, 2).")
+        assert canonicalize_rule(rule) == rule
+
+
+class TestRulesIsomorphic:
+    def test_pure_renaming_detected(self):
+        r1 = parse_rule("G(x, z) :- G(x, y), G(y, z).")
+        r2 = parse_rule("G(u, w) :- G(u, v), G(v, w).")
+        assert rules_isomorphic(r1, r2)
+
+    def test_structural_difference_detected(self):
+        r1 = parse_rule("G(x, z) :- G(x, y), G(y, z).")
+        r2 = parse_rule("G(x, z) :- G(x, y), G(x, z).")
+        assert not rules_isomorphic(r1, r2)
+
+    def test_body_order_matters(self):
+        r1 = parse_rule("G(x, z) :- A(x, y), B(y, z).")
+        r2 = parse_rule("G(x, z) :- B(y, z), A(x, y).")
+        assert not rules_isomorphic(r1, r2)
+
+    def test_repeated_variables_significant(self):
+        r1 = parse_rule("P(x) :- A(x, x).")
+        r2 = parse_rule("P(x) :- A(x, y).")
+        assert not rules_isomorphic(r1, r2)
+
+
+class TestProgramsIsomorphic:
+    def test_renaming_and_rule_order(self):
+        p1 = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- G(x, y), G(y, z).
+            """
+        )
+        p2 = parse_program(
+            """
+            G(p, q) :- G(p, r), G(r, q).
+            G(a, b) :- A(a, b).
+            """
+        )
+        assert programs_isomorphic(p1, p2)
+
+    def test_different_programs(self, tc, tc_linear):
+        assert not programs_isomorphic(tc, tc_linear)
+
+    def test_canonical_program_is_stable(self, tc):
+        assert canonicalize_program(tc) == canonicalize_program(
+            canonicalize_program(tc)
+        )
+
+    def test_minimization_outputs_comparable(self):
+        """The intended use: two atom orders give different survivors of
+        a mutually-redundant pair; the results are isomorphic."""
+        from repro.core.minimize import minimize_rule
+        from repro.lang import Program
+
+        rule = parse_rule("G(x) :- A(x, y), A(x, w).")
+        forward = minimize_rule(rule, atom_order=lambda r: [0, 1])
+        backward = minimize_rule(rule, atom_order=lambda r: [1, 0])
+        assert forward != backward
+        assert rules_isomorphic(forward, backward)
+
+
+class TestModuloBodyOrder:
+    def test_reordered_bodies_normalize_together(self):
+        r1 = parse_rule("G(x, z) :- A(x, y), B(y, z).")
+        r2 = parse_rule("G(x, z) :- B(y, z), A(x, y).")
+        assert modulo_body_order(r1) == modulo_body_order(r2)
+
+    def test_different_rules_stay_apart(self):
+        r1 = parse_rule("G(x, z) :- A(x, y), B(y, z).")
+        r2 = parse_rule("G(x, z) :- A(x, y), B(z, y).")
+        assert modulo_body_order(r1) != modulo_body_order(r2)
+
+    def test_stable(self):
+        rule = parse_rule("G(x, z) :- B(y, z), A(x, y), A(x, q).")
+        normalized = modulo_body_order(rule)
+        assert modulo_body_order(normalized) == normalized

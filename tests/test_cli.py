@@ -1,0 +1,223 @@
+"""Unit tests for the repro-datalog CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+TC = """
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z).
+"""
+
+TC_REDUNDANT = """
+G(x, y, z) :- G(x, w, z), A(w, y), A(w, z), A(z, z), A(z, y).
+"""
+
+EX19 = """
+G(x, z) :- A(x, z), C(z).
+G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).
+"""
+
+EDB = """
+A(1, 2).
+A(2, 3).
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return write
+
+
+class TestParse:
+    def test_profile_output(self, files, capsys):
+        assert main(["parse", files("tc.dl", TC)]) == 0
+        out = capsys.readouterr().out
+        assert "G(x, z) :- A(x, z)." in out
+        assert "recursive" in out
+
+    def test_parse_error_exit_code(self, files, capsys):
+        assert main(["parse", files("bad.dl", "G(x :- A(x).")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["parse", "/does/not/exist.dl"]) == 2
+
+
+class TestEval:
+    def test_evaluates(self, files, capsys):
+        code = main(["eval", files("tc.dl", TC), "--edb", files("edb.dl", EDB)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "G(1, 3)" in out
+
+    def test_stats_flag(self, files, capsys):
+        main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", EDB),
+                "--stats",
+            ]
+        )
+        assert "iterations=" in capsys.readouterr().out
+
+    def test_naive_engine(self, files, capsys):
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", EDB),
+                "--engine",
+                "naive",
+            ]
+        )
+        assert code == 0
+
+    def test_rejects_rules_in_edb(self, files, capsys):
+        code = main(["eval", files("tc.dl", TC), "--edb", files("bad.dl", TC)])
+        assert code == 2
+        assert "non-fact" in capsys.readouterr().err
+
+
+class TestMinimize:
+    def test_removes_redundant_atom(self, files, capsys):
+        assert main(["minimize", files("r.dl", TC_REDUNDANT)]) == 0
+        out = capsys.readouterr().out
+        assert "A(w, y)" not in out.splitlines()[0]
+        assert "1 atom(s)" in out
+
+
+class TestOptimize:
+    def test_example19(self, files, capsys):
+        assert main(["optimize", files("ex19.dl", EX19)]) == 0
+        out = capsys.readouterr().out
+        assert "G(x, z) :- A(x, y), G(y, z)." in out
+        assert "1 deletion(s)" in out
+
+    def test_uniform_only(self, files, capsys):
+        assert main(["optimize", files("ex19.dl", EX19), "--uniform-only"]) == 0
+        out = capsys.readouterr().out
+        assert "G(y, w)" in out  # guard survives without the §X/XI layer
+
+
+class TestContains:
+    def test_both_directions(self, files, capsys):
+        linear = "G(x, z) :- A(x, z).\nG(x, z) :- A(x, y), G(y, z).\n"
+        code = main(
+            ["contains", files("p1.dl", TC), files("p2.dl", linear)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P2 ⊑u P1: yes" in out
+        assert "P1 ⊑u P2: no" in out
+
+    def test_equivalent_programs(self, files, capsys):
+        code = main(["contains", files("p1.dl", TC), files("p2.dl", TC)])
+        assert code == 0
+        assert "P1 ≡u P2" in capsys.readouterr().out
+
+
+class TestPreserves:
+    def test_preserved(self, files, capsys):
+        guarded = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z), A(y, w).\n"
+        code = main(
+            [
+                "preserves",
+                files("p.dl", guarded),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+            ]
+        )
+        assert code == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_not_preserved_exit_code(self, files, capsys):
+        code = main(
+            [
+                "preserves",
+                files("p.dl", "H(x, y) :- A(x, y).\n"),
+                "--tgds",
+                files("t.tgd", "H(x, y) -> Mark(y)\n"),
+            ]
+        )
+        assert code == 1
+
+
+class TestQuery:
+    def test_bound_query(self, files, capsys):
+        code = main(
+            ["query", files("tc.dl", TC), "G(1, x)", "--edb", files("edb.dl", EDB)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "G(1, 2)" in out and "G(1, 3)" in out
+        assert "G(2, 3)" not in out  # goal-directed: irrelevant answers absent
+
+    def test_stats(self, files, capsys):
+        main(
+            [
+                "query",
+                files("tc.dl", TC),
+                "G(1, x)",
+                "--edb",
+                files("edb.dl", EDB),
+                "--stats",
+            ]
+        )
+        assert "iterations=" in capsys.readouterr().out
+
+    def test_empty_result(self, files, capsys):
+        code = main(
+            ["query", files("tc.dl", TC), "G(9, x)", "--edb", files("edb.dl", EDB)]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
+class TestExplain:
+    def test_proof_tree(self, files, capsys):
+        code = main(
+            ["explain", files("tc.dl", TC), "G(1, 3)", "--edb", files("edb.dl", EDB)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(given)" in out
+        assert "G(1, 3)" in out
+
+    def test_underivable_fact(self, files, capsys):
+        code = main(
+            ["explain", files("tc.dl", TC), "G(3, 1)", "--edb", files("edb.dl", EDB)]
+        )
+        assert code == 1
+        assert "does not hold" in capsys.readouterr().err
+
+
+class TestBounded:
+    def test_bounded_program(self, files, capsys):
+        source = "P(x) :- A(x).\nP(x) :- P(x), B(x).\n"
+        code = main(["bounded", files("b.dl", source)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "uniformly bounded at depth 1" in out
+
+    def test_unbounded_program(self, files, capsys):
+        code = main(["bounded", files("tc.dl", TC), "--max-depth", "2"])
+        assert code == 1
+        assert "not shown bounded" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_lists_all(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E19" in out

@@ -1,0 +1,140 @@
+"""Unit tests for uniform containment (Section VI) -- Examples 4-7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper, parse_program, parse_rule
+from repro.core.containment import (
+    canonical_database,
+    check_rule_containment,
+    check_uniform_containment,
+    rule_uniformly_contained_in,
+    uniformly_contains,
+    uniformly_equivalent,
+)
+from repro.lang import Program
+from repro.lang.terms import FrozenConstant
+
+
+class TestPaperExamples:
+    def test_example4_linear_contained_in_nonlinear(self):
+        assert uniformly_contains(
+            container=paper.TC_NONLINEAR, contained=paper.TC_LINEAR
+        )
+
+    def test_example4_nonlinear_not_contained_in_linear(self):
+        # The rule G(x,z) :- G(x,y), G(y,z) is not uniformly contained in
+        # the linear program (Example 6 second half).
+        assert not uniformly_contains(
+            container=paper.TC_LINEAR, contained=paper.TC_NONLINEAR
+        )
+
+    def test_example4_not_uniformly_equivalent(self):
+        assert not uniformly_equivalent(paper.TC_NONLINEAR, paper.TC_LINEAR)
+
+    def test_example5(self):
+        # Every rule of P1 is a rule of P2, so P1 ⊑u P2.
+        assert uniformly_contains(container=paper.EX5_P2, contained=paper.TC_NONLINEAR)
+
+    def test_example6_failing_rule_identified(self):
+        report = check_uniform_containment(
+            container=paper.TC_LINEAR, contained=paper.TC_NONLINEAR
+        )
+        assert not report.holds
+        assert [str(r) for r in report.failing_rules] == [
+            "G(x, z) :- G(x, y), G(y, z)."
+        ]
+
+    def test_example7_both_directions(self):
+        # The subset body gives P1 ⊑u P2 trivially; the chase shows P2 ⊑u P1.
+        assert uniformly_contains(container=paper.EX7_P2, contained=paper.EX7_P1)
+        assert uniformly_contains(container=paper.EX7_P1, contained=paper.EX7_P2)
+        assert uniformly_equivalent(paper.EX7_P1, paper.EX7_P2)
+
+
+class TestAlgebraicProperties:
+    def test_reflexive(self, tc):
+        assert uniformly_contains(tc, tc)
+
+    def test_rule_in_own_program(self, tc):
+        for rule in tc.rules:
+            assert rule_uniformly_contained_in(rule, tc)
+
+    def test_subset_of_rules_is_contained(self, tc):
+        smaller = Program.of(tc.rules[0])
+        assert uniformly_contains(container=tc, contained=smaller)
+
+    def test_transitive(self):
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program("G(x, z) :- A(x, z). G(x, z) :- G(x, y), G(y, z).")
+        p3 = p2.with_rule(parse_rule("H(x) :- G(x, x)."))
+        assert uniformly_contains(p2, p1)
+        assert uniformly_contains(p3, p2)
+        assert uniformly_contains(p3, p1)
+
+    def test_empty_program_contained_in_all(self, tc):
+        assert uniformly_contains(container=tc, contained=Program())
+
+    def test_nontrivial_rule_not_contained_in_empty(self):
+        rule = parse_rule("G(x, z) :- A(x, z).")
+        assert not rule_uniformly_contained_in(rule, Program())
+
+    def test_trivial_rule_contained_in_empty(self):
+        rule = parse_rule("G(x, z) :- G(x, z).")
+        assert rule_uniformly_contained_in(rule, Program())
+
+
+class TestWitnesses:
+    def test_positive_witness(self, tc):
+        rule = parse_rule("G(x, z) :- A(x, y), A(y, z).")
+        witness = check_rule_containment(rule, tc)
+        assert witness.holds
+        assert witness.frozen_head in witness.canonical_output
+
+    def test_negative_witness_is_countermodel(self, tc_linear):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z).")
+        witness = check_rule_containment(rule, tc_linear)
+        assert not witness.holds
+        # The canonical output is a model of the linear program that is
+        # not a model of the rule -- the paper's countermodel argument.
+        assert witness.frozen_head not in witness.canonical_output
+
+    def test_str_rendering(self, tc):
+        witness = check_rule_containment(parse_rule("G(x, z) :- A(x, z)."), tc)
+        assert "⊑u holds" in str(witness)
+
+    def test_report_collects_all_failures(self):
+        container = parse_program("G(x, z) :- A(x, z).")
+        contained = parse_program(
+            """
+            G(x, z) :- B(x, z).
+            G(x, z) :- C(x, z).
+            """
+        )
+        report = check_uniform_containment(container, contained)
+        assert len(report.failing_rules) == 2
+
+    def test_canonical_database(self):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z).")
+        db = canonical_database(rule)
+        assert len(db) == 2
+        assert db.count("G") == 2
+        assert all(isinstance(t, FrozenConstant) for row in db.tuples("G") for t in row)
+
+
+class TestConstantsInRules:
+    def test_constants_preserved_in_test(self):
+        # Head constants must be derivable exactly.
+        container = parse_program("G(x, 3) :- A(x).")
+        contained = parse_program("G(x, 3) :- A(x), B(x).")
+        assert uniformly_contains(container, contained)
+        assert not uniformly_contains(contained, container)
+
+    def test_different_constants_not_contained(self):
+        p3 = parse_program("G(x, 3) :- A(x).")
+        p4 = parse_program("G(x, 4) :- A(x).")
+        assert not uniformly_contains(p3, p4)
+
+    def test_engine_parameter(self, tc):
+        assert uniformly_contains(tc, paper.TC_LINEAR, engine="naive")

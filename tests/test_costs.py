@@ -1,0 +1,141 @@
+"""Unit tests for the cost model (statistics, join estimates, guard ranking)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, parse_program, parse_rule
+from repro.engine.costs import (
+    collect_statistics,
+    estimate_guard_benefit,
+    estimate_rule,
+    rank_guards,
+)
+from repro.lang import parse_atom
+from repro.workloads import chain, random_graph
+
+
+class TestStatistics:
+    def test_cardinality(self):
+        db = chain(10)
+        stats = collect_statistics(db)
+        assert stats["A"].cardinality == 10
+
+    def test_distinct_counts(self):
+        db = Database.from_facts({"A": [(1, 2), (1, 3), (2, 3)]})
+        stats = collect_statistics(db)
+        assert stats["A"].distinct == (2, 2)
+
+    def test_selectivity(self):
+        db = Database.from_facts({"A": [(1, 2), (1, 3), (2, 3), (4, 5)]})
+        stats = collect_statistics(db)
+        assert stats["A"].selectivity(0) == pytest.approx(1 / 3)
+
+    def test_empty_relation_handled(self):
+        stats = collect_statistics(Database())
+        assert stats == {}
+
+
+class TestEstimateRule:
+    def test_single_scan(self):
+        db = chain(20)
+        stats = collect_statistics(db)
+        rule = parse_rule("P(x, y) :- A(x, y).")
+        estimate = estimate_rule(rule, stats)
+        assert estimate.result_rows == pytest.approx(20)
+
+    def test_join_shrinks_by_selectivity(self):
+        db = chain(20)
+        stats = collect_statistics(db)
+        two_hop = parse_rule("P(x, z) :- A(x, y), A(y, z).")
+        estimate = estimate_rule(two_hop, stats)
+        # 20 * 20 / distinct(y-position) = 400/20 = 20-ish.
+        assert 5 <= estimate.result_rows <= 40
+
+    def test_constant_filters(self):
+        db = chain(20)
+        stats = collect_statistics(db)
+        selective = parse_rule("P(y) :- A(0, y).")
+        unselective = parse_rule("P(y) :- A(x, y).")
+        assert (
+            estimate_rule(selective, stats).result_rows
+            < estimate_rule(unselective, stats).result_rows
+        )
+
+    def test_unknown_predicate_estimates_zero(self):
+        stats = collect_statistics(chain(5))
+        rule = parse_rule("P(x) :- Zzz(x).")
+        assert estimate_rule(rule, stats).result_rows == 0
+
+    def test_repeated_variable_filters(self):
+        db = random_graph(20, 60, seed=1)
+        stats = collect_statistics(db)
+        loop = parse_rule("P(x) :- A(x, x).")
+        any_edge = parse_rule("P(x) :- A(x, y).")
+        assert (
+            estimate_rule(loop, stats).result_rows
+            < estimate_rule(any_edge, stats).result_rows
+        )
+
+    def test_negated_literal_is_a_filter(self):
+        db = chain(10)
+        stats = collect_statistics(db)
+        rule = parse_rule("P(x, y) :- A(x, y), not B(x, y).")
+        plain = parse_rule("P(x, y) :- A(x, y).")
+        assert (
+            estimate_rule(rule, stats).result_rows
+            <= estimate_rule(plain, stats).result_rows
+        )
+
+    def test_order_parameter(self):
+        db = chain(10)
+        stats = collect_statistics(db)
+        rule = parse_rule("P(x, z) :- A(x, y), A(y, z).")
+        default = estimate_rule(rule, stats)
+        reversed_order = estimate_rule(rule, stats, order=[1, 0])
+        # Result size is order-independent under the model.
+        assert default.result_rows == pytest.approx(reversed_order.result_rows)
+
+
+class TestGuardRanking:
+    def test_selective_guard_ranked_first(self):
+        db = Database.from_facts(
+            {
+                "A": [(i, i + 1) for i in range(50)],
+                "Small": [(0,)],
+                "Big": [(i,) for i in range(50)],
+            }
+        )
+        stats = collect_statistics(db)
+        rule = parse_rule("P(x, y) :- A(x, y).")
+        guards = [parse_atom("Big(x)"), parse_atom("Small(x)")]
+        ranking = rank_guards(rule, guards, stats)
+        assert str(ranking[0][0]) == "Small(x)"
+
+    def test_benefit_below_one_for_selective_guard(self):
+        db = Database.from_facts(
+            {"A": [(i, i + 1) for i in range(50)], "Small": [(0,)]}
+        )
+        stats = collect_statistics(db)
+        rule = parse_rule("P(x, z) :- A(x, y), A(y, z).")
+        benefit = estimate_guard_benefit(rule, parse_atom("Small(x)"), stats)
+        assert benefit < 1.0
+
+    def test_end_to_end_with_augment(self):
+        """Safety from augment + profitability from costs."""
+        from repro.core.augment import addable_guards
+
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        rule = program.rules[1]
+        candidates = [parse_atom("A(x, v)"), parse_atom("G(y, u)")]
+        safe = addable_guards(program, rule, candidates)
+        db = chain(30)
+        stats = collect_statistics(db)
+        ranking = rank_guards(rule, safe, stats)
+        assert len(ranking) == 2
+        assert all(isinstance(score, float) for _, score in ranking)

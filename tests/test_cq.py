@@ -1,0 +1,167 @@
+"""Unit tests for the conjunctive-query baseline (Chandra-Merlin,
+Sagiv-Yannakakis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_program, parse_rule
+from repro.core.cq import (
+    cq_contained_in,
+    cq_equivalent,
+    find_homomorphism,
+    initialization_programs_equivalent,
+    minimize_cq,
+    nonrecursive_equivalent,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from repro.errors import ValidationError
+
+
+class TestHomomorphism:
+    def test_identity(self):
+        q = parse_rule("Q(x, y) :- A(x, y).")
+        assert find_homomorphism(q, q) is not None
+
+    def test_folding_homomorphism(self):
+        # The 2-path query maps onto the 1-loop query by y -> x.
+        loop = parse_rule("Q(x) :- A(x, x).")
+        path = parse_rule("Q(x) :- A(x, y), A(y, x).")
+        assert find_homomorphism(path, loop) is not None
+        assert find_homomorphism(loop, path) is None
+
+    def test_witness_maps_head(self):
+        q1 = parse_rule("Q(x) :- A(x, y).")
+        q2 = parse_rule("Q(u) :- A(u, v), A(u, w).")
+        hom = find_homomorphism(q2, q1)
+        assert hom is not None
+
+
+class TestContainment:
+    def test_more_atoms_contained_in_fewer(self):
+        q_small = parse_rule("Q(x) :- A(x, y).")
+        q_big = parse_rule("Q(x) :- A(x, y), A(x, z).")
+        assert cq_contained_in(q_big, q_small)
+        assert cq_contained_in(q_small, q_big)  # z weakened copy folds away
+
+    def test_genuinely_stricter_query(self):
+        q_any = parse_rule("Q(x) :- A(x, y).")
+        q_loop = parse_rule("Q(x) :- A(x, x).")
+        assert cq_contained_in(q_loop, q_any)
+        assert not cq_contained_in(q_any, q_loop)
+
+    def test_constants(self):
+        q_any = parse_rule("Q(x) :- A(x, y).")
+        q_three = parse_rule("Q(x) :- A(x, 3).")
+        assert cq_contained_in(q_three, q_any)
+        assert not cq_contained_in(q_any, q_three)
+
+    def test_incomparable_predicates_raise(self):
+        q1 = parse_rule("Q(x) :- A(x).")
+        q2 = parse_rule("R(x) :- A(x).")
+        with pytest.raises(ValidationError):
+            cq_contained_in(q1, q2)
+
+    def test_negation_rejected(self):
+        q1 = parse_rule("Q(x) :- A(x), not B(x).")
+        q2 = parse_rule("Q(x) :- A(x).")
+        with pytest.raises(ValidationError):
+            cq_contained_in(q1, q2)
+
+    def test_equivalence(self):
+        q1 = parse_rule("Q(x, z) :- A(x, y), A(y, z).")
+        q2 = parse_rule("Q(u, w) :- A(u, v), A(v, w).")
+        assert cq_equivalent(q1, q2)
+
+
+class TestMinimizeCq:
+    def test_classic_core(self):
+        query = parse_rule("Q(x) :- A(x, y), A(x, z), A(z, w).")
+        core = minimize_cq(query)
+        # A(x,y) folds into A(x,z); the chain A(x,z), A(z,w) remains.
+        assert len(core.body) == 2
+        assert cq_equivalent(query, core)
+
+    def test_minimal_query_fixed(self):
+        query = parse_rule("Q(x) :- A(x, x).")
+        assert minimize_cq(query) == query
+
+
+class TestUnions:
+    def test_member_containment(self):
+        q1 = parse_rule("Q(x) :- A(x, 1).")
+        q2 = parse_rule("Q(x) :- A(x, 2).")
+        q_any = parse_rule("Q(x) :- A(x, y).")
+        assert ucq_contained_in([q1, q2], [q_any])
+        assert not ucq_contained_in([q_any], [q1, q2])
+
+    def test_empty_unions(self):
+        q = parse_rule("Q(x) :- A(x).")
+        assert ucq_contained_in([], [q])
+        assert not ucq_contained_in([q], [])
+        assert ucq_contained_in([], [])
+
+    def test_union_equivalence(self):
+        q1 = parse_rule("Q(x) :- A(x, y).")
+        q2 = parse_rule("Q(x) :- A(x, y), A(x, z).")
+        assert ucq_equivalent([q1], [q2, q1])
+
+
+class TestInitializationPrograms:
+    def test_example_condition3(self):
+        # Two programs with semantically equal (but syntactically
+        # different) initialization rules.
+        p1 = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- G(x, y), G(y, z).
+            """
+        )
+        p2 = parse_program(
+            """
+            G(u, v) :- A(u, v).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        assert initialization_programs_equivalent(p1, p2)
+
+    def test_redundant_union_member(self):
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, z), A(x, w).
+            """
+        )
+        assert initialization_programs_equivalent(p1, p2)
+
+    def test_different_initializations(self):
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program("G(x, z) :- B(x, z).")
+        assert not initialization_programs_equivalent(p1, p2)
+
+
+class TestNonrecursiveEquivalence:
+    def test_initialization_style_accepted(self):
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, z), A(x, w).
+            """
+        )
+        assert nonrecursive_equivalent(p1, p2)
+
+    def test_layered_programs_rejected(self):
+        # B reads G: equivalence != uniform equivalence here, so the
+        # function must refuse rather than silently answer the wrong
+        # question.
+        p = parse_program(
+            """
+            G(x) :- A(x).
+            B(x) :- G(x).
+            """
+        )
+        with pytest.raises(ValidationError):
+            nonrecursive_equivalent(p, p)

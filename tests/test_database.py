@@ -1,0 +1,202 @@
+"""Unit tests for repro.data.database and repro.data.indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, PredicateIndex, Relation, relation_of, split_edb_idb
+from repro.errors import ArityError, GroundnessError
+from repro.lang import Atom, Variable, parse_program
+from repro.lang.terms import Constant, Null
+
+
+class TestAddContains:
+    def test_add_new(self):
+        db = Database()
+        assert db.add(Atom.of("A", 1, 2))
+        assert Atom.of("A", 1, 2) in db
+
+    def test_add_duplicate(self):
+        db = Database()
+        db.add(Atom.of("A", 1, 2))
+        assert not db.add(Atom.of("A", 1, 2))
+        assert len(db) == 1
+
+    def test_add_fact_coerces(self):
+        db = Database()
+        db.add_fact("A", 1, "x")
+        assert db.contains_tuple("A", (Constant(1), Constant("x")))
+
+    def test_nonground_rejected(self):
+        with pytest.raises(GroundnessError):
+            Database().add(Atom("A", (Variable("x"),)))
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(GroundnessError):
+            Database().add_fact("A", Variable("x"))
+
+    def test_null_atoms_accepted(self):
+        db = Database()
+        db.add(Atom("A", (Constant(3), Null(1))))
+        assert len(db) == 1
+
+    def test_arity_conflict(self):
+        db = Database()
+        db.add_fact("A", 1)
+        with pytest.raises(ArityError):
+            db.add_fact("A", 1, 2)
+
+    def test_add_all_counts_new(self):
+        db = Database()
+        added = db.add_all([Atom.of("A", 1), Atom.of("A", 1), Atom.of("A", 2)])
+        assert added == 2
+
+
+class TestConstruction:
+    def test_from_facts(self):
+        db = Database.from_facts({"A": [(1, 2)], "B": [("x",)]})
+        assert db.count("A") == 1 and db.count("B") == 1
+
+    def test_from_atoms(self):
+        db = Database.from_atoms([Atom.of("A", 1, 2)])
+        assert len(db) == 1
+
+    def test_copy_independent(self):
+        db = Database.from_facts({"A": [(1, 2)]})
+        other = db.copy()
+        other.add_fact("A", 3, 4)
+        assert len(db) == 1 and len(other) == 2
+
+
+class TestSetOperations:
+    def test_update_counts_new(self):
+        db = Database.from_facts({"A": [(1, 2)]})
+        other = Database.from_facts({"A": [(1, 2), (3, 4)], "B": [(5,)]})
+        assert db.update(other) == 2
+        assert len(db) == 3
+
+    def test_equality_ignores_empty_relations(self):
+        db1 = Database.from_facts({"A": [(1, 2)]})
+        db2 = Database.from_facts({"A": [(1, 2)]})
+        # Probe a missing predicate; must not affect equality.
+        db2.count("B")
+        assert db1 == db2
+
+    def test_difference(self):
+        big = Database.from_facts({"A": [(1, 2), (3, 4)]})
+        small = Database.from_facts({"A": [(1, 2)]})
+        assert big.difference(small) == {Atom.of("A", 3, 4)}
+
+    def test_issubset(self):
+        big = Database.from_facts({"A": [(1, 2), (3, 4)]})
+        small = Database.from_facts({"A": [(1, 2)]})
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_restrict_to(self):
+        db = Database.from_facts({"A": [(1, 2)], "B": [(3,)]})
+        only_a = db.restrict_to(["A"])
+        assert only_a.predicates == {"A"}
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Database())
+
+
+class TestQueries:
+    def test_atoms_iteration(self):
+        db = Database.from_facts({"A": [(1, 2)], "B": [(3,)]})
+        assert set(db.atoms()) == {Atom.of("A", 1, 2), Atom.of("B", 3)}
+
+    def test_atoms_for(self):
+        db = Database.from_facts({"A": [(1, 2)], "B": [(3,)]})
+        assert list(db.atoms_for("B")) == [Atom.of("B", 3)]
+        assert list(db.atoms_for("Zzz")) == []
+
+    def test_tuples_of_unknown_predicate(self):
+        assert Database().tuples("X") == frozenset()
+
+    def test_bool(self):
+        assert not Database()
+        assert Database.from_facts({"A": [(1,)]})
+
+
+class TestCandidates:
+    def setup_method(self):
+        self.db = Database.from_facts(
+            {"A": [(1, 2), (1, 3), (2, 3), (4, 5)]}
+        )
+
+    def test_unbound_scan(self):
+        assert len(list(self.db.candidates("A", {}))) == 4
+
+    def test_single_position(self):
+        rows = list(self.db.candidates("A", {0: Constant(1)}))
+        assert len(rows) == 2
+
+    def test_multi_position(self):
+        rows = list(self.db.candidates("A", {0: Constant(1), 1: Constant(3)}))
+        assert rows == [(Constant(1), Constant(3))]
+
+    def test_miss(self):
+        assert list(self.db.candidates("A", {0: Constant(9)})) == []
+
+    def test_unknown_predicate(self):
+        assert list(self.db.candidates("Zzz", {0: Constant(1)})) == []
+
+    def test_index_maintained_after_insert(self):
+        # Build the index, then insert, then probe again.
+        list(self.db.candidates("A", {0: Constant(1)}))
+        self.db.add_fact("A", 1, 9)
+        rows = list(self.db.candidates("A", {0: Constant(1)}))
+        assert len(rows) == 3
+
+    def test_probe_count_increases(self):
+        before = self.db.probe_count()
+        list(self.db.candidates("A", {0: Constant(1)}))
+        assert self.db.probe_count() > before
+
+
+class TestPredicateIndex:
+    def test_build_and_bucket(self):
+        index = PredicateIndex(2)
+        rows = [(Constant(1), Constant(2)), (Constant(1), Constant(3))]
+        index.build(0, rows)
+        assert index.bucket(0, Constant(1)) == set(rows)
+
+    def test_bucket_unbuilt_position(self):
+        index = PredicateIndex(2)
+        assert index.bucket(1, Constant(2)) is None
+
+    def test_insert_maintains_built(self):
+        index = PredicateIndex(2)
+        index.build(0, [])
+        index.insert((Constant(7), Constant(8)))
+        assert index.bucket(0, Constant(7)) == {(Constant(7), Constant(8))}
+
+    def test_bucket_size_no_probe(self):
+        index = PredicateIndex(1)
+        index.build(0, [(Constant(1),)])
+        before = index.probes
+        assert index.bucket_size(0, Constant(1)) == 1
+        assert index.probes == before
+
+
+class TestRelations:
+    def test_relation_of(self):
+        db = Database.from_facts({"A": [(1, 2), (3, 4)]})
+        rel = relation_of(db, "A")
+        assert isinstance(rel, Relation)
+        assert len(rel) == 2
+        assert (Constant(1), Constant(2)) in rel
+
+    def test_relation_values_unwrap(self):
+        db = Database.from_facts({"A": [(1, "x")]})
+        assert relation_of(db, "A").values() == {(1, "x")}
+
+    def test_split_edb_idb(self):
+        program = parse_program("G(x, z) :- A(x, z).")
+        db = Database.from_facts({"A": [(1, 2)], "G": [(1, 2)], "Other": [(9,)]})
+        edb, idb = split_edb_idb(db, program)
+        assert edb.predicates == {"A", "Other"}
+        assert idb.predicates == {"G"}

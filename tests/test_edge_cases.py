@@ -1,0 +1,224 @@
+"""Edge-case coverage across modules: zero-arity predicates, constants
+everywhere, ground rules, empty inputs, weird-but-legal syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    evaluate,
+    minimize_program,
+    parse_program,
+    parse_rule,
+    parse_tgd,
+    uniformly_contains,
+    uniformly_equivalent,
+)
+from repro.core.chase import chase
+from repro.core.minimize import minimize_rule
+from repro.engine import apply_once, evaluate_stratified
+from repro.lang import Atom, Program
+
+
+class TestZeroArity:
+    def test_zero_arity_fact_and_rule(self):
+        program = parse_program(
+            """
+            Go().
+            Ready(x) :- Task(x), Go().
+            """
+        )
+        db = Database.from_facts({"Task": [(1,), (2,)]})
+        out = evaluate(program, db).database
+        assert out.count("Ready") == 2
+
+    def test_zero_arity_gate_closed(self):
+        program = parse_program("Ready(x) :- Task(x), Go().")
+        db = Database.from_facts({"Task": [(1,)]})
+        out = evaluate(program, db).database
+        assert out.count("Ready") == 0
+
+    def test_zero_arity_head_derivation(self):
+        program = parse_program("Any() :- Task(x).")
+        db = Database.from_facts({"Task": [(7,)]})
+        out = evaluate(program, db).database
+        assert Atom("Any", ()) in out
+
+    def test_zero_arity_containment(self):
+        p1 = parse_program("P() :- A(x).")
+        p2 = parse_program("P() :- A(x), B(x).")
+        assert uniformly_contains(p1, p2)
+        assert not uniformly_contains(p2, p1)
+
+
+class TestConstantsEverywhere:
+    def test_all_constant_rule(self):
+        program = parse_program("G(1, 2) :- A(3).")
+        db = Database.from_facts({"A": [(3,)]})
+        out = evaluate(program, db).database
+        assert Atom.of("G", 1, 2) in out
+
+    def test_constant_join(self):
+        program = parse_program("P(x) :- A(x, 3), B(3, x).")
+        db = Database.from_facts({"A": [(1, 3), (2, 4)], "B": [(3, 1)]})
+        out = evaluate(program, db).database
+        assert out.tuples("P") == Database.from_facts({"P": [(1,)]}).tuples("P")
+
+    def test_minimize_respects_constants(self):
+        # A(x, 3) and A(x, 4) are NOT mutually redundant.
+        rule = parse_rule("P(x) :- A(x, 3), A(x, 4).")
+        assert minimize_rule(rule) == rule
+
+    def test_minimize_folds_constant_weakening(self):
+        # A(x, y) IS redundant given A(x, 3) (y weakened to anything).
+        rule = parse_rule("P(x) :- A(x, 3), A(x, y).")
+        minimized = minimize_rule(rule)
+        assert len(minimized.body) == 1
+        assert str(minimized.body[0]) == "A(x, 3)"
+
+    def test_string_constants_join(self):
+        program = parse_program("P(x) :- Name(x, 'alice').")
+        db = Database.from_facts({"Name": [(1, "alice"), (2, "bob")]})
+        out = evaluate(program, db).database
+        assert out.count("P") == 1
+
+    def test_string_int_never_equal(self):
+        program = parse_program("P(x) :- A(x, 1), B(x, '1').")
+        db = Database.from_facts({"A": [(0, 1)], "B": [(0, "1")]})
+        out = evaluate(program, db).database
+        assert out.count("P") == 1  # both present, as distinct values
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_program_on_empty_db(self):
+        out = evaluate(Program(), Database()).database
+        assert len(out) == 0
+
+    def test_facts_only_program(self):
+        program = parse_program("A(1, 2). A(2, 3).")
+        out = evaluate(program, Database()).database
+        assert len(out) == 2
+
+    def test_rule_never_firing(self):
+        program = parse_program("P(x) :- Missing(x).")
+        db = Database.from_facts({"Other": [(1,)]})
+        out = evaluate(program, db).database
+        assert out.count("P") == 0
+
+    def test_apply_once_on_fact_program(self):
+        program = parse_program("A(1, 2).")
+        assert apply_once(program, Database()) == {Atom.of("A", 1, 2)}
+
+    def test_chase_empty_everything(self):
+        outcome = chase(Database(), Program(), [])
+        assert outcome.saturated
+        assert len(outcome.database) == 0
+
+    def test_minimize_fact_program(self):
+        program = parse_program("A(1, 2). A(1, 2).")
+        result = minimize_program(program)
+        assert len(result.program) == 1  # parser/Program dedupe
+
+    def test_single_fact_redundant_via_rule(self):
+        # The fact G(1,2) is derivable from A(1,2) via the rule: redundant.
+        program = parse_program(
+            """
+            A(1, 2).
+            G(1, 2).
+            G(x, z) :- A(x, z).
+            """
+        )
+        result = minimize_program(program)
+        assert parse_rule("G(1, 2).") not in result.program.rules
+
+
+class TestSelfContainment:
+    def test_tautological_rule_removed(self):
+        # G(x, z) :- G(x, z) is contained in the empty program.
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- G(x, z).
+            """
+        )
+        result = minimize_program(program)
+        assert len(result.program) == 1
+
+    def test_permuted_recursion_kept(self):
+        # G(x, z) :- G(z, x) genuinely does something; must survive.
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- G(z, x).
+            """
+        )
+        result = minimize_program(program)
+        assert len(result.program) == 2
+
+
+class TestStratifiedEdges:
+    def test_negation_on_empty_relation(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        db = Database.from_facts({"A": [(1,), (2,)]})
+        out = evaluate_stratified(program, db).database
+        assert out.count("P") == 2
+
+    def test_double_negation_layers(self):
+        program = parse_program(
+            """
+            Q(x) :- A(x), not B(x).
+            R(x) :- A(x), not Q(x).
+            """
+        )
+        db = Database.from_facts({"A": [(1,), (2,)], "B": [(1,)]})
+        out = evaluate_stratified(program, db).database
+        # Q = {2}; R = A - Q = {1}.
+        assert set(out.tuples("Q")) == Database.from_facts({"Q": [(2,)]}).tuples("Q")
+        assert set(out.tuples("R")) == Database.from_facts({"R": [(1,)]}).tuples("R")
+
+
+class TestTgdEdges:
+    def test_tgd_with_constants(self):
+        tgd = parse_tgd("G(x, 3) -> Mark(x)")
+        db = Database.from_facts({"G": [(1, 3), (2, 4)], "Mark": [(1,)]})
+        assert tgd.is_satisfied_by(db)  # only (1,3) triggers; Mark(1) holds
+
+    def test_tgd_with_constants_violated(self):
+        tgd = parse_tgd("G(x, 3) -> Mark(x)")
+        db = Database.from_facts({"G": [(5, 3)]})
+        assert not tgd.is_satisfied_by(db)
+
+    def test_tgd_lhs_repeated_variable(self):
+        tgd = parse_tgd("G(x, x) -> Loop(x)")
+        db = Database.from_facts({"G": [(1, 1), (1, 2)], "Loop": [(1,)]})
+        assert tgd.is_satisfied_by(db)
+
+    def test_chase_with_constant_tgd(self):
+        tgd = parse_tgd("Person(x) -> Likes(x, 'pizza')")
+        db = Database.from_facts({"Person": [("a",)]})
+        outcome = chase(db, None, [tgd])
+        assert outcome.saturated
+        assert outcome.database.contains_tuple(
+            "Likes", tuple(Database.from_facts({"L": [("a", "pizza")]}).tuples("L"))[0]
+        )
+
+
+class TestUniformEquivalenceEdges:
+    def test_variable_renaming_equivalent(self):
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program("G(u, v) :- A(u, v).")
+        assert uniformly_equivalent(p1, p2)
+
+    def test_body_reordering_equivalent(self):
+        p1 = parse_program("P(x) :- A(x), B(x).")
+        p2 = parse_program("P(x) :- B(x), A(x).")
+        assert uniformly_equivalent(p1, p2)
+
+    def test_split_vs_joined_rules(self):
+        # One program with a disjunctive pair of rules vs a single
+        # stronger rule: not equivalent.
+        p1 = parse_program("P(x) :- A(x). P(x) :- B(x).")
+        p2 = parse_program("P(x) :- A(x), B(x).")
+        assert uniformly_contains(p1, p2)
+        assert not uniformly_contains(p2, p1)

@@ -1,0 +1,122 @@
+"""Unit tests for the Section X containment/equivalence recipe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper, parse_program, parse_tgd
+from repro.core.chase import ChaseBudget, Verdict
+from repro.core.equivalence import (
+    prove_containment_with_constraints,
+    prove_equivalence_with_constraints,
+)
+
+
+class TestExample18:
+    def test_full_proof(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        assert proof.verdict is Verdict.PROVED
+
+    def test_all_three_conditions_recorded(self):
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        assert proof.model_containment.verdict is Verdict.PROVED
+        assert proof.preservation is not None
+        assert proof.preservation.verdict is Verdict.PROVED
+        assert proof.preliminary is not None
+        assert proof.preliminary.verdict is Verdict.PROVED
+
+    def test_explain_mentions_conditions(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        text = proof.explain()
+        assert "SAT(T)" in text
+        assert "(3')" in text
+        assert "P1 ≡ P2: proved" in text
+
+
+class TestExample19:
+    def test_full_proof(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX19_P1, paper.EX19_P2, [paper.EX16_TGD]
+        )
+        assert proof.verdict is Verdict.PROVED
+
+
+class TestSoundnessGuards:
+    def test_wrong_tgd_gives_unknown(self):
+        # A tgd that the program does not preserve cannot complete the
+        # proof; the verdict must stay UNKNOWN (never a false PROVED).
+        bad_tgd = parse_tgd("G(x, z) -> C(z)")
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [bad_tgd]
+        )
+        assert proof.verdict is Verdict.UNKNOWN
+
+    def test_no_tgds_reduces_to_uniform(self, tc, tc_linear):
+        # With T = {} the recipe can still prove containment when
+        # uniform containment already holds.
+        proof = prove_containment_with_constraints(tc, tc_linear, [])
+        assert proof.verdict is Verdict.PROVED
+
+    def test_skips_later_conditions_after_failure(self):
+        bad_tgd = parse_tgd("G(x, z) -> Z(x)")
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [bad_tgd]
+        )
+        if proof.model_containment.verdict is not Verdict.PROVED:
+            assert proof.preservation is None
+            assert proof.preliminary is None
+
+    def test_reverse_direction_checked_not_assumed(self):
+        # P2 is NOT a sub-body of P1 here: reverse uniform containment
+        # fails and the equivalence verdict must not be PROVED.
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program("G(x, z) :- B(x, z).")
+        proof = prove_equivalence_with_constraints(p1, p2, [])
+        assert proof.verdict is Verdict.UNKNOWN
+        assert not proof.reverse_uniform.holds
+
+    def test_bool_protocol(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        assert bool(proof)
+
+    def test_budget_propagates(self):
+        # Tiny budget: the chase cannot finish, verdict stays UNKNOWN
+        # rather than wrong.
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1,
+            paper.EX11_P2,
+            [paper.EX11_TGD],
+            budget=ChaseBudget(max_rounds=1, max_nulls=1, max_atoms=3),
+        )
+        assert proof.verdict in (Verdict.UNKNOWN, Verdict.PROVED)
+
+
+class TestPreservationNecessity:
+    def test_model_containment_alone_insufficient(self):
+        """A case where SAT(T) ∩ M(P1) ⊆ M(P2) holds but P1 does not
+        preserve T -- the recipe must not conclude containment."""
+        # P1 derives H facts without marks; the tgd demands marks.
+        p1 = parse_program("H(x, y) :- A(x, y).")
+        # P2 additionally copies B into H.
+        p2 = parse_program(
+            """
+            H(x, y) :- A(x, y).
+            H(x, y) :- B(x, y), Mark(y).
+            """
+        )
+        tgd = parse_tgd("B(x, y) -> A(x, y)")
+        proof = prove_containment_with_constraints(p2, p1, [tgd])
+        # Whatever the sub-verdicts, soundness demands: PROVED only if
+        # all three conditions are.
+        if proof.verdict is Verdict.PROVED:
+            assert proof.model_containment.verdict is Verdict.PROVED
+            assert proof.preservation.verdict is Verdict.PROVED
+            assert proof.preliminary.verdict is Verdict.PROVED

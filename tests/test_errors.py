@@ -1,0 +1,92 @@
+"""Unit tests for the exception hierarchy and error ergonomics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    BudgetExceededError,
+    GroundnessError,
+    ParseError,
+    ReproError,
+    StratificationError,
+    TgdError,
+    UnsafeRuleError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParseError("x"),
+            UnsafeRuleError("x"),
+            ArityError("x"),
+            GroundnessError("x"),
+            TgdError("x"),
+            StratificationError("x"),
+            BudgetExceededError("x"),
+            ValidationError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_structural_errors_are_validation_errors(self):
+        for cls in (UnsafeRuleError, ArityError, GroundnessError, TgdError):
+            assert issubclass(cls, ValidationError)
+
+    def test_one_except_clause_suffices(self):
+        from repro import parse_program
+
+        with pytest.raises(ReproError):
+            parse_program("G(x :- A(x).")
+        with pytest.raises(ReproError):
+            parse_program("G(x, y) :- A(x).")  # unsafe
+
+
+class TestParseErrorLocations:
+    def test_line_and_column_attached(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+
+    def test_line_only(self):
+        error = ParseError("bad token", line=2)
+        assert "line 2" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_location(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+    def test_real_parse_failure_reports_position(self):
+        from repro import parse_program
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("G(x, y) :- A(x, y).\n\nG(x y) :- A(x, y).")
+        assert excinfo.value.line == 3
+
+
+class TestErrorMessages:
+    def test_unsafe_rule_names_variables(self):
+        from repro import parse_rule
+
+        with pytest.raises(UnsafeRuleError, match="z"):
+            parse_rule("G(x, z) :- A(x, x).")
+
+    def test_arity_error_names_predicate(self):
+        from repro import parse_program
+
+        with pytest.raises(ArityError, match="G"):
+            parse_program("G(x) :- G(x, x).")
+
+    def test_groundness_error_shows_atom(self):
+        from repro import Database
+        from repro.lang import Atom, Variable
+
+        with pytest.raises(GroundnessError, match="A"):
+            Database().add(Atom("A", (Variable("x"),)))

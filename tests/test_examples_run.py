@@ -1,0 +1,25 @@
+"""Every example script must run to completion (they contain their own
+assertions), so the examples can never silently rot."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert SCRIPTS, f"no example scripts under {EXAMPLES_DIR}"
+    names = {s.stem for s in SCRIPTS}
+    assert "quickstart" in names
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"

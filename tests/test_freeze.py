@@ -1,0 +1,62 @@
+"""Unit tests for repro.lang.freeze (Section VI's canonical databases)."""
+
+from __future__ import annotations
+
+from repro.lang import parse_rule, parse_tgd
+from repro.lang.freeze import freeze_atoms, freeze_rule
+from repro.lang.terms import FrozenConstant
+
+
+class TestFreezeRule:
+    def test_all_atoms_become_ground(self):
+        frozen = freeze_rule(parse_rule("G(x, z) :- G(x, y), G(y, z)."))
+        assert frozen.head.is_ground
+        assert all(a.is_ground for a in frozen.body)
+
+    def test_distinct_variables_get_distinct_constants(self):
+        frozen = freeze_rule(parse_rule("G(x, z) :- G(x, y), G(y, z)."))
+        constants = set(frozen.theta.values())
+        assert len(constants) == 3
+
+    def test_paper_notation(self):
+        # Variable x freezes to the paper's x0, rendered x#.
+        frozen = freeze_rule(parse_rule("G(x, z) :- A(x, z)."))
+        assert frozen.head.args[0] == FrozenConstant("x", 0)
+
+    def test_shared_variables_shared_constants(self):
+        frozen = freeze_rule(parse_rule("G(x, z) :- G(x, y), G(y, z)."))
+        # The y in both body atoms freezes to the same constant.
+        assert frozen.body[0].args[1] == frozen.body[1].args[0]
+
+    def test_constants_unaffected(self):
+        frozen = freeze_rule(parse_rule("G(x, 3) :- A(x, 3)."))
+        assert str(frozen.body[0].args[1]) == "3"
+
+    def test_serial_produces_disjoint_freezings(self):
+        rule = parse_rule("G(x, z) :- A(x, z).")
+        f0 = freeze_rule(rule, serial=0)
+        f1 = freeze_rule(rule, serial=1)
+        assert not set(f0.theta.values()) & set(f1.theta.values())
+
+    def test_body_order_preserved(self):
+        frozen = freeze_rule(parse_rule("G(x, z) :- G(x, y), A(y, z)."))
+        assert frozen.body[0].predicate == "G"
+        assert frozen.body[1].predicate == "A"
+
+
+class TestFreezeAtoms:
+    def test_tgd_lhs_freezing(self):
+        tgd = parse_tgd("G(x, y), G(y, z) -> A(y, w)")
+        atoms, theta = freeze_atoms(tgd.lhs)
+        assert all(a.is_ground for a in atoms)
+        # Only LHS variables are in the substitution.
+        assert {v.name for v in theta} == {"x", "y", "z"}
+
+    def test_shared_variable_across_atoms(self):
+        tgd = parse_tgd("G(x, y), G(y, z) -> A(y, w)")
+        atoms, _theta = freeze_atoms(tgd.lhs)
+        assert atoms[0].args[1] == atoms[1].args[0]
+
+    def test_empty(self):
+        atoms, theta = freeze_atoms(())
+        assert atoms == () and len(theta) == 0

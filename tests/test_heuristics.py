@@ -1,0 +1,85 @@
+"""Unit tests for Section XI candidate-tgd discovery."""
+
+from __future__ import annotations
+
+from repro import paper, parse_rule, parse_tgd
+from repro.core.heuristics import candidate_tgds
+from repro.lang.atoms import atoms_variables
+
+
+def all_candidates(rule, **kwargs):
+    return list(candidate_tgds(rule, **kwargs))
+
+
+class TestPaperCandidates:
+    def test_example18_tgd_found(self):
+        # Rule: G(x,z) :- G(x,y), G(y,z), A(y,w); wanted: G(y,z) -> A(y,w).
+        rule = paper.EX11_P1.rules[1]
+        wanted = parse_tgd("G(y, z) -> A(y, w)")
+        assert wanted in [c.tgd for c in all_candidates(rule)]
+
+    def test_example19_tgd_found(self):
+        rule = paper.EX19_P1.rules[1]
+        wanted = parse_tgd("G(y, z) -> G(y, w) & C(w)")
+        candidates = all_candidates(rule)
+        assert wanted in [c.tgd for c in candidates]
+
+    def test_example19_positions(self):
+        rule = paper.EX19_P1.rules[1]
+        wanted = parse_tgd("G(y, z) -> G(y, w) & C(w)")
+        (hit,) = [c for c in all_candidates(rule) if c.tgd == wanted]
+        # Body: A(x,y), G(y,z), G(y,w), C(w) -- deletes positions 2, 3.
+        assert hit.rhs_body_positions == (2, 3)
+
+    def test_larger_rhs_first(self):
+        rule = paper.EX19_P1.rules[1]
+        sizes = [len(c.rhs_body_positions) for c in all_candidates(rule)]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestProperties:
+    def test_property1_lhs_predicate_matches_head(self):
+        rule = paper.EX11_P1.rules[1]
+        for candidate in all_candidates(rule):
+            assert all(a.predicate == "G" for a in candidate.tgd.lhs)
+
+    def test_property2_existential_vars_closed(self):
+        rule = parse_rule("G(x, z) :- G(x, y), A(y, w), B(w, z).")
+        for candidate in all_candidates(rule):
+            existential = candidate.tgd.existential_variables
+            body = rule.body_atoms()
+            for var in existential:
+                holders = {i for i, a in enumerate(body) if var in a.variable_set()}
+                assert holders <= set(candidate.rhs_body_positions)
+
+    def test_property3_existential_vars_not_in_head(self):
+        rule = paper.EX11_P1.rules[1]
+        head_vars = rule.head.variable_set()
+        for candidate in all_candidates(rule):
+            assert not (candidate.tgd.existential_variables & head_vars)
+
+    def test_no_candidates_without_head_predicate_in_body(self):
+        rule = parse_rule("G(x, z) :- A(x, z), B(z).")
+        assert all_candidates(rule) == []
+
+    def test_bounds_respected(self):
+        rule = paper.EX19_P1.rules[1]
+        for candidate in all_candidates(rule, max_lhs_atoms=1, max_rhs_atoms=2):
+            assert len(candidate.tgd.lhs) <= 1
+            assert len(candidate.tgd.rhs) <= 2
+
+    def test_deterministic(self):
+        rule = paper.EX19_P1.rules[1]
+        assert [str(c.tgd) for c in all_candidates(rule)] == [
+            str(c.tgd) for c in all_candidates(rule)
+        ]
+
+    def test_no_duplicates(self):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z), A(y, w), A(y, v).")
+        rendered = [str(c.tgd) for c in all_candidates(rule)]
+        assert len(rendered) == len(set(rendered))
+
+    def test_candidate_str(self):
+        rule = paper.EX11_P1.rules[1]
+        candidate = all_candidates(rule)[0]
+        assert "deletes body positions" in str(candidate)

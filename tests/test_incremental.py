@@ -1,0 +1,146 @@
+"""Unit tests for incremental view maintenance (DRed)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database, evaluate, parse_program
+from repro.engine.incremental import MaterializedView
+from repro.errors import GroundnessError, UnsafeRuleError
+from repro.lang import Atom, Variable
+from repro.workloads import chain, cycle, random_graph, tc_nonlinear
+
+
+def recomputed(program, atoms):
+    return evaluate(program, Database(atoms)).database
+
+
+class TestConstruction:
+    def test_initial_materialization(self, tc):
+        base = chain(5)
+        view = MaterializedView(tc, base)
+        assert view.database == evaluate(tc, base).database
+
+    def test_negation_rejected(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        with pytest.raises(UnsafeRuleError):
+            MaterializedView(program, Database())
+
+    def test_len_and_contains(self, tc):
+        view = MaterializedView(tc, chain(3))
+        assert len(view) == 3 + 6
+        assert Atom.of("G", 0, 3) in view
+
+
+class TestInsert:
+    def test_insert_propagates(self, tc):
+        view = MaterializedView(tc, chain(3))
+        view.insert(Atom.of("A", 3, 4))
+        expected = recomputed(tc, list(chain(4).atoms()))
+        assert view.database == expected
+
+    def test_insert_bridge_edge(self, tc):
+        # Two disconnected chains joined by one new edge.
+        base = chain(3)
+        base.update(chain(3, offset=10))
+        view = MaterializedView(tc, base)
+        view.insert(Atom.of("A", 3, 10))
+        atoms = set(base.atoms()) | {Atom.of("A", 3, 10)}
+        assert view.database == recomputed(tc, atoms)
+
+    def test_duplicate_insert_noop(self, tc):
+        view = MaterializedView(tc, chain(3))
+        before = len(view)
+        stats = view.insert(Atom.of("A", 0, 1))
+        assert stats.inserted == 0
+        assert len(view) == before
+
+    def test_insert_counts(self, tc):
+        view = MaterializedView(tc, chain(3))
+        stats = view.insert(Atom.of("A", 3, 4))
+        # New: edge + G(3,4) + G(2,4) + G(1,4) + G(0,4).
+        assert stats.inserted == 5
+
+    def test_nonground_rejected(self, tc):
+        view = MaterializedView(tc, chain(2))
+        with pytest.raises(GroundnessError):
+            view.insert(Atom("A", (Variable("x"), Variable("y"))))
+
+    def test_insert_idb_fact(self, tc):
+        # Initial IDB facts are legal inputs (paper, Section III).
+        view = MaterializedView(tc, chain(2))
+        view.insert(Atom.of("G", 50, 60))
+        assert Atom.of("G", 50, 60) in view
+
+
+class TestDelete:
+    def test_delete_chain_edge(self, tc):
+        base = chain(6)
+        view = MaterializedView(tc, base)
+        view.delete(Atom.of("A", 3, 4))
+        remaining = [a for a in base.atoms() if a != Atom.of("A", 3, 4)]
+        assert view.database == recomputed(tc, remaining)
+
+    def test_delete_with_rederivation(self, tc):
+        # In a cycle, many closure facts survive edge deletion through
+        # alternative paths: rederivation must bring them back.
+        base = cycle(5)
+        view = MaterializedView(tc, base)
+        stats = view.delete(Atom.of("A", 0, 1))
+        remaining = [a for a in base.atoms() if a != Atom.of("A", 0, 1)]
+        assert view.database == recomputed(tc, remaining)
+        assert stats.rederived > 0
+        assert stats.overdeleted > stats.deleted
+
+    def test_delete_absent_fact_noop(self, tc):
+        view = MaterializedView(tc, chain(3))
+        before = len(view)
+        stats = view.delete(Atom.of("A", 50, 51))
+        assert stats.deleted == 0
+        assert len(view) == before
+
+    def test_delete_then_reinsert_roundtrip(self, tc):
+        base = chain(5)
+        view = MaterializedView(tc, base)
+        original = view.database.copy()
+        view.delete(Atom.of("A", 2, 3))
+        view.insert(Atom.of("A", 2, 3))
+        assert view.database == original
+
+    def test_base_facts_protected(self, tc):
+        # A(0,1) is given AND derivable-as-G... G(0,1) is derived; if we
+        # delete A(1,2), G(0,1) must survive (it has its own support).
+        view = MaterializedView(tc, chain(3))
+        view.delete(Atom.of("A", 1, 2))
+        assert Atom.of("A", 0, 1) in view
+        assert Atom.of("G", 0, 1) in view
+        assert Atom.of("G", 0, 2) not in view
+
+    def test_delete_all_batch(self, tc):
+        base = chain(6)
+        view = MaterializedView(tc, base)
+        victims = [Atom.of("A", 1, 2), Atom.of("A", 4, 5)]
+        view.delete_all(victims)
+        remaining = [a for a in base.atoms() if a not in victims]
+        assert view.database == recomputed(tc, remaining)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_random_workload_matches_recomputation(self, tc, seed):
+        rng = random.Random(seed)
+        base = random_graph(9, 18, seed=seed)
+        view = MaterializedView(tc, base)
+        live = set(base.atoms())
+        for _ in range(15):
+            if live and rng.random() < 0.5:
+                atom = rng.choice(sorted(live, key=str))
+                view.delete(atom)
+                live.discard(atom)
+            else:
+                atom = Atom.of("A", rng.randrange(9), rng.randrange(9))
+                view.insert(atom)
+                live.add(atom)
+            assert view.database == recomputed(tc, live)

@@ -1,0 +1,153 @@
+"""Integration tests: full pipelines across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    evaluate,
+    minimize_program,
+    optimize,
+    parse_program,
+    uniformly_equivalent,
+)
+from repro.analysis import profile
+from repro.engine import answer_query
+from repro.lang import format_program, parse_atom
+from repro.workloads import (
+    chain,
+    guarded_tc,
+    merged,
+    random_graph,
+    tc_with_redundant_atoms,
+    unary_marks,
+)
+
+
+class TestParseOptimizeEvaluate:
+    def test_text_to_results(self):
+        """A downstream user's whole flow: text in, optimized results out."""
+        source = """
+            % Reachability with accidental redundancy.
+            Reach(x, z) :- Edge(x, z), Edge(x, w).
+            Reach(x, z) :- Reach(x, y), Reach(y, z).
+            Reach(x, z) :- Edge(x, y), Edge(y, z).
+        """
+        program = parse_program(source)
+        report = optimize(program)
+        # The weakened copy Edge(x, w) goes; the 2-step rule is subsumed.
+        assert report.optimized.size() < program.size()
+        edb = random_graph(10, 20, seed=13, predicate="Edge")
+        assert (
+            evaluate(program, edb).database
+            == evaluate(report.optimized, edb).database
+        )
+
+    def test_roundtrip_through_text(self):
+        program = tc_with_redundant_atoms(2)
+        minimized = minimize_program(program).program
+        reparsed = parse_program(format_program(minimized))
+        assert reparsed == minimized
+        assert uniformly_equivalent(program, reparsed)
+
+
+class TestMinimizeThenMagic:
+    def test_composition_preserves_answers(self):
+        """The paper's §I claim: minimization composes with magic sets."""
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z), A(x, w).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        minimized = minimize_program(program).program
+        db = random_graph(15, 30, seed=21)
+        query = parse_atom("G(0, x)")
+        before, _ = answer_query(program, db, query)
+        after, _ = answer_query(minimized, db, query)
+        assert set(before.tuples("G")) == set(after.tuples("G"))
+
+    def test_minimization_reduces_magic_work(self):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z), A(x, w).
+            G(x, z) :- A(x, y), G(y, z), A(y, v).
+            """
+        )
+        minimized = minimize_program(program).program
+        db = random_graph(20, 40, seed=3)
+        query = parse_atom("G(0, x)")
+        _, raw = answer_query(program, db, query)
+        _, opt = answer_query(minimized, db, query)
+        assert opt.stats.subgoal_attempts <= raw.stats.subgoal_attempts
+
+
+class TestOptimizeThenEvaluateEquivalence:
+    @pytest.mark.parametrize("n", [3, 8])
+    def test_guarded_tc_same_closure(self, n):
+        program = guarded_tc(2)
+        optimized = optimize(program).optimized
+        edb = chain(n)
+        assert evaluate(program, edb).database == evaluate(optimized, edb).database
+
+    def test_optimized_program_does_fewer_joins(self):
+        program = guarded_tc(2)
+        optimized = optimize(program).optimized
+        edb = chain(25)
+        raw = evaluate(program, edb)
+        opt = evaluate(optimized, edb)
+        assert opt.stats.subgoal_attempts < raw.stats.subgoal_attempts
+        assert raw.database == opt.database
+
+
+class TestProfilesThroughPipeline:
+    def test_profile_before_after(self):
+        program = tc_with_redundant_atoms(3)
+        before = profile(program)
+        after = profile(minimize_program(program).program)
+        assert after.atom_count < before.atom_count
+        assert before.is_recursive and after.is_recursive
+
+
+class TestMixedDataPipeline:
+    def test_example19_database_flow(self):
+        """Parse Example 19, optimize, evaluate on marked chain data."""
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z), C(z).
+            G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).
+            """
+        )
+        optimized = optimize(program).optimized
+        edb = merged(chain(10), unary_marks(range(11)))
+        full = evaluate(program, edb).database
+        fast = evaluate(optimized, edb).database
+        assert full == fast
+        assert full.count("G") == 55
+
+    def test_partial_marks(self):
+        # With C holding only even nodes, outputs still agree.
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z), C(z).
+            G(x, z) :- A(x, y), G(y, z), G(y, w), C(w).
+            """
+        )
+        optimized = optimize(program).optimized
+        edb = merged(chain(10), unary_marks(range(0, 11, 2)))
+        assert (
+            evaluate(program, edb).database == evaluate(optimized, edb).database
+        )
+
+
+class TestLargeScaleSmoke:
+    def test_thousand_fact_closure(self, tc):
+        edb = random_graph(60, 120, seed=17)
+        result = evaluate(tc, edb)
+        assert result.database.count("G") >= 120
+        # And the engine agrees with the naive baseline on a sample that
+        # size (guards against index-maintenance bugs at scale).
+        from repro.engine import naive_fixpoint
+
+        assert naive_fixpoint(tc, edb).database == result.database

@@ -1,0 +1,184 @@
+"""Unit tests for the magic-sets rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, evaluate, parse_program
+from repro.engine.magic import (
+    Adornment,
+    adorned_name,
+    answer_query,
+    magic_name,
+    magic_transform,
+)
+from repro.errors import UnsafeRuleError
+from repro.lang import Atom, Variable, parse_atom
+from repro.lang.terms import Constant
+from repro.workloads import chain, random_graph
+
+x, y = Variable("x"), Variable("y")
+
+
+def reference_answers(program, db, query):
+    """Answers by full evaluation + selection (the oracle)."""
+    full = evaluate(program, db).database
+    out = set()
+    for row in full.tuples(query.predicate):
+        if all(
+            isinstance(qt, Variable) or qt == rt for qt, rt in zip(query.args, row)
+        ):
+            out.add(row)
+    return out
+
+
+class TestAdornment:
+    def test_suffix(self):
+        assert Adornment((True, False)).suffix == "bf"
+        assert Adornment((False, False, True)).suffix == "ffb"
+
+    def test_for_atom_constants_bound(self):
+        atom = parse_atom("G(0, x)")
+        assert Adornment.for_atom(atom, frozenset()).pattern == (True, False)
+
+    def test_for_atom_bound_variables(self):
+        atom = Atom("G", (x, y))
+        assert Adornment.for_atom(atom, frozenset({x})).pattern == (True, False)
+
+    def test_names(self):
+        adornment = Adornment((True, False))
+        assert adorned_name("G", adornment) == "G__bf"
+        assert magic_name("G", adornment) == "m__G__bf"
+
+
+class TestTransform:
+    def test_linear_tc_structure(self):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        rewriting = magic_transform(program, parse_atom("G(0, x)"))
+        names = {r.head.predicate for r in rewriting.program.rules}
+        assert "G__bf" in names
+        assert "m__G__bf" in names
+        assert rewriting.seed == Atom.of("m__G__bf", 0)
+
+    def test_rejects_negation(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        with pytest.raises(UnsafeRuleError):
+            magic_transform(program, parse_atom("P(0)"))
+
+    def test_rejects_reserved_names(self):
+        program = parse_program("G__bf(x) :- A(x).")
+        with pytest.raises(UnsafeRuleError):
+            magic_transform(program, parse_atom("G__bf(0)"))
+
+    def test_rejects_edb_query(self, tc):
+        with pytest.raises(ValueError):
+            magic_transform(tc, parse_atom("A(0, x)"))
+
+
+class TestSips:
+    HOSTILE = """
+        P(x, z) :- B(y, z), A(x, y).
+        P(x, z) :- B(y, z), A(x, w), P(w, y).
+    """
+
+    def _db(self):
+        db = random_graph(15, 30, seed=1, predicate="A")
+        db.update(random_graph(15, 30, seed=2, predicate="B"))
+        return db
+
+    @pytest.mark.parametrize("sips", ["left-to-right", "most-bound"])
+    def test_both_strategies_correct(self, sips):
+        program = parse_program(self.HOSTILE)
+        db = self._db()
+        query = parse_atom("P(x, 5)")
+        answers, _ = answer_query(program, db, query, sips=sips)
+        assert set(answers.tuples("P")) == reference_answers(program, db, query)
+
+    def test_most_bound_cuts_work_on_hostile_order(self):
+        # The written order starts with an unbound B subgoal; the
+        # bound-first SIPS starts from the bound z position instead.
+        program = parse_program(self.HOSTILE)
+        db = self._db()
+        query = parse_atom("P(x, 5)")
+        _, ltr = answer_query(program, db, query, sips="left-to-right")
+        _, mb = answer_query(program, db, query, sips="most-bound")
+        assert mb.stats.subgoal_attempts < ltr.stats.subgoal_attempts
+
+    def test_unknown_sips_rejected(self, tc):
+        with pytest.raises(ValueError):
+            magic_transform(tc, parse_atom("G(0, x)"), sips="rightmost")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "query_text", ["G(0, x)", "G(x, 5)", "G(0, 5)", "G(x, y)"]
+    )
+    def test_linear_tc_all_adornments(self, query_text):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        db = random_graph(12, 24, seed=5)
+        query = parse_atom(query_text)
+        answers, _result = answer_query(program, db, query)
+        assert set(answers.tuples("G")) == reference_answers(program, db, query)
+
+    def test_nonlinear_tc(self, tc):
+        db = chain(8)
+        query = parse_atom("G(0, x)")
+        answers, _ = answer_query(tc, db, query)
+        assert set(answers.tuples("G")) == reference_answers(tc, db, query)
+
+    def test_same_generation_bound_first(self):
+        from repro.workloads import merged, random_tree, unary_marks, same_generation
+
+        program = same_generation()
+        db = merged(
+            random_tree(15, seed=2, predicate="Par"),
+            unary_marks(range(15), predicate="Per"),
+        )
+        query = parse_atom("Sg(3, x)")
+        answers, _ = answer_query(program, db, query)
+        assert set(answers.tuples("Sg")) == reference_answers(program, db, query)
+
+    def test_empty_answer(self):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        db = chain(5)
+        query = parse_atom("G(99, x)")
+        answers, _ = answer_query(program, db, query)
+        assert len(answers) == 0
+
+    def test_edb_query_selects_directly(self, tc):
+        db = chain(5)
+        answers, _ = answer_query(tc, db, parse_atom("A(0, x)"))
+        assert set(answers.tuples("A")) == {(Constant(0), Constant(1))}
+
+    def test_goal_directed_is_cheaper(self):
+        # Magic must explore fewer facts than full evaluation on a
+        # query about one source in a large graph.
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        # Two disconnected chains: the query only touches one.
+        db = chain(30)
+        db.update(chain(30, offset=100))
+        query = parse_atom("G(100, x)")
+        answers, magic_result = answer_query(program, db, query)
+        full_result = evaluate(program, db)
+        assert set(answers.tuples("G")) == reference_answers(program, db, query)
+        assert magic_result.stats.facts_derived < full_result.stats.facts_derived

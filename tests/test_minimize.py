@@ -1,0 +1,160 @@
+"""Unit tests for minimization under uniform equivalence (Figs. 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper, parse_program, parse_rule
+from repro.core.containment import uniformly_equivalent
+from repro.core.minimize import (
+    is_minimal,
+    minimize_program,
+    minimize_rule,
+)
+from repro.lang import Program
+from repro.workloads import tc_nonlinear, tc_with_redundant_atoms, tc_with_redundant_rules, wide_rule
+
+
+class TestFig1MinimizeRule:
+    def test_example8(self):
+        # Fig. 1 on Example 7's rule removes A(w, y).
+        rule = paper.EX7_P1.rules[0]
+        minimized = minimize_rule(rule)
+        assert minimized == paper.EX7_P2.rules[0]
+
+    def test_minimal_rule_unchanged(self):
+        rule = paper.EX7_P2.rules[0]
+        assert minimize_rule(rule) == rule
+
+    def test_duplicate_atom_removed(self):
+        rule = parse_rule("G(x, z) :- A(x, z), A(x, z).")
+        # A tuple body keeps duplicates; minimization drops one copy.
+        assert len(minimize_rule(rule).body) == 1
+
+    def test_weakened_copy_removed(self):
+        rule = parse_rule("G(x, z) :- A(x, z), A(x, w).")
+        minimized = minimize_rule(rule)
+        assert str(minimized) == "G(x, z) :- A(x, z)."
+
+    def test_head_variable_atoms_kept(self):
+        # z appears only in A(y, z): deletion would strand it; atom stays.
+        rule = parse_rule("G(x, z) :- A(x, y), A(y, z).")
+        assert minimize_rule(rule) == rule
+
+    def test_within_program_context(self):
+        # The atom is redundant only thanks to the other rule.
+        program = parse_program(
+            """
+            B(x, y) :- A(x, y).
+            G(x, z) :- A(x, z), B(x, w).
+            """
+        )
+        rule = program.rules[1]
+        alone = minimize_rule(rule)
+        assert alone == rule  # not redundant in isolation
+        within = minimize_rule(rule, within=program)
+        assert str(within) == "G(x, z) :- A(x, z)."
+
+    def test_within_requires_membership(self, tc):
+        foreign = parse_rule("H(x) :- A(x, x).")
+        with pytest.raises(ValueError):
+            minimize_rule(foreign, within=tc)
+
+    def test_custom_atom_order_changes_result(self):
+        # Two mutually redundant atoms: order decides which survives.
+        rule = parse_rule("G(x) :- A(x, y), A(x, w).")
+        forward = minimize_rule(rule, atom_order=lambda r: [0, 1])
+        backward = minimize_rule(rule, atom_order=lambda r: [1, 0])
+        assert len(forward.body) == 1 and len(backward.body) == 1
+        assert forward != backward  # different survivor, same semantics
+
+    def test_preserves_uniform_equivalence(self):
+        rule = wide_rule(core_atoms=3, redundant_atoms=3, seed=1)
+        minimized = minimize_rule(rule)
+        assert uniformly_equivalent(Program.of(rule), Program.of(minimized))
+
+
+class TestFig2MinimizeProgram:
+    def test_example8_program(self):
+        result = minimize_program(paper.EX7_P1)
+        assert result.program == paper.EX7_P2
+        assert len(result.atom_removals) == 1
+        assert str(result.atom_removals[0].atom) == "A(w, y)"
+
+    def test_planted_atoms_all_removed(self):
+        program = tc_with_redundant_atoms(3)
+        result = minimize_program(program)
+        assert result.program == tc_nonlinear()
+        assert len(result.atom_removals) == 3
+
+    def test_planted_rules_all_removed(self):
+        program = tc_with_redundant_rules(3)
+        result = minimize_program(program)
+        assert result.program == tc_nonlinear()
+        assert len(result.rule_removals) == 3
+
+    def test_mixed_redundancy(self):
+        program = tc_with_redundant_atoms(2).union(
+            Program.of(parse_rule("G(x, z) :- A(x, y), A(y, z)."))
+        )
+        result = minimize_program(program)
+        assert result.program == tc_nonlinear()
+
+    def test_output_is_minimal(self):
+        result = minimize_program(tc_with_redundant_atoms(2))
+        assert is_minimal(result.program)
+
+    def test_idempotent(self):
+        once = minimize_program(tc_with_redundant_rules(2)).program
+        twice = minimize_program(once).program
+        assert once == twice
+
+    def test_preserves_uniform_equivalence(self):
+        program = tc_with_redundant_atoms(2)
+        result = minimize_program(program)
+        assert uniformly_equivalent(program, result.program)
+
+    def test_already_minimal_unchanged(self, tc):
+        result = minimize_program(tc)
+        assert result.program == tc
+        assert not result.changed
+
+    def test_atoms_removed_before_rules(self):
+        # Theorem 2 relies on atom deletions happening first; the audit
+        # trail must reflect that even when both kinds occur.
+        program = tc_with_redundant_atoms(1).union(
+            Program.of(parse_rule("G(x, z) :- A(x, y), A(y, z)."))
+        )
+        result = minimize_program(program)
+        assert result.atom_removals and result.rule_removals
+
+    def test_summary_mentions_counts(self):
+        result = minimize_program(tc_with_redundant_atoms(1))
+        assert "1 atom(s)" in result.summary()
+
+    def test_containment_tests_counted(self):
+        result = minimize_program(paper.EX7_P1)
+        # 4 deletable atoms considered (one strands nothing? all four
+        # A-atoms are droppable) plus the rule-deletion test.
+        assert result.containment_tests >= 4
+
+    def test_equivalence_only_redundancy_not_removed(self):
+        # Example 18: A(y, w) is NOT redundant under uniform
+        # equivalence, so Fig. 2 must keep it.
+        result = minimize_program(paper.EX11_P1)
+        assert result.program == paper.EX11_P1
+
+    def test_empty_program(self):
+        result = minimize_program(Program())
+        assert result.program == Program()
+
+
+class TestIsMinimal:
+    def test_detects_redundant_atom(self):
+        assert not is_minimal(paper.EX7_P1)
+
+    def test_detects_redundant_rule(self):
+        assert not is_minimal(tc_with_redundant_rules(1))
+
+    def test_accepts_minimal(self, tc):
+        assert is_minimal(tc)

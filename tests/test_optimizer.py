@@ -1,0 +1,133 @@
+"""Unit tests for the end-to-end optimizer (Sections VII + X + XI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, paper, parse_program
+from repro.core.optimizer import optimize
+from repro.workloads import chain, guarded_tc, tc_nonlinear, tc_with_redundant_atoms
+
+
+class TestExample19:
+    def test_end_to_end(self):
+        report = optimize(paper.EX19_P1)
+        assert report.optimized == paper.EX19_P2
+
+    def test_justifying_tgd_recorded(self):
+        report = optimize(paper.EX19_P1)
+        (removal,) = report.equivalence_removals
+        assert str(removal.tgd) == "G(y, z) -> G(y, w) & C(w)"
+        assert [str(a) for a in removal.removed_atoms] == ["G(y, w)", "C(w)"]
+
+    def test_summary(self):
+        report = optimize(paper.EX19_P1)
+        assert "1 deletion(s)" in report.summary()
+
+
+class TestExample18Family:
+    def test_guarded_tc_one_guard(self):
+        report = optimize(guarded_tc(1))
+        assert report.optimized == tc_nonlinear()
+
+    def test_guarded_tc_two_guards(self):
+        report = optimize(guarded_tc(2))
+        assert report.optimized == tc_nonlinear()
+
+    def test_uniform_only_keeps_guards(self):
+        # The guards are not redundant under uniform equivalence.
+        program = guarded_tc(1)
+        report = optimize(program, use_equivalence=False)
+        assert report.optimized == program
+        assert report.equivalence_attempts == 0
+
+
+class TestUniformLayer:
+    def test_planted_atoms_removed_by_phase1(self):
+        report = optimize(tc_with_redundant_atoms(2), use_equivalence=True)
+        assert report.optimized == tc_nonlinear()
+        assert len(report.minimization.atom_removals) == 2
+
+    def test_minimal_program_untouched(self, tc):
+        report = optimize(tc)
+        assert report.optimized == tc
+        assert not report.changed
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_optimized_program_equivalent_on_data(self, k):
+        # The ultimate sanity check: same outputs on concrete EDBs.
+        program = guarded_tc(k)
+        report = optimize(program)
+        for n in (1, 4, 9):
+            edb = chain(n)
+            assert (
+                evaluate(program, edb).database
+                == evaluate(report.optimized, edb).database
+            )
+
+    def test_example19_on_data(self):
+        from repro.workloads import merged, unary_marks
+
+        report = optimize(paper.EX19_P1)
+        edb = merged(chain(6), unary_marks(range(7)))
+        assert (
+            evaluate(paper.EX19_P1, edb).database
+            == evaluate(report.optimized, edb).database
+        )
+
+
+class TestGoalDirected:
+    def test_dead_rules_dropped_for_goal(self):
+        program = parse_program(
+            """
+            R(x, y) :- E(x, y).
+            R(x, y) :- E(x, z), R(z, y).
+            Deg(x, y) :- E(x, y), E(x, w).
+            """
+        )
+        report = optimize(program, goal="R")
+        assert len(report.relevance_removed) == 1
+        assert {r.head.predicate for r in report.optimized.rules} == {"R"}
+        assert "relevance" in report.summary()
+
+    def test_goal_answers_preserved(self):
+        from repro import evaluate
+
+        program = parse_program(
+            """
+            R(x, y) :- E(x, y).
+            R(x, y) :- E(x, z), R(z, y).
+            Deg(x, y) :- E(x, y), E(x, w).
+            """
+        )
+        report = optimize(program, goal="R")
+        edb = chain(6, predicate="E")
+        assert (
+            evaluate(program, edb).database.tuples("R")
+            == evaluate(report.optimized, edb).database.tuples("R")
+        )
+
+    def test_no_goal_keeps_everything(self):
+        program = parse_program(
+            """
+            R(x, y) :- E(x, y).
+            Deg(x, y) :- E(x, y).
+            """
+        )
+        report = optimize(program)
+        assert report.relevance_removed == ()
+        assert len(report.optimized) == 2
+
+
+class TestBudgets:
+    def test_attempt_limit(self):
+        report = optimize(paper.EX19_P1, max_equivalence_attempts=0)
+        assert report.equivalence_attempts == 0
+        # Uniform minimization still ran.
+        assert report.minimization is not None
+
+    def test_proofs_recorded(self):
+        report = optimize(paper.EX19_P1)
+        assert len(report.proofs) == report.equivalence_attempts

@@ -1,0 +1,205 @@
+"""The paper's evaluation, end to end: every worked example (E01-E19).
+
+This file is the single-source reproduction of the paper's "results":
+each test matches one numbered example and asserts exactly the outcome
+the paper derives by hand.  The benchmark harness times the same
+artifacts; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    apply_once,
+    check_model_containment,
+    evaluate,
+    minimize_program,
+    optimize,
+    preserves_nonrecursively,
+    prove_equivalence_with_constraints,
+    uniformly_contains,
+    uniformly_equivalent,
+)
+from repro import paper
+from repro.core.chase import Verdict
+from repro.core.minimize import minimize_rule
+from repro.core.preservation import preliminary_db_satisfies
+from repro.lang import Program
+from repro.paper import single_rule_program
+
+
+class TestSectionII_III:
+    def test_e01_tc_program_shape(self):
+        assert len(paper.TC_NONLINEAR) == 2
+        assert paper.TC_NONLINEAR.edb_predicates == {"A"}
+        assert paper.TC_NONLINEAR.idb_predicates == {"G"}
+
+    def test_e01_computes_transitive_closure(self):
+        from repro.workloads import chain
+
+        out = evaluate(paper.TC_NONLINEAR, chain(5)).database
+        assert out.count("G") == 15  # closure of a 5-edge path
+
+    def test_e02_output_verbatim(self):
+        out = evaluate(paper.TC_NONLINEAR, paper.EX2_EDB).database
+        assert out == paper.EX2_OUTPUT
+
+    def test_e03_idb_input(self):
+        out = evaluate(paper.TC_NONLINEAR, paper.EX3_INPUT).database
+        assert out == paper.EX3_OUTPUT
+
+
+class TestSectionIV:
+    def test_e04_uniform_containment_one_way(self):
+        assert uniformly_contains(paper.TC_NONLINEAR, paper.TC_LINEAR)
+        assert not uniformly_contains(paper.TC_LINEAR, paper.TC_NONLINEAR)
+
+    def test_e04_plain_equivalence_on_edbs(self):
+        # Both compute the transitive closure on EDB-only inputs.
+        from repro.workloads import random_graph
+
+        edb = random_graph(8, 16, seed=4)
+        assert (
+            evaluate(paper.TC_NONLINEAR, edb).database
+            == evaluate(paper.TC_LINEAR, edb).database
+        )
+
+    def test_e05_added_rule_gives_containment(self):
+        assert uniformly_contains(paper.EX5_P2, paper.TC_NONLINEAR)
+
+
+class TestSectionVI:
+    def test_e06_rule_by_rule(self):
+        from repro.core.containment import check_rule_containment
+
+        r1, r2 = paper.TC_LINEAR.rules
+        assert check_rule_containment(r1, paper.TC_NONLINEAR).holds
+        assert check_rule_containment(r2, paper.TC_NONLINEAR).holds
+        s = paper.TC_NONLINEAR.rules[1]
+        assert not check_rule_containment(s, paper.TC_LINEAR).holds
+
+    def test_e07_chase_shows_redundancy(self):
+        assert uniformly_contains(paper.EX7_P1, paper.EX7_P2)
+        assert uniformly_equivalent(paper.EX7_P1, paper.EX7_P2)
+
+
+class TestSectionVII:
+    def test_e08_fig1_minimizes(self):
+        assert minimize_rule(paper.EX7_P1.rules[0]) == paper.EX7_P2.rules[0]
+
+    def test_e08_result_is_minimal(self):
+        from repro.core.minimize import is_minimal
+
+        assert is_minimal(paper.EX7_P2)
+
+    def test_fig2_on_example7(self):
+        assert minimize_program(paper.EX7_P1).program == paper.EX7_P2
+
+
+class TestSectionVIII:
+    def test_e09_tgd_satisfaction(self):
+        assert not paper.EX9_TGD_VIOLATED.is_satisfied_by(paper.EX2_OUTPUT)
+        assert paper.EX9_TGD_SATISFIED.is_satisfied_by(paper.EX2_OUTPUT)
+
+    def test_e10_full_tgd_as_rules(self):
+        assert set(paper.EX10_TGD.as_rules()) == set(paper.EX10_RULES)
+
+    def test_e11_model_containment(self):
+        report = check_model_containment(
+            paper.EX11_P1, [paper.EX11_TGD], paper.EX11_P2
+        )
+        assert report.verdict is Verdict.PROVED
+
+    def test_e11_needs_the_tgd(self):
+        report = check_model_containment(paper.EX11_P1, [], paper.EX11_P2)
+        assert report.verdict is Verdict.DISPROVED
+
+
+class TestSectionIX:
+    def test_e12_pn_vs_p(self):
+        assert apply_once(paper.TC_NONLINEAR, paper.EX12_INPUT) == set(paper.EX12_PN)
+        assert (
+            evaluate(paper.TC_NONLINEAR, paper.EX12_INPUT).database
+            == paper.EX12_OUTPUT
+        )
+
+    def test_e13_single_rule_preserves(self):
+        report = preserves_nonrecursively(
+            single_rule_program(paper.EX13_RULE), [paper.EX11_TGD]
+        )
+        assert report.verdict is Verdict.PROVED
+
+    def test_e14_program_preserves(self):
+        report = preserves_nonrecursively(paper.EX11_P1, [paper.EX11_TGD])
+        assert report.verdict is Verdict.PROVED
+        assert report.combinations_examined == 3
+
+    def test_e15_four_combinations(self):
+        report = preserves_nonrecursively(
+            single_rule_program(paper.EX13_RULE), [paper.EX15_TGD]
+        )
+        assert report.verdict is Verdict.PROVED
+        assert report.combinations_examined == 4
+
+    def test_e16_preserves(self):
+        report = preserves_nonrecursively(
+            single_rule_program(paper.EX16_RULE), [paper.EX16_TGD]
+        )
+        assert report.verdict is Verdict.PROVED
+
+
+class TestSectionX:
+    def test_e17_preliminary_db(self):
+        init = paper.TC_NONLINEAR.initialization_program()
+        assert apply_once(init, paper.EX17_EDB) == set(paper.EX17_PI)
+
+    def test_e18_three_conditions(self):
+        from repro.core.equivalence import prove_containment_with_constraints
+
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        assert proof.verdict is Verdict.PROVED
+
+    def test_e18_full_equivalence(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        assert proof.verdict is Verdict.PROVED
+
+    def test_e18_not_uniformly_equivalent(self):
+        # The paper stresses A(y, w) is redundant under equivalence but
+        # NOT under uniform equivalence.
+        assert not uniformly_equivalent(paper.EX11_P1, paper.EX11_P2)
+
+    def test_e18_condition_3prime(self):
+        report = preliminary_db_satisfies(paper.EX11_P1, [paper.EX11_TGD])
+        assert report.verdict is Verdict.PROVED
+
+
+class TestSectionXI:
+    def test_e19_optimizer_end_to_end(self):
+        report = optimize(paper.EX19_P1)
+        assert report.optimized == paper.EX19_P2
+
+    def test_e19_equivalent_on_data(self):
+        from repro.workloads import chain, merged, unary_marks
+
+        edb = merged(chain(5), unary_marks(range(6)))
+        assert (
+            evaluate(paper.EX19_P1, edb).database
+            == evaluate(paper.EX19_P2, edb).database
+        )
+
+    def test_e19_not_uniformly_equivalent(self):
+        assert not uniformly_equivalent(paper.EX19_P1, paper.EX19_P2)
+
+
+class TestRegistry:
+    def test_all_examples_present(self):
+        assert set(paper.EXAMPLES) == {f"E{i:02d}" for i in range(1, 20)}
+
+    def test_registry_artifacts_consistent(self):
+        assert paper.EXAMPLES["E18"].artifacts["p1"] == paper.EX11_P1
+        assert paper.EXAMPLES["E19"].artifacts["p2"] == paper.EX19_P2

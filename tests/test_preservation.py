@@ -1,0 +1,193 @@
+"""Unit tests for non-recursive preservation (Section IX, Fig. 3)
+and the preliminary-DB check (Section X, condition 3')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paper, parse_program, parse_tgd
+from repro.core.chase import ChaseBudget, Verdict
+from repro.core.preservation import (
+    preliminary_db_satisfies,
+    preserves_nonrecursively,
+)
+from repro.lang import Program
+
+
+class TestPaperExamples:
+    def test_example13_single_rule(self):
+        report = preserves_nonrecursively(Program.of(paper.EX13_RULE), [paper.EX11_TGD])
+        assert report.verdict is Verdict.PROVED
+
+    def test_example14_whole_program(self):
+        report = preserves_nonrecursively(paper.EX11_P1, [paper.EX11_TGD])
+        assert report.verdict is Verdict.PROVED
+        # Three unification cases: rule 1, rule 2, trivial rule.
+        assert report.combinations_examined == 3
+
+    def test_example15_four_combinations(self):
+        report = preserves_nonrecursively(Program.of(paper.EX13_RULE), [paper.EX15_TGD])
+        assert report.verdict is Verdict.PROVED
+        # Two LHS atoms × (rule r + trivial rule) each = 4 combinations.
+        assert report.combinations_examined == 4
+
+    def test_example16(self):
+        report = preserves_nonrecursively(Program.of(paper.EX16_RULE), [paper.EX16_TGD])
+        assert report.verdict is Verdict.PROVED
+
+    def test_example19_program(self):
+        report = preserves_nonrecursively(paper.EX19_P1, [paper.EX16_TGD])
+        assert report.verdict is Verdict.PROVED
+
+
+class TestViolations:
+    def test_rule_that_breaks_tgd(self):
+        # The rule produces H facts with a second argument that nothing
+        # constrains; the tgd insists every H(x,y) has Mark(y).
+        program = parse_program("H(x, y) :- A(x, y).")
+        tgd = parse_tgd("H(x, y) -> Mark(y)")
+        report = preserves_nonrecursively(program, [tgd])
+        assert report.verdict is Verdict.DISPROVED
+        assert report.counterexample is not None
+
+    def test_counterexample_is_genuine(self):
+        # Rebuild the counterexample scenario: d satisfies T but
+        # ⟨d, Pⁿ(d)⟩ does not.
+        from repro.core.tgds import satisfies_all
+        from repro.data import Database
+        from repro.engine import apply_once
+
+        program = parse_program("H(x, y) :- A(x, y).")
+        tgd = parse_tgd("H(x, y) -> Mark(y)")
+        report = preserves_nonrecursively(program, [tgd])
+        counter = Database(
+            a for a in report.counterexample if a.predicate != "H"
+        )
+        assert satisfies_all(counter, [tgd])  # d ∈ SAT(T)
+        combined = counter.copy()
+        combined.add_all(apply_once(program, counter))
+        assert not satisfies_all(combined, [tgd])
+
+    def test_copy_rule_preserves(self):
+        # H(x, y) :- G(x, y) just copies; if every G has a Mark then
+        # every H does NOT automatically... the tgd is about H, and d
+        # may contain G facts without marks, so this must be violated.
+        program = parse_program("H(x, y) :- G(x, y).")
+        tgd = parse_tgd("H(x, y) -> Mark(y)")
+        report = preserves_nonrecursively(program, [tgd])
+        assert report.verdict is Verdict.DISPROVED
+
+    def test_guarded_copy_preserves(self):
+        # Adding the mark requirement to the rule body restores preservation.
+        program = parse_program("H(x, y) :- G(x, y), Mark(y).")
+        tgd = parse_tgd("H(x, y) -> Mark(y)")
+        report = preserves_nonrecursively(program, [tgd])
+        assert report.verdict is Verdict.PROVED
+
+    def test_stop_at_violation_default(self):
+        program = parse_program(
+            """
+            H(x, y) :- A(x, y).
+            H(x, y) :- B(x, y).
+            """
+        )
+        tgd = parse_tgd("H(x, y) -> Mark(y)")
+        stopped = preserves_nonrecursively(program, [tgd])
+        assert stopped.verdict is Verdict.DISPROVED
+        exhaustive = preserves_nonrecursively(program, [tgd], stop_at_violation=False)
+        assert exhaustive.combinations_examined >= stopped.combinations_examined
+
+    def test_unknown_on_diverging_tgds(self):
+        # The tgd repairs create new LHS matches forever; the check can
+        # neither pass nor saturate within the budget.
+        program = parse_program("H(x, y) :- A(x, y).")
+        tgds = [parse_tgd("H(x, y) -> Mark(y)"), parse_tgd("A(x, y) -> A(y, w)")]
+        report = preserves_nonrecursively(
+            program, tgds, budget=ChaseBudget(max_rounds=4, max_nulls=30)
+        )
+        assert report.verdict in (Verdict.UNKNOWN, Verdict.DISPROVED)
+
+
+class TestCombinationEnumeration:
+    def test_trivial_rules_participate(self, tc):
+        tgd = parse_tgd("G(x, y), G(y, z) -> A(y, w)")
+        report = preserves_nonrecursively(tc, [tgd], stop_at_violation=False)
+        # Two intensional LHS atoms × (2 program rules + 1 trivial) = 9.
+        assert report.combinations_examined == 9
+
+    def test_extensional_lhs_needs_no_unification(self):
+        program = parse_program("H(x, y) :- A(x, y), Mark(y).")
+        tgd = parse_tgd("A(x, y) -> B(x)")  # LHS purely extensional
+        report = preserves_nonrecursively(program, [tgd])
+        # d = {A(x0,y0)} already satisfies tgds only after chase; one
+        # "combination" (the empty product) is examined.
+        assert report.combinations_examined == 1
+        assert report.verdict is Verdict.PROVED
+
+    def test_head_with_repeated_variable_unification(self):
+        # Head G(x, x) cannot produce G(x0, y0) with distinct constants:
+        # the combination is skipped, leaving only the trivial rule.
+        program = parse_program("G(x, x) :- A(x).")
+        tgd = parse_tgd("G(x, y) -> B(x)")
+        report = preserves_nonrecursively(program, [tgd], stop_at_violation=False)
+        # Only the trivial-rule choice survives unification.
+        assert report.combinations_examined == 1
+
+
+class TestPreliminaryDb:
+    def test_example18_condition3prime(self):
+        report = preliminary_db_satisfies(paper.EX11_P1, [paper.EX11_TGD])
+        assert report.verdict is Verdict.PROVED
+
+    def test_example19_condition3prime(self):
+        report = preliminary_db_satisfies(paper.EX19_P1, [paper.EX16_TGD])
+        assert report.verdict is Verdict.PROVED
+
+    def test_never_unknown(self):
+        # No tgds are applied, so the check always terminates decisively.
+        program = parse_program("G(x, z) :- A(x, z).")
+        tgd = parse_tgd("G(x, y) -> G(y, w)")
+        report = preliminary_db_satisfies(program, [tgd])
+        assert report.verdict in (Verdict.PROVED, Verdict.DISPROVED)
+
+    def test_violating_initialization_rule(self):
+        # The preliminary DB of G(x,z) :- A(x,z) contains G facts with
+        # no C marks, so this tgd fails.
+        program = parse_program("G(x, z) :- A(x, z).")
+        tgd = parse_tgd("G(x, z) -> C(z)")
+        report = preliminary_db_satisfies(program, [tgd])
+        assert report.verdict is Verdict.DISPROVED
+
+    def test_satisfying_initialization_rule(self):
+        program = parse_program("G(x, z) :- A(x, z), C(z).")
+        tgd = parse_tgd("G(x, z) -> C(z)")
+        report = preliminary_db_satisfies(program, [tgd])
+        assert report.verdict is Verdict.PROVED
+
+    def test_unproducible_lhs_vacuous(self):
+        # No initialization rule derives H, so the tgd about H is
+        # vacuously satisfied by every preliminary DB.
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            H(x) :- G(x, x).
+            """
+        )
+        tgd = parse_tgd("H(x) -> Mark(x)")
+        report = preliminary_db_satisfies(program, [tgd])
+        assert report.verdict is Verdict.PROVED
+        assert report.combinations_examined == 0
+
+    def test_no_trivial_rules_used(self):
+        # With trivial rules the tgd below would be violated (G(x0,y0)
+        # in d with no mark); the preliminary check must NOT use them,
+        # and the only initialization rule guards with Mark.
+        program = parse_program(
+            """
+            G(x, y) :- A(x, y), Mark(y).
+            G(x, z) :- G(x, y), G(y, z).
+            """
+        )
+        tgd = parse_tgd("G(x, y) -> Mark(y)")
+        report = preliminary_db_satisfies(program, [tgd])
+        assert report.verdict is Verdict.PROVED

@@ -1,0 +1,93 @@
+"""Unit tests for the pretty-printer."""
+
+from __future__ import annotations
+
+from repro import Database, parse_program, parse_rule, parse_tgd
+from repro.lang import (
+    format_atom,
+    format_atoms,
+    format_database,
+    format_program,
+    format_rule,
+    format_tgd,
+    parse_atom,
+)
+
+
+class TestFormatRule:
+    def test_plain(self):
+        rule = parse_rule("G(x, z) :- A(x, z).")
+        assert format_rule(rule) == "G(x, z) :- A(x, z)."
+
+    def test_fact(self):
+        assert format_rule(parse_rule("A(1, 2).")) == "A(1, 2)."
+
+    def test_alignment(self):
+        rule = parse_rule("G(x) :- A(x).")
+        assert format_rule(rule, align_at=10) == "G(x)       :- A(x)."
+
+    def test_negated_literal(self):
+        rule = parse_rule("P(x) :- A(x), not B(x).")
+        assert "not B(x)" in format_rule(rule)
+
+
+class TestFormatProgram:
+    def test_heads_aligned(self):
+        program = parse_program(
+            """
+            Long(x, y, z) :- A(x, y, z).
+            S(x) :- Long(x, x, x).
+            """
+        )
+        lines = format_program(program).splitlines()
+        assert lines[0].index(":-") == lines[1].index(":-")
+
+    def test_alignment_optional(self):
+        program = parse_program("Long(x) :- A(x). S(x) :- A(x).")
+        unaligned = format_program(program, align=False)
+        assert "S(x) :- A(x)." in unaligned
+
+    def test_empty_program(self):
+        assert format_program(parse_program("")) == ""
+
+    def test_round_trip(self, tc):
+        assert parse_program(format_program(tc)) == tc
+
+
+class TestFormatAtoms:
+    def test_sorted_and_braced(self):
+        atoms = [parse_atom("B(2)"), parse_atom("A(1)")]
+        assert format_atoms(atoms) == "{A(1), B(2)}"
+
+    def test_unsorted_option(self):
+        atoms = [parse_atom("B(2)"), parse_atom("A(1)")]
+        assert format_atoms(atoms, sort=False) == "{B(2), A(1)}"
+
+    def test_empty(self):
+        assert format_atoms([]) == "{}"
+
+    def test_format_atom_single(self):
+        assert format_atom(parse_atom("G(x, 3)")) == "G(x, 3)"
+
+
+class TestFormatDatabase:
+    def test_grouped_by_predicate(self):
+        db = Database.from_facts({"B": [(2,)], "A": [(1, 2), (1, 1)]})
+        text = format_database(db)
+        lines = text.splitlines()
+        assert lines[0].startswith("A:")
+        assert lines[1].startswith("B:")
+        assert "A(1, 1), A(1, 2)" in lines[0]
+
+    def test_empty_database(self):
+        assert format_database(Database()) == ""
+
+
+class TestFormatTgd:
+    def test_rendering(self):
+        tgd = parse_tgd("G(x, y), G(y, z) -> A(y, w) & C(w)")
+        assert format_tgd(tgd) == "G(x, y), G(y, z) -> A(y, w) & C(w)"
+
+    def test_round_trip(self):
+        source = "G(y, z) -> G(y, w) & C(w)"
+        assert format_tgd(parse_tgd(source)) == source

@@ -1,0 +1,141 @@
+"""Unit tests for repro.lang.programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArityError
+from repro.lang import parse_program, parse_rule
+from repro.lang.programs import Program
+
+
+class TestConstruction:
+    def test_duplicate_rules_collapse(self):
+        rule = parse_rule("G(x, z) :- A(x, z).")
+        program = Program([rule, rule])
+        assert len(program) == 1
+
+    def test_arity_conflict_raises(self):
+        with pytest.raises(ArityError):
+            parse_program(
+                """
+                G(x) :- A(x, x).
+                G(x, y) :- A(x, y).
+                """
+            )
+
+    def test_arity_conflict_across_head_and_body(self):
+        with pytest.raises(ArityError):
+            parse_program("G(x) :- G(x, x).")
+
+    def test_empty_program(self):
+        program = Program()
+        assert len(program) == 0
+        assert program.predicates == frozenset()
+
+
+class TestClassification:
+    def test_idb_edb_split(self, tc):
+        assert tc.idb_predicates == {"G"}
+        assert tc.edb_predicates == {"A"}
+
+    def test_predicate_both_roles_is_idb(self):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            A(x, z) :- A(x, y), G(y, z).
+            """
+        )
+        assert program.idb_predicates == {"G", "A"}
+        assert program.edb_predicates == frozenset()
+
+    def test_arity_lookup(self, tc):
+        assert tc.arity("G") == 2
+        with pytest.raises(KeyError):
+            tc.arity("Nope")
+
+    def test_rules_for(self, tc):
+        assert len(tc.rules_for("G")) == 2
+        assert tc.rules_for("A") == ()
+
+    def test_initialization_rules(self, tc):
+        init = tc.initialization_rules()
+        assert [str(r) for r in init] == ["G(x, z) :- A(x, z)."]
+
+    def test_facts_are_initialization_rules(self):
+        program = parse_program(
+            """
+            G(1, 2).
+            G(x, z) :- G(x, y), G(y, z).
+            """
+        )
+        assert len(program.initialization_rules()) == 1
+
+    def test_size_counts_heads_and_bodies(self, tc):
+        # 2 heads + 1 + 2 body atoms.
+        assert tc.size() == 5
+
+
+class TestUpdates:
+    def test_with_rule(self, tc):
+        extra = parse_rule("H(x) :- A(x, x).")
+        bigger = tc.with_rule(extra)
+        assert len(bigger) == 3
+        assert len(tc) == 2  # original untouched
+
+    def test_with_rule_existing_noop(self, tc):
+        assert tc.with_rule(tc.rules[0]) is tc
+
+    def test_without_rule(self, tc):
+        smaller = tc.without_rule(tc.rules[1])
+        assert len(smaller) == 1
+
+    def test_replace_rule_preserves_position(self, tc):
+        replacement = parse_rule("G(x, z) :- A(x, y), G(y, z).")
+        replaced = tc.replace_rule(tc.rules[1], replacement)
+        assert replaced.rules[1] == replacement
+        assert replaced.rules[0] == tc.rules[0]
+
+    def test_union(self, tc, tc_linear):
+        merged = tc.union(tc_linear)
+        # The initialization rule is shared.
+        assert len(merged) == 3
+
+    def test_map_rules(self, tc):
+        renamed = tc.map_rules(lambda r: r.rename_variables("_0"))
+        assert all("_0" in str(r) for r in renamed.rules)
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        p1 = parse_program("G(x, z) :- A(x, z). G(x, z) :- G(x, y), G(y, z).")
+        p2 = parse_program("G(x, z) :- G(x, y), G(y, z). G(x, z) :- A(x, z).")
+        assert p1 == p2
+
+    def test_hashable(self, tc):
+        assert hash(tc) == hash(Program(tc.rules))
+
+
+class TestTrivialRules:
+    def test_one_per_idb_predicate(self, tc):
+        augmented = tc.with_trivial_rules()
+        assert len(augmented) == 3
+        trivial = [r for r in augmented.rules if r not in tc.rules]
+        assert [str(r) for r in trivial] == ["G(x1, x2) :- G(x1, x2)."]
+
+    def test_idempotent(self, tc):
+        once = tc.with_trivial_rules()
+        assert once.with_trivial_rules() == once
+
+    def test_no_trivial_for_edb(self, tc):
+        augmented = tc.with_trivial_rules()
+        assert all(r.head.predicate != "A" for r in augmented.rules)
+
+
+class TestPresentation:
+    def test_str_is_parseable(self, tc):
+        assert parse_program(str(tc)) == tc
+
+    def test_from_source(self):
+        program = Program.from_source("G(x, z) :- A(x, z).")
+        assert len(program) == 1

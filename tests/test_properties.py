@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, evaluate, parse_program
+from repro.core.chase import chase
+from repro.core.containment import uniformly_contains, uniformly_equivalent
+from repro.core.minimize import minimize_program
+from repro.core.tgds import Tgd, satisfies_all
+from repro.engine import naive_fixpoint, seminaive_fixpoint
+from repro.lang import Atom, Program, Rule, Literal
+from repro.lang.substitution import Substitution, match_atom, unify_atoms
+from repro.lang.terms import Constant, Variable
+from repro.workloads import random_positive_program, wide_rule
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+variables_st = st.sampled_from([Variable(n) for n in "xyzuvw"])
+constants_st = st.integers(min_value=0, max_value=5).map(Constant)
+terms_st = st.one_of(variables_st, constants_st)
+predicates_st = st.sampled_from(["A", "B", "G"])
+
+
+@st.composite
+def atoms(draw, arity=st.integers(min_value=1, max_value=3)):
+    pred = draw(predicates_st)
+    n = draw(arity)
+    return Atom(pred, tuple(draw(terms_st) for _ in range(n)))
+
+
+@st.composite
+def ground_atoms(draw):
+    pred = draw(predicates_st)
+    n = draw(st.integers(min_value=1, max_value=2))
+    return Atom(pred + str(n), tuple(draw(constants_st) for _ in range(n)))
+
+
+@st.composite
+def substitutions(draw):
+    pairs = draw(
+        st.dictionaries(variables_st, constants_st, min_size=0, max_size=4)
+    )
+    return Substitution(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Substitution algebra
+# ---------------------------------------------------------------------------
+
+
+class TestSubstitutionLaws:
+    @given(atoms(), substitutions())
+    def test_apply_is_idempotent_for_ground_targets(self, atom, subst):
+        # Ground substitutions: applying twice equals applying once.
+        once = subst.apply_atom(atom)
+        assert subst.apply_atom(once) == once
+
+    @given(atoms(), substitutions(), substitutions())
+    def test_compose_law(self, atom, s1, s2):
+        composed = s1.compose(s2)
+        assert composed.apply_atom(atom) == s2.apply_atom(s1.apply_atom(atom))
+
+    @given(atoms(), substitutions())
+    def test_empty_is_identity(self, atom, subst):
+        empty = Substitution.empty()
+        assert empty.compose(subst).apply_atom(atom) == subst.apply_atom(atom)
+        assert subst.compose(empty).apply_atom(atom) == subst.apply_atom(atom)
+
+    @given(atoms(), ground_atoms())
+    def test_match_produces_matching_substitution(self, pattern, fact):
+        result = match_atom(pattern, fact)
+        if result is not None:
+            assert result.apply_atom(pattern) == fact
+
+    @given(atoms(), atoms())
+    def test_unify_produces_unifier(self, left, right):
+        result = unify_atoms(left, right)
+        if result is not None:
+            assert result.apply_atom(left) == result.apply_atom(right)
+
+    @given(atoms())
+    def test_unify_reflexive(self, atom):
+        assert unify_atoms(atom, atom) is not None
+
+
+# ---------------------------------------------------------------------------
+# Engine agreement on random programs
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAgreement:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_naive_equals_seminaive(self, seed):
+        rng = random.Random(seed)
+        program = random_positive_program(
+            rules=rng.randint(1, 5),
+            max_body=3,
+            predicates=2,
+            variables_per_rule=4,
+            seed=seed,
+        )
+        db = Database()
+        for _ in range(rng.randint(0, 12)):
+            pred = f"E{rng.randrange(2)}" if rng.random() < 0.7 else f"G{rng.randrange(2)}"
+            db.add_fact(pred, rng.randrange(4), rng.randrange(4))
+        assert (
+            naive_fixpoint(program, db).database
+            == seminaive_fixpoint(program, db).database
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_monotonicity(self, seed):
+        # Datalog is monotone: more input facts, never fewer outputs.
+        rng = random.Random(seed)
+        program = random_positive_program(
+            rules=3, max_body=2, predicates=2, variables_per_rule=3, seed=seed
+        )
+        small = Database()
+        for _ in range(5):
+            small.add_fact(f"E{rng.randrange(2)}", rng.randrange(3), rng.randrange(3))
+        big = small.copy()
+        big.add_fact("E0", rng.randrange(3), rng.randrange(3))
+        out_small = evaluate(program, small).database
+        out_big = evaluate(program, big).database
+        assert out_small.issubset(out_big)
+
+
+# ---------------------------------------------------------------------------
+# Minimization invariants
+# ---------------------------------------------------------------------------
+
+
+class TestMinimizationInvariants:
+    @given(
+        core=st.integers(min_value=2, max_value=4),
+        redundant=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_planted_redundancy_always_removed(self, core, redundant, seed):
+        rule = wide_rule(core_atoms=core, redundant_atoms=redundant, seed=seed)
+        program = Program.of(rule)
+        result = minimize_program(program)
+        assert len(result.atom_removals) == redundant
+        assert uniformly_equivalent(program, result.program)
+
+    @given(
+        core=st.integers(min_value=2, max_value=4),
+        redundant=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_idempotent(self, core, redundant, seed):
+        rule = wide_rule(core_atoms=core, redundant_atoms=redundant, seed=seed)
+        once = minimize_program(Program.of(rule)).program
+        twice = minimize_program(once).program
+        assert once == twice
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_deleting_any_atom_uniformly_contains_original(self, seed):
+        # For every rule r and deletable atom, r ⊑u r̂ trivially (the
+        # direction the paper calls "trivially true").
+        rule = wide_rule(core_atoms=3, redundant_atoms=2, seed=seed)
+        program = Program.of(rule)
+        for index in range(len(rule.body)):
+            if not rule.can_drop_body_literal(index):
+                continue
+            slimmer = Program.of(rule.without_body_literal(index))
+            assert uniformly_contains(container=slimmer, contained=program)
+
+
+# ---------------------------------------------------------------------------
+# Chase invariants
+# ---------------------------------------------------------------------------
+
+
+class TestChaseInvariants:
+    @given(
+        facts=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_saturated_chase_satisfies_tgds(self, facts):
+        tgd = Tgd.parse("G(x, y) -> A(x, w)")
+        db = Database.from_facts({"G": facts})
+        outcome = chase(db, None, [tgd])
+        assert outcome.saturated
+        assert satisfies_all(outcome.database, [tgd])
+
+    @given(
+        facts=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_chase_output_contains_input(self, facts):
+        program = parse_program("G(x, z) :- A(x, z).")
+        db = Database.from_facts({"A": facts})
+        outcome = chase(db, program, [])
+        assert db.issubset(outcome.database)
+
+
+# ---------------------------------------------------------------------------
+# Containment is a preorder
+# ---------------------------------------------------------------------------
+
+
+class TestContainmentPreorder:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_reflexive_on_random_programs(self, seed):
+        program = random_positive_program(
+            rules=3, max_body=2, predicates=2, variables_per_rule=3, seed=seed
+        )
+        assert uniformly_contains(program, program)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_rule_subset_contained(self, seed):
+        program = random_positive_program(
+            rules=4, max_body=2, predicates=2, variables_per_rule=3, seed=seed
+        )
+        subset = Program(program.rules[:2])
+        assert uniformly_contains(container=program, contained=subset)

@@ -1,0 +1,187 @@
+"""Property-based tests for the extension modules
+(canonical forms, serialization, unfolding, top-down engine, augmentation)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, evaluate, parse_program
+from repro.core.augment import atom_is_addable
+from repro.core.containment import uniformly_contains
+from repro.core.unfold import unfold_atom
+from repro.engine.topdown import tabled_query
+from repro.lang import Atom, Program, Rule, Literal
+from repro.lang.canonical import canonicalize_rule, rules_isomorphic
+from repro.lang.serialize import (
+    database_from_json,
+    database_to_json,
+    program_from_json,
+    program_to_json,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.lang.terms import Constant, Variable
+from repro.workloads import random_positive_program, tc_linear, wide_rule
+
+variables_st = st.sampled_from([Variable(n) for n in "xyzuvw"])
+constants_st = st.integers(min_value=0, max_value=4).map(Constant)
+terms_st = st.one_of(variables_st, constants_st)
+
+
+@st.composite
+def safe_rules(draw):
+    """Random safe positive rules."""
+    body_size = draw(st.integers(min_value=1, max_value=4))
+    body = []
+    for _ in range(body_size):
+        pred = draw(st.sampled_from(["A", "B"]))
+        args = tuple(draw(terms_st) for _ in range(2))
+        body.append(Literal(Atom(pred, args)))
+    body_vars = sorted(
+        {v for lit in body for v in lit.atom.variables()}, key=lambda v: v.name
+    )
+    if body_vars:
+        head_args = tuple(
+            draw(st.sampled_from(body_vars)) for _ in range(2)
+        )
+    else:
+        head_args = (Constant(0), Constant(1))
+    return Rule(Atom("H", head_args), body)
+
+
+class TestCanonicalLaws:
+    @given(safe_rules())
+    def test_canonicalization_idempotent(self, rule):
+        once = canonicalize_rule(rule)
+        assert canonicalize_rule(once) == once
+
+    @given(safe_rules())
+    def test_rule_isomorphic_to_itself_renamed(self, rule):
+        renamed = rule.rename_variables("_q")
+        assert rules_isomorphic(rule, renamed)
+
+    @given(safe_rules())
+    def test_canonical_preserves_structure(self, rule):
+        canonical = canonicalize_rule(rule)
+        assert len(canonical.body) == len(rule.body)
+        assert canonical.head.predicate == rule.head.predicate
+        assert [lit.predicate for lit in canonical.body] == [
+            lit.predicate for lit in rule.body
+        ]
+
+    @given(safe_rules())
+    def test_canonical_semantically_equivalent(self, rule):
+        # Renaming never changes uniform semantics.
+        original = Program.of(rule)
+        canonical = Program.of(canonicalize_rule(rule))
+        assert uniformly_contains(original, canonical)
+        assert uniformly_contains(canonical, original)
+
+
+class TestSerializationLaws:
+    @given(safe_rules())
+    def test_rule_roundtrip(self, rule):
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_program_roundtrip(self, seed):
+        program = random_positive_program(
+            rules=4, max_body=3, predicates=2, variables_per_rule=4, seed=seed
+        )
+        assert program_from_json(program_to_json(program)) == program
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=10,
+        )
+    )
+    def test_database_roundtrip(self, rows):
+        db = Database.from_facts({"A": rows})
+        assert database_from_json(database_to_json(db)) == db
+
+
+class TestUnfoldLaws:
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_unfolded_always_uniformly_contained(self, seed):
+        rng = random.Random(seed)
+        program = random_positive_program(
+            rules=4, max_body=2, predicates=2, variables_per_rule=3, seed=seed
+        )
+        # Pick any rule with an IDB body atom.
+        idb = program.idb_predicates
+        targets = [
+            (rule, pos)
+            for rule in program.rules
+            for pos, lit in enumerate(rule.body)
+            if lit.predicate in idb
+        ]
+        if not targets:
+            return
+        rule, pos = rng.choice(targets)
+        result = unfold_atom(program, rule, pos)
+        assert uniformly_contains(container=program, contained=result.program)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_unfolding_preserves_edb_semantics(self, seed):
+        # On EDB-only inputs, the unfolded program agrees with the
+        # original (plain equivalence of the unfolding transformation).
+        rng = random.Random(seed)
+        program = tc_linear()
+        result = unfold_atom(program, program.rules[1], 1)
+        db = Database()
+        for _ in range(rng.randint(1, 10)):
+            db.add_fact("A", rng.randrange(5), rng.randrange(5))
+        assert evaluate(program, db).database == evaluate(result.program, db).database
+
+
+class TestTopDownAgreesWithBottomUp:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        source=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_reachability_queries(self, seed, source):
+        from repro.lang import parse_atom
+        from repro.lang.terms import Constant
+
+        rng = random.Random(seed)
+        program = tc_linear()
+        db = Database()
+        for _ in range(rng.randint(1, 14)):
+            db.add_fact("A", rng.randrange(8), rng.randrange(8))
+        query = parse_atom(f"G({source}, x)")
+        tabled = tabled_query(program, db, query)
+        full = evaluate(program, db).database
+        expected = {
+            row for row in full.tuples("G") if row[0] == Constant(source)
+        }
+        assert set(tabled.answers.tuples("G")) == expected
+
+
+class TestAugmentLaws:
+    @given(
+        core=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_weakened_copies_always_addable(self, core, seed):
+        rng = random.Random(seed)
+        rule = wide_rule(core_atoms=core, redundant_atoms=0, seed=seed)
+        program = Program.of(rule)
+        # Weaken a random body atom: replace one position with a fresh var.
+        body = rule.body_atoms()
+        template = rng.choice(body)
+        position = rng.randrange(template.arity)
+        args = list(template.args)
+        args[position] = Variable("fresh_q")
+        guard = Atom(template.predicate, tuple(args))
+        assert atom_is_addable(program, rule, guard)

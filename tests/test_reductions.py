@@ -1,0 +1,130 @@
+"""Unit tests for the §IV uniform-to-plain containment reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, evaluate, paper, parse_program, uniformly_contains
+from repro.core.reductions import (
+    add_seed_rules,
+    has_seed_rules,
+    plain_equals_uniform,
+    seed_predicate,
+)
+from repro.errors import ValidationError
+from repro.workloads import random_graph
+
+
+class TestConstruction:
+    def test_one_seed_rule_per_idb(self, tc):
+        primed = add_seed_rules(tc)
+        assert len(primed) == len(tc) + 1
+        assert "G0" in primed.edb_predicates
+
+    def test_seed_rule_shape(self, tc):
+        primed = add_seed_rules(tc)
+        (seed_rule,) = [r for r in primed.rules if r not in tc.rules]
+        assert str(seed_rule) == "G(x1, x2) :- G0(x1, x2)."
+
+    def test_collision_rejected(self):
+        program = parse_program(
+            """
+            G(x) :- A(x).
+            P(x) :- G0(x).
+            """
+        )
+        with pytest.raises(ValidationError):
+            add_seed_rules(program)
+
+    def test_alternative_suffix(self):
+        program = parse_program(
+            """
+            G(x) :- A(x).
+            P(x) :- G0(x).
+            """
+        )
+        primed = add_seed_rules(program, suffix="_init")
+        assert seed_predicate("G", "_init") in primed.edb_predicates
+
+
+class TestRecognition:
+    def test_primed_programs_recognized(self, tc, tc_linear):
+        assert has_seed_rules(add_seed_rules(tc))
+        assert has_seed_rules(add_seed_rules(tc_linear))
+
+    def test_nonlinear_tc_already_seeded(self, tc):
+        # The paper's own remark: G(x,z) :- A(x,z) qualifies because A
+        # appears in no other rule of the non-linear program, so no
+        # seed rule needs to be added for it.
+        assert has_seed_rules(tc)
+
+    def test_linear_tc_not_seeded(self, tc_linear):
+        # Here A also feeds the recursive rule, so it is not private.
+        assert not has_seed_rules(tc_linear)
+
+    def test_shared_seed_predicate_rejected(self):
+        # The "B0 appears in no other rule" condition.
+        program = parse_program(
+            """
+            G(x, y) :- G0(x, y).
+            H(x, y) :- G0(x, y).
+            G(x, z) :- G(x, y), G(y, z).
+            H(x, z) :- H(x, y), H(y, z).
+            """
+        )
+        assert not has_seed_rules(program)
+
+    def test_repeated_variable_head_not_a_seed(self):
+        program = parse_program("G(x, x) :- G0(x, x).")
+        assert not has_seed_rules(program)
+
+    def test_plain_equals_uniform_condition(self, tc, tc_linear):
+        assert plain_equals_uniform(add_seed_rules(tc), add_seed_rules(tc_linear))
+        assert not plain_equals_uniform(tc, tc_linear)
+
+
+class TestTheorem:
+    """P2 ⊑u P1  iff  P2′ ⊑ P1′ — verified in both directions.
+
+    Plain containment of the primed programs is sampled over random
+    EDBs (it has no decision procedure), which suffices to *refute*
+    containment and to corroborate the positive direction.
+    """
+
+    def _plain_containment_sample(self, p1, p2, seeds=5) -> bool:
+        for seed in range(seeds):
+            edb = random_graph(6, 10, seed=seed)
+            # Give the seed predicates content too: that is the point
+            # of the construction.
+            for row in random_graph(6, 6, seed=seed + 50).tuples("A"):
+                edb._add_row("G0", row)
+            out1 = evaluate(p1, edb).database
+            out2 = evaluate(p2, edb).database
+            if not out2.issubset(out1):
+                return False
+        return True
+
+    def test_positive_direction(self):
+        # TC_LINEAR ⊑u TC_NONLINEAR holds, so the primed programs must
+        # be plainly contained on every sample.
+        p1p = add_seed_rules(paper.TC_NONLINEAR)
+        p2p = add_seed_rules(paper.TC_LINEAR)
+        assert uniformly_contains(paper.TC_NONLINEAR, paper.TC_LINEAR)
+        assert self._plain_containment_sample(p1p, p2p)
+
+    def test_negative_direction(self):
+        # TC_NONLINEAR ⋢u TC_LINEAR: the primed programs must separate
+        # on some sample (the seeded G facts expose the difference).
+        p1p = add_seed_rules(paper.TC_LINEAR)
+        p2p = add_seed_rules(paper.TC_NONLINEAR)
+        assert not uniformly_contains(paper.TC_LINEAR, paper.TC_NONLINEAR)
+        assert not self._plain_containment_sample(p1p, p2p)
+
+    def test_decidable_test_answers_plain_containment_under_condition(self):
+        # For primed programs, the Section VI test IS the plain
+        # containment test.
+        p1p = add_seed_rules(paper.TC_NONLINEAR)
+        p2p = add_seed_rules(paper.TC_LINEAR)
+        assert plain_equals_uniform(p1p, p2p)
+        assert uniformly_contains(p1p, p2p)
+        assert not uniformly_contains(p2p, p1p)

@@ -1,0 +1,101 @@
+"""Unit tests for query-relevance analysis."""
+
+from __future__ import annotations
+
+from repro import Database, evaluate, parse_program
+from repro.analysis.relevance import (
+    relevant_predicates,
+    restrict_to_goal,
+    unreachable_predicates,
+)
+from repro.workloads import chain
+
+
+MULTI = """
+    % reachability, wanted
+    R(x, y) :- E(x, y).
+    R(x, y) :- E(x, z), R(z, y).
+    % an unrelated aggregate-ish predicate, dead for R queries
+    Deg(x, y) :- E(x, y), E(x, w).
+    DegTwo(x) :- Deg(x, y), Deg(x, z).
+"""
+
+
+class TestRelevantPredicates:
+    def test_goal_included(self):
+        program = parse_program(MULTI)
+        assert "R" in relevant_predicates(program, "R")
+
+    def test_edb_feeding_goal_included(self):
+        program = parse_program(MULTI)
+        assert "E" in relevant_predicates(program, "R")
+
+    def test_dead_predicates_excluded(self):
+        program = parse_program(MULTI)
+        relevant = relevant_predicates(program, "R")
+        assert "Deg" not in relevant
+        assert "DegTwo" not in relevant
+
+    def test_unknown_goal_is_singleton(self):
+        program = parse_program(MULTI)
+        assert relevant_predicates(program, "Nope") == {"Nope"}
+
+    def test_everything_relevant_to_sink(self):
+        program = parse_program(MULTI)
+        relevant = relevant_predicates(program, "DegTwo")
+        assert {"DegTwo", "Deg", "E"} <= relevant
+
+    def test_unreachable_helper(self):
+        program = parse_program(MULTI)
+        assert unreachable_predicates(program, "R") == {"Deg", "DegTwo"}
+
+
+class TestRestrictToGoal:
+    def test_dead_rules_removed(self):
+        program = parse_program(MULTI)
+        result = restrict_to_goal(program, "R")
+        assert len(result.program) == 2
+        assert len(result.removed_rules) == 2
+        assert result.changed
+
+    def test_goal_answers_unchanged(self):
+        program = parse_program(MULTI)
+        restricted = restrict_to_goal(program, "R").program
+        db = chain(6, predicate="E")
+        full = evaluate(program, db).database
+        lean = evaluate(restricted, db).database
+        assert full.tuples("R") == lean.tuples("R")
+
+    def test_retained_predicates_unchanged(self):
+        program = parse_program(MULTI)
+        restricted = restrict_to_goal(program, "DegTwo").program
+        db = chain(5, predicate="E")
+        full = evaluate(program, db).database
+        lean = evaluate(restricted, db).database
+        assert full.tuples("DegTwo") == lean.tuples("DegTwo")
+        assert full.tuples("Deg") == lean.tuples("Deg")
+
+    def test_no_op_when_all_relevant(self, tc):
+        result = restrict_to_goal(tc, "G")
+        assert result.program == tc
+        assert not result.changed
+
+    def test_unknown_goal_drops_everything(self):
+        program = parse_program(MULTI)
+        result = restrict_to_goal(program, "Mystery")
+        assert len(result.program) == 0
+        # Querying it still "works": only stored facts.
+        db = Database.from_facts({"Mystery": [(1,)]})
+        assert evaluate(result.program, db).database.count("Mystery") == 1
+
+    def test_mutual_recursion_kept_together(self):
+        program = parse_program(
+            """
+            P(x) :- A(x, y), Q(y).
+            Q(x) :- B(x, y), P(y).
+            Z(x) :- C(x).
+            """
+        )
+        result = restrict_to_goal(program, "P")
+        heads = {r.head.predicate for r in result.program.rules}
+        assert heads == {"P", "Q"}

@@ -1,0 +1,90 @@
+"""Unit tests for predicate renaming and namespacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, evaluate, parse_program
+from repro.errors import ValidationError
+from repro.lang.rename import merge_disjoint, namespace, rename_predicates
+
+
+class TestRenamePredicates:
+    def test_simple_rename(self, tc):
+        renamed = rename_predicates(tc, {"G": "Reach", "A": "Edge"})
+        assert renamed.idb_predicates == {"Reach"}
+        assert renamed.edb_predicates == {"Edge"}
+
+    def test_unmapped_pass_through(self, tc):
+        renamed = rename_predicates(tc, {"G": "Reach"})
+        assert renamed.edb_predicates == {"A"}
+
+    def test_semantics_preserved_modulo_names(self, tc):
+        renamed = rename_predicates(tc, {"G": "Reach", "A": "Edge"})
+        db = Database.from_facts({"Edge": [(1, 2), (2, 3)]})
+        out = evaluate(renamed, db).database
+        assert out.count("Reach") == 3
+
+    def test_merge_rejected(self):
+        program = parse_program("P(x) :- A(x), B(x).")
+        with pytest.raises(ValidationError):
+            rename_predicates(program, {"A": "B"})
+
+    def test_merge_onto_unmapped_rejected(self):
+        program = parse_program("P(x) :- A(x), B(x).")
+        with pytest.raises(ValidationError):
+            rename_predicates(program, {"A": "P"})
+
+    def test_swap_allowed(self):
+        program = parse_program("P(x) :- A(x).")
+        swapped = rename_predicates(program, {"P": "A", "A": "P"})
+        assert swapped.idb_predicates == {"A"}
+        assert swapped.edb_predicates == {"P"}
+
+    def test_negated_literals_renamed(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        renamed = rename_predicates(program, {"B": "Blocked"})
+        (rule,) = renamed.rules
+        assert str(rule.body[1]) == "not Blocked(x)"
+
+
+class TestNamespace:
+    def test_prefixes_everything(self, tc):
+        spaced = namespace(tc, "Core")
+        assert spaced.predicates == {"Core_G", "Core_A"}
+
+    def test_lowercase_prefix_rejected(self, tc):
+        with pytest.raises(ValidationError):
+            namespace(tc, "core")
+
+    def test_empty_prefix_rejected(self, tc):
+        with pytest.raises(ValidationError):
+            namespace(tc, "")
+
+    def test_roundtrip_parseable(self, tc):
+        from repro.lang import format_program, parse_program as parse
+
+        spaced = namespace(tc, "Ns")
+        assert parse(format_program(spaced)) == spaced
+
+
+class TestMergeDisjoint:
+    def test_disjoint_merge(self):
+        p1 = parse_program("P(x) :- A(x).")
+        p2 = parse_program("Q(x) :- B(x).")
+        merged = merge_disjoint(p1, p2)
+        assert len(merged) == 2
+
+    def test_overlap_rejected_with_indices(self):
+        p1 = parse_program("P(x) :- A(x).")
+        p2 = parse_program("Q(x) :- A(x).")
+        with pytest.raises(ValidationError, match="#0 and #1"):
+            merge_disjoint(p1, p2)
+
+    def test_namespaced_merge(self, tc, tc_linear):
+        merged = merge_disjoint(namespace(tc, "L"), namespace(tc_linear, "R"))
+        assert len(merged) == 4
+        db = Database.from_facts({"L_A": [(1, 2), (2, 3)], "R_A": [(1, 2)]})
+        out = evaluate(merged, db).database
+        assert out.count("L_G") == 3
+        assert out.count("R_G") == 1

@@ -1,0 +1,144 @@
+"""Unit tests for repro.lang.rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnsafeRuleError
+from repro.lang.atoms import Atom, Literal
+from repro.lang.rules import Rule
+from repro.lang.terms import Constant, Variable
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def tc_recursive() -> Rule:
+    return Rule(
+        Atom("G", (x, z)),
+        [Literal(Atom("G", (x, y))), Literal(Atom("G", (y, z)))],
+    )
+
+
+class TestSafety:
+    def test_head_variable_must_appear_in_body(self):
+        with pytest.raises(UnsafeRuleError):
+            Rule(Atom("G", (x, z)), [Literal(Atom("A", (x, x)))])
+
+    def test_ground_fact_allowed(self):
+        rule = Rule(Atom.of("A", 1, 2), [])
+        assert rule.is_fact
+
+    def test_nonground_empty_body_rejected(self):
+        # The paper: Anc(x, x) :- . is not allowed.
+        with pytest.raises(UnsafeRuleError):
+            Rule(Atom("Anc", (x, x)), [])
+
+    def test_negated_literal_variables_must_be_positive_bound(self):
+        with pytest.raises(UnsafeRuleError):
+            Rule(
+                Atom("P", (x,)),
+                [Literal(Atom("A", (x,))), Literal(Atom("B", (y,)), positive=False)],
+            )
+
+    def test_safe_negation_accepted(self):
+        rule = Rule(
+            Atom("P", (x,)),
+            [Literal(Atom("A", (x,))), Literal(Atom("B", (x,)), positive=False)],
+        )
+        assert not rule.is_positive
+
+    def test_head_constant_is_fine(self):
+        rule = Rule(Atom.of("G", x, 3), [Literal(Atom("A", (x,)))])
+        assert rule.head.args[1] == Constant(3)
+
+
+class TestAccessors:
+    def test_body_accepts_plain_atoms(self):
+        rule = Rule(Atom("G", (x,)), [Atom("A", (x,))])
+        assert rule.body[0] == Literal(Atom("A", (x,)))
+
+    def test_variables(self):
+        assert tc_recursive().variables() == {x, y, z}
+
+    def test_predicates(self):
+        assert tc_recursive().predicates() == {"G"}
+        assert tc_recursive().body_predicates() == {"G"}
+
+    def test_body_atoms_positive_only(self):
+        rule = Rule(
+            Atom("P", (x,)),
+            [Literal(Atom("A", (x,))), Literal(Atom("B", (x,)), positive=False)],
+        )
+        with pytest.raises(UnsafeRuleError):
+            rule.body_atoms()
+
+    def test_positive_negative_iterators(self):
+        rule = Rule(
+            Atom("P", (x,)),
+            [Literal(Atom("A", (x,))), Literal(Atom("B", (x,)), positive=False)],
+        )
+        assert [a.predicate for a in rule.positive_atoms()] == ["A"]
+        assert [a.predicate for a in rule.negative_atoms()] == ["B"]
+
+    def test_str_roundtrippable(self):
+        assert str(tc_recursive()) == "G(x, z) :- G(x, y), G(y, z)."
+
+    def test_fact_str(self):
+        assert str(Rule(Atom.of("A", 1, 2), [])) == "A(1, 2)."
+
+
+class TestTransforms:
+    def test_substitute(self):
+        rule = tc_recursive().substitute({y: Constant(5)})
+        assert str(rule) == "G(x, z) :- G(x, 5), G(5, z)."
+
+    def test_rename_variables(self):
+        renamed = tc_recursive().rename_variables("_1")
+        assert renamed.variables() == {Variable("x_1"), Variable("y_1"), Variable("z_1")}
+
+    def test_rename_produces_disjoint_rule(self):
+        original = tc_recursive()
+        renamed = original.rename_variables("_q")
+        assert not (original.variables() & renamed.variables())
+
+    def test_without_body_literal(self):
+        rule = Rule(
+            Atom("G", (x, z)),
+            [Literal(Atom("G", (x, z))), Literal(Atom("A", (x, w)))],
+        )
+        slimmer = rule.without_body_literal(1)
+        assert len(slimmer.body) == 1
+
+    def test_without_body_literal_unsafe_raises(self):
+        rule = Rule(Atom("G", (x,)), [Literal(Atom("A", (x,)))])
+        with pytest.raises(UnsafeRuleError):
+            rule.without_body_literal(0)
+
+    def test_without_body_literal_bad_index(self):
+        with pytest.raises(IndexError):
+            tc_recursive().without_body_literal(9)
+
+    def test_can_drop_body_literal(self):
+        rule = Rule(
+            Atom("G", (x, z)),
+            [Literal(Atom("G", (x, z))), Literal(Atom("A", (x, w)))],
+        )
+        assert rule.can_drop_body_literal(1)
+        assert not rule.can_drop_body_literal(0)  # would strand z
+
+    def test_with_body(self):
+        rule = tc_recursive().with_body([Atom("A", (x, z))])
+        assert str(rule) == "G(x, z) :- A(x, z)."
+
+
+class TestEquality:
+    def test_equal_rules(self):
+        assert tc_recursive() == tc_recursive()
+
+    def test_body_order_matters_syntactically(self):
+        r1 = Rule(Atom("G", (x, z)), [Atom("G", (x, y)), Atom("G", (y, z))])
+        r2 = Rule(Atom("G", (x, z)), [Atom("G", (y, z)), Atom("G", (x, y))])
+        assert r1 != r2
+
+    def test_hashable(self):
+        assert len({tc_recursive(), tc_recursive()}) == 1

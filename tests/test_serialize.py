@@ -1,0 +1,118 @@
+"""Unit tests for the JSON serialization layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Database, parse_program, parse_rule
+from repro.errors import ValidationError
+from repro.lang.serialize import (
+    atom_from_dict,
+    atom_to_dict,
+    database_from_json,
+    database_to_json,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+    rule_from_dict,
+    rule_to_dict,
+    term_from_dict,
+    term_to_dict,
+)
+from repro.lang.terms import Constant, FrozenConstant, Null, Variable
+
+
+class TestTerms:
+    @pytest.mark.parametrize(
+        "term",
+        [Variable("x"), Constant(3), Constant("alice"), Null(7), FrozenConstant("y", 2)],
+    )
+    def test_roundtrip(self, term):
+        assert term_from_dict(term_to_dict(term)) == term
+
+    def test_int_str_distinction_survives(self):
+        assert term_from_dict(term_to_dict(Constant(1))) == Constant(1)
+        assert term_from_dict(term_to_dict(Constant("1"))) == Constant("1")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            term_from_dict({"weird": 1})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValidationError):
+            term_from_dict({"var": "x", "int": 1})
+
+
+class TestRulesAndPrograms:
+    def test_rule_roundtrip(self):
+        rule = parse_rule("G(x, z) :- G(x, y), G(y, z), A(y, w).")
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_negated_literal_roundtrip(self):
+        rule = parse_rule("P(x) :- A(x), not B(x).")
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_fact_roundtrip(self):
+        rule = parse_rule("A(1, 'two').")
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_program_roundtrip(self, tc):
+        assert program_from_json(program_to_json(tc)) == tc
+
+    def test_program_json_is_valid_json(self, tc):
+        data = json.loads(program_to_json(tc, indent=2))
+        assert data["format"] == 1
+        assert len(data["rules"]) == 2
+
+    def test_missing_head_rejected(self):
+        with pytest.raises((ValidationError, KeyError)):
+            rule_from_dict({"body": []})
+
+    def test_wrong_format_version(self, tc):
+        data = program_to_dict(tc)
+        data["format"] = 99
+        with pytest.raises(ValidationError):
+            program_from_dict(data)
+
+    def test_atom_missing_key(self):
+        with pytest.raises(ValidationError):
+            atom_from_dict({"pred": "A"})
+
+    def test_atom_roundtrip(self):
+        from repro.lang import parse_atom
+
+        atom = parse_atom("Q(x, 3, 'z')")
+        assert atom_from_dict(atom_to_dict(atom)) == atom
+
+
+class TestDatabases:
+    def test_roundtrip(self):
+        db = Database.from_facts({"A": [(1, 2), (3, "x")], "B": [(5,)]})
+        assert database_from_json(database_to_json(db)) == db
+
+    def test_nulls_roundtrip(self):
+        from repro.lang import Atom
+
+        db = Database()
+        db.add(Atom("A", (Constant(1), Null(3))))
+        assert database_from_json(database_to_json(db)) == db
+
+    def test_deterministic_output(self):
+        db = Database.from_facts({"B": [(2,), (1,)], "A": [(9, 9)]})
+        assert database_to_json(db) == database_to_json(db.copy())
+
+    def test_empty_database(self):
+        assert database_from_json(database_to_json(Database())) == Database()
+
+    def test_evaluation_through_serialization(self, tc, ex2_edb):
+        from repro import evaluate
+
+        wire_program = program_from_json(program_to_json(tc))
+        wire_db = database_from_json(database_to_json(ex2_edb))
+        assert (
+            evaluate(wire_program, wire_db).database
+            == evaluate(tc, ex2_edb).database
+        )

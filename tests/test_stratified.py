@@ -1,0 +1,133 @@
+"""Unit tests for stratified negation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, evaluate, evaluate_stratified, parse_program
+from repro.engine.stratified import stratify
+from repro.errors import StratificationError
+from repro.lang import Atom
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self, tc):
+        strata = stratify(tc)
+        assert strata.depth == 1
+        assert strata.stratum_of["G"] == 0
+
+    def test_negation_pushes_up(self):
+        program = parse_program(
+            """
+            R(x, y) :- E(x, y).
+            Un(x) :- Node(x), not R(x, x).
+            """
+        )
+        strata = stratify(program)
+        assert strata.stratum_of["R"] == 0
+        assert strata.stratum_of["Un"] == 1
+        assert strata.depth == 2
+
+    def test_three_levels(self):
+        program = parse_program(
+            """
+            P(x) :- A(x).
+            Q(x) :- A(x), not P(x).
+            S(x) :- A(x), not Q(x).
+            """
+        )
+        strata = stratify(program)
+        assert strata.stratum_of == {"P": 0, "Q": 1, "S": 2}
+
+    def test_negative_cycle_rejected(self):
+        program = parse_program(
+            """
+            P(x) :- A(x), not Q(x).
+            Q(x) :- A(x), not P(x).
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_negation_into_recursion_rejected(self):
+        program = parse_program(
+            """
+            P(x) :- A(x, y), P(y), not P(x).
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_empty_program(self):
+        strata = stratify(parse_program(""))
+        assert strata.depth == 0
+
+
+class TestEvaluateStratified:
+    def test_matches_positive_engine_on_positive_program(self, tc, ex2_edb):
+        stratified = evaluate_stratified(tc, ex2_edb).database
+        positive = evaluate(tc, ex2_edb).database
+        assert stratified == positive
+
+    def test_unreachable_pairs(self):
+        program = parse_program(
+            """
+            R(x, y) :- E(x, y).
+            R(x, y) :- E(x, z), R(z, y).
+            Unreach(x, y) :- Node(x), Node(y), not R(x, y).
+            """
+        )
+        db = Database.from_facts(
+            {"E": [(1, 2), (2, 3)], "Node": [(1,), (2,), (3,)]}
+        )
+        out = evaluate_stratified(program, db).database
+        assert out.count("R") == 3
+        assert out.count("Unreach") == 6
+        assert Atom.of("Unreach", 3, 1) in out
+        assert Atom.of("Unreach", 1, 3) not in out
+
+    def test_complement_via_negation(self):
+        program = parse_program(
+            """
+            Big(x) :- Item(x, y), Threshold(y).
+            Small(x) :- Name(x), not Big(x).
+            """
+        )
+        db = Database.from_facts(
+            {
+                "Item": [("a", 10), ("b", 1)],
+                "Threshold": [(10,)],
+                "Name": [("a",), ("b",), ("c",)],
+            }
+        )
+        out = evaluate_stratified(program, db).database
+        expected = Database.from_facts({"Small": [("b",), ("c",)]})
+        assert out.tuples("Small") == expected.tuples("Small")
+
+    def test_recursion_above_negation(self):
+        # Compute nodes not in the EDB relation Blocked, then closure
+        # over them only.
+        program = parse_program(
+            """
+            Ok(x) :- Node(x), not Blocked(x).
+            R(x, y) :- E(x, y), Ok(x), Ok(y).
+            R(x, y) :- R(x, z), R(z, y).
+            """
+        )
+        db = Database.from_facts(
+            {
+                "E": [(1, 2), (2, 3), (3, 4)],
+                "Node": [(1,), (2,), (3,), (4,)],
+                "Blocked": [(3,)],
+            }
+        )
+        out = evaluate_stratified(program, db).database
+        assert Atom.of("R", 1, 3) not in out
+        assert Atom.of("R", 1, 2) in out
+
+    def test_input_not_mutated(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        db = Database.from_facts({"A": [(1,)], "B": []})
+        before = len(db)
+        evaluate_stratified(program, db)
+        assert len(db) == before

@@ -1,0 +1,145 @@
+"""Unit tests for repro.lang.substitution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.substitution import Substitution, match_atom, unify_atoms
+from repro.lang.terms import Constant, FrozenConstant, Variable
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+c1, c2, c3 = Constant(1), Constant(2), Constant(3)
+
+
+class TestSubstitution:
+    def test_empty(self):
+        subst = Substitution.empty()
+        assert len(subst) == 0
+        assert subst.apply_term(x) == x
+
+    def test_bind_returns_new(self):
+        base = Substitution.empty()
+        extended = base.bind(x, c1)
+        assert len(base) == 0
+        assert extended[x] == c1
+
+    def test_bind_same_value_is_noop(self):
+        subst = Substitution({x: c1})
+        assert subst.bind(x, c1) is subst
+
+    def test_bind_conflict_raises(self):
+        subst = Substitution({x: c1})
+        with pytest.raises(ValueError):
+            subst.bind(x, c2)
+
+    def test_bind_many(self):
+        subst = Substitution.empty().bind_many({x: c1, y: c2})
+        assert subst[x] == c1 and subst[y] == c2
+
+    def test_apply_atom(self):
+        subst = Substitution({x: c1})
+        assert subst.apply_atom(Atom("A", (x, y))) == Atom("A", (c1, y))
+
+    def test_mapping_protocol(self):
+        subst = Substitution({x: c1, y: c2})
+        assert set(subst) == {x, y}
+        assert dict(subst) == {x: c1, y: c2}
+
+    def test_equality_with_plain_mapping(self):
+        assert Substitution({x: c1}) == {x: c1}
+
+    def test_hashable(self):
+        assert hash(Substitution({x: c1})) == hash(Substitution({x: c1}))
+
+    def test_compose_applies_left_then_right(self):
+        left = Substitution({x: y})
+        right = Substitution({y: c1})
+        composed = left.compose(right)
+        atom = Atom("A", (x,))
+        assert composed.apply_atom(atom) == right.apply_atom(left.apply_atom(atom))
+
+    def test_compose_keeps_right_only_bindings(self):
+        composed = Substitution({x: c1}).compose(Substitution({y: c2}))
+        assert composed[y] == c2
+
+    def test_restrict(self):
+        subst = Substitution({x: c1, y: c2}).restrict([x])
+        assert dict(subst) == {x: c1}
+
+    def test_is_ground(self):
+        assert Substitution({x: c1}).is_ground()
+        assert not Substitution({x: y}).is_ground()
+
+
+class TestMatchAtom:
+    def test_binds_variables(self):
+        got = match_atom(Atom("A", (x, y)), Atom("A", (c1, c2)))
+        assert got == {x: c1, y: c2}
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("A", (x, x)), Atom("A", (c1, c1))) is not None
+        assert match_atom(Atom("A", (x, x)), Atom("A", (c1, c2))) is None
+
+    def test_pattern_constant_must_equal(self):
+        assert match_atom(Atom("A", (c1, x)), Atom("A", (c1, c2))) is not None
+        assert match_atom(Atom("A", (c1, x)), Atom("A", (c2, c2))) is None
+
+    def test_predicate_mismatch(self):
+        assert match_atom(Atom("A", (x,)), Atom("B", (c1,))) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(Atom("A", (x,)), Atom("A", (c1, c2))) is None
+
+    def test_extends_existing_substitution(self):
+        base = Substitution({x: c1})
+        got = match_atom(Atom("A", (x, y)), Atom("A", (c1, c2)), base)
+        assert got == {x: c1, y: c2}
+
+    def test_conflict_with_existing_substitution(self):
+        base = Substitution({x: c3})
+        assert match_atom(Atom("A", (x,)), Atom("A", (c1,)), base) is None
+
+    def test_no_new_bindings_returns_same_object(self):
+        base = Substitution({x: c1})
+        assert match_atom(Atom("A", (x,)), Atom("A", (c1,)), base) is base
+
+    def test_matches_frozen_constants(self):
+        frozen = FrozenConstant("q")
+        got = match_atom(Atom("A", (x,)), Atom("A", (frozen,)))
+        assert got == {x: frozen}
+
+
+class TestUnifyAtoms:
+    def test_ground_identical(self):
+        assert unify_atoms(Atom.of("A", 1), Atom.of("A", 1)) is not None
+
+    def test_ground_different(self):
+        assert unify_atoms(Atom.of("A", 1), Atom.of("A", 2)) is None
+
+    def test_variable_to_constant_both_sides(self):
+        got = unify_atoms(Atom("A", (x, c2)), Atom("A", (c1, y)))
+        assert got[x] == c1 and got[y] == c2
+
+    def test_variable_to_variable(self):
+        got = unify_atoms(Atom("A", (x,)), Atom("A", (y,)))
+        assert got is not None
+        # One variable is bound to the other.
+        assert got.apply_term(x) == got.apply_term(y) or got.apply_term(y) in (x, y)
+
+    def test_chain_resolution(self):
+        # x=y and then y=1 must give x -> 1 after normalization.
+        got = unify_atoms(Atom("A", (x, y)), Atom("A", (y, c1)))
+        assert got.apply_term(x) == c1
+        assert got.apply_term(y) == c1
+
+    def test_repeated_variable_forces_equality(self):
+        got = unify_atoms(Atom("A", (x, x)), Atom("A", (c1, y)))
+        assert got is not None
+        assert got.apply_term(y) == c1
+
+    def test_clash_through_repeats(self):
+        assert unify_atoms(Atom("A", (x, x)), Atom("A", (c1, c2))) is None
+
+    def test_predicate_mismatch(self):
+        assert unify_atoms(Atom("A", (x,)), Atom("B", (x,))) is None

@@ -1,0 +1,115 @@
+"""Unit tests for repro.lang.terms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.terms import (
+    Constant,
+    FrozenConstant,
+    Null,
+    NullFactory,
+    Variable,
+    is_ground_term,
+    term_sort_key,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_not_ground(self):
+        assert not Variable("x").is_ground
+        assert not is_ground_term(Variable("x"))
+
+    def test_str(self):
+        assert str(Variable("foo")) == "foo"
+
+
+class TestConstant:
+    def test_int_and_str_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_equality(self):
+        assert Constant(3) == Constant(3)
+        assert Constant("a") == Constant("a")
+
+    def test_is_ground(self):
+        assert Constant(3).is_ground
+
+    def test_str_int(self):
+        assert str(Constant(10)) == "10"
+
+    def test_str_string_quoted(self):
+        assert str(Constant("alice")) == "'alice'"
+
+
+class TestNull:
+    def test_counts_as_ground(self):
+        # Section VIII: atoms with nulls are viewed as ground atoms.
+        assert Null(1).is_ground
+
+    def test_identity(self):
+        assert Null(1) == Null(1)
+        assert Null(1) != Null(2)
+
+    def test_distinct_from_constant(self):
+        assert Null(1) != Constant(1)
+
+    def test_str(self):
+        assert str(Null(23)) == "@23"
+
+
+class TestFrozenConstant:
+    def test_counts_as_ground(self):
+        assert FrozenConstant("x").is_ground
+
+    def test_distinct_from_variable_and_constant(self):
+        assert FrozenConstant("x") != Variable("x")
+        assert FrozenConstant("x") != Constant("x")
+
+    def test_serial_disambiguates(self):
+        assert FrozenConstant("x", 0) != FrozenConstant("x", 1)
+
+    def test_str(self):
+        assert str(FrozenConstant("x")) == "x#"
+        assert str(FrozenConstant("x", 2)) == "x#2"
+
+
+class TestNullFactory:
+    def test_fresh_never_repeats(self):
+        factory = NullFactory()
+        issued = [factory.fresh() for _ in range(100)]
+        assert len(set(issued)) == 100
+
+    def test_issued_counter(self):
+        factory = NullFactory()
+        assert factory.issued == 0
+        factory.fresh()
+        factory.fresh()
+        assert factory.issued == 2
+
+    def test_start_offset(self):
+        factory = NullFactory(start=5)
+        assert factory.fresh() == Null(5)
+
+
+class TestSortKey:
+    def test_total_order_over_mixed_terms(self):
+        terms = [Variable("x"), Constant(1), Null(1), FrozenConstant("x"), Constant("a")]
+        ordered = sorted(terms, key=term_sort_key)
+        # Constants first, then nulls, then frozen constants, then variables.
+        assert isinstance(ordered[0], Constant)
+        assert isinstance(ordered[-1], Variable)
+
+    def test_int_before_str_constants(self):
+        assert term_sort_key(Constant(5)) < term_sort_key(Constant("a"))
+
+    def test_deterministic(self):
+        terms = [Constant(2), Constant(1), Null(3), Variable("b"), Variable("a")]
+        assert sorted(terms, key=term_sort_key) == sorted(terms, key=term_sort_key)

@@ -1,0 +1,93 @@
+"""Unit tests for the public differential-testing harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, parse_program
+from repro.cli import main
+from repro.testing import (
+    DifferentialReport,
+    check_engines_agree,
+    check_maintenance_exact,
+    check_minimization_sound,
+    check_optimizer_sound,
+    check_query_strategies_agree,
+    random_database,
+    random_program,
+    run_differential_suite,
+)
+
+
+class TestGenerators:
+    def test_random_program_deterministic(self):
+        assert random_program(5) == random_program(5)
+
+    def test_random_database_deterministic(self):
+        assert random_database(5) == random_database(5)
+
+    def test_seeds_vary_output(self):
+        assert any(random_program(i) != random_program(i + 1) for i in range(5))
+
+
+class TestChecks:
+    def test_engines_agree_on_sane_program(self, tc):
+        db = Database.from_facts({"A": [(1, 2), (2, 3)]})
+        assert check_engines_agree(tc, db) is None
+
+    def test_minimization_sound_on_paper_example(self):
+        from repro import paper
+
+        samples = [random_database(i) for i in range(2)]
+        assert check_minimization_sound(paper.EX7_P1, samples) is None
+
+    def test_optimizer_sound_on_example19(self):
+        from repro import paper
+        from repro.workloads import chain, merged, unary_marks
+
+        samples = [merged(chain(4), unary_marks(range(5)))]
+        assert check_optimizer_sound(paper.EX19_P1, samples) is None
+
+    def test_query_strategies_agree(self):
+        program = parse_program(
+            """
+            G(x, z) :- E0(x, z).
+            G(x, z) :- E0(x, y), G(y, z).
+            """
+        )
+        from repro.lang import parse_atom
+
+        db = random_database(3)
+        assert check_query_strategies_agree(program, db, parse_atom("G(0, x)")) is None
+
+    def test_maintenance_exact(self):
+        program = parse_program(
+            """
+            G(x, z) :- E0(x, z).
+            G(x, z) :- E0(x, y), G(y, z).
+            """
+        )
+        assert check_maintenance_exact(program, seed=4) is None
+
+
+class TestSuite:
+    def test_small_run_clean(self):
+        report = run_differential_suite(seeds=5)
+        assert report.ok, [str(f) for f in report.failures]
+        assert report.seeds_run == 5
+        assert report.checks_run == 25
+
+    def test_summary_format(self):
+        report = DifferentialReport(seeds_run=3, checks_run=9)
+        assert "OK" in report.summary()
+
+    def test_maintenance_can_be_skipped(self):
+        report = run_differential_suite(seeds=2, include_maintenance=False)
+        assert report.checks_run == 8
+
+
+class TestCliFuzz:
+    def test_fuzz_command(self, capsys):
+        code = main(["fuzz", "--seeds", "3"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out

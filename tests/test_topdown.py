@@ -1,0 +1,134 @@
+"""Unit tests for the tabled top-down engine (QSQR-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, evaluate, parse_program
+from repro.engine.magic import answer_query
+from repro.engine.topdown import Call, tabled_query
+from repro.errors import UnsafeRuleError
+from repro.lang import Variable, parse_atom
+from repro.workloads import (
+    chain,
+    cycle,
+    merged,
+    random_graph,
+    random_tree,
+    same_generation,
+    tc_linear,
+    tc_nonlinear,
+    unary_marks,
+)
+
+
+def reference(program, db, query):
+    full = evaluate(program, db).database
+    return {
+        row
+        for row in full.tuples(query.predicate)
+        if all(
+            isinstance(qt, Variable) or qt == rt for qt, rt in zip(query.args, row)
+        )
+    }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("query_text", ["G(0, x)", "G(x, 5)", "G(0, 5)", "G(x, y)"])
+    @pytest.mark.parametrize("program_factory", [tc_linear, tc_nonlinear])
+    def test_tc_all_adornments(self, program_factory, query_text):
+        program = program_factory()
+        db = random_graph(12, 24, seed=5)
+        query = parse_atom(query_text)
+        result = tabled_query(program, db, query)
+        assert set(result.answers.tuples("G")) == reference(program, db, query)
+
+    def test_cycles_terminate(self, tc):
+        db = cycle(8)
+        result = tabled_query(tc, db, parse_atom("G(0, x)"))
+        assert len(result.answers) == 8
+
+    def test_empty_answer(self, tc):
+        result = tabled_query(tc, chain(5), parse_atom("G(99, x)"))
+        assert len(result.answers) == 0
+
+    def test_same_generation(self):
+        program = same_generation()
+        db = merged(
+            random_tree(14, seed=8, predicate="Par"),
+            unary_marks(range(14), predicate="Per"),
+        )
+        query = parse_atom("Sg(3, x)")
+        result = tabled_query(program, db, query)
+        assert set(result.answers.tuples("Sg")) == reference(program, db, query)
+
+    def test_initial_idb_facts_honoured(self, tc):
+        db = Database.from_facts({"A": [(1, 2)], "G": [(5, 6)]})
+        result = tabled_query(tc, db, parse_atom("G(5, x)"))
+        assert set(r[1].value for r in result.answers.tuples("G")) == {6}
+
+    def test_head_constants(self):
+        program = parse_program("G(x, 3) :- A(x).")
+        db = Database.from_facts({"A": [(1,), (2,)]})
+        result = tabled_query(program, db, parse_atom("G(x, 3)"))
+        assert len(result.answers) == 2
+        miss = tabled_query(program, db, parse_atom("G(x, 4)"))
+        assert len(miss.answers) == 0
+
+    def test_agrees_with_magic(self, tc):
+        db = random_graph(15, 30, seed=11)
+        query = parse_atom("G(0, x)")
+        top_down = tabled_query(tc, db, query)
+        magic_answers, _ = answer_query(tc, db, query)
+        assert set(top_down.answers.tuples("G")) == set(magic_answers.tuples("G"))
+
+
+class TestGoalDirectedness:
+    def test_irrelevant_component_not_explored(self):
+        program = tc_linear()
+        db = chain(20)
+        db.update(chain(20, offset=500))
+        result = tabled_query(program, db, parse_atom("G(500, x)"))
+        # The tables only mention nodes of the queried component.
+        from repro.lang.terms import Constant
+
+        touched = {
+            t.value
+            for table in result.tables.values()
+            for row in table
+            for t in row
+        }
+        assert all(v >= 500 for v in touched)
+
+    def test_fewer_facts_than_full_evaluation(self):
+        program = tc_linear()
+        db = chain(30)
+        db.update(chain(30, offset=100))
+        result = tabled_query(program, db, parse_atom("G(100, x)"))
+        full = evaluate(program, db)
+        derived_tabled = sum(len(t) for t in result.tables.values())
+        assert derived_tabled < full.database.count("G")
+
+
+class TestMechanics:
+    def test_call_str(self):
+        from repro.lang.terms import Constant
+
+        call = Call("G", (Constant(0), None))
+        assert str(call) == "G(0, _)"
+
+    def test_rejects_negation(self):
+        program = parse_program("P(x) :- A(x), not B(x).")
+        with pytest.raises(UnsafeRuleError):
+            tabled_query(program, Database(), parse_atom("P(x)"))
+
+    def test_stats_populated(self, tc):
+        result = tabled_query(tc, chain(6), parse_atom("G(0, x)"))
+        assert result.stats.iterations >= 1
+        assert result.stats.subgoal_attempts > 0
+        assert result.calls_made >= 1
+
+    def test_edb_query(self, tc):
+        # Query on an extensional predicate: answered from the database.
+        result = tabled_query(tc, chain(5), parse_atom("A(0, x)"))
+        assert len(result.answers) == 1

@@ -1,0 +1,181 @@
+"""Unit tests for transcript rendering (and the CLI flags that use it)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    check_model_containment,
+    check_uniform_containment,
+    paper,
+    preserves_nonrecursively,
+    prove_containment_with_constraints,
+    prove_equivalence_with_constraints,
+)
+from repro.cli import main
+from repro.core.transcripts import (
+    render_chase_evidence,
+    render_containment_proof,
+    render_equivalence_proof,
+    render_model_containment,
+    render_preservation,
+    render_rule_containment,
+    render_uniform_containment,
+)
+
+
+class TestContainmentTranscripts:
+    def test_positive_transcript_quotes_example6(self):
+        report = check_uniform_containment(paper.TC_NONLINEAR, paper.TC_LINEAR)
+        text = render_uniform_containment(report)
+        assert "frozen body bθ" in text
+        assert "hθ ∈ P(bθ)" in text
+        assert "P2 ⊑u P1 holds" in text
+
+    def test_negative_transcript_names_countermodel(self):
+        report = check_uniform_containment(paper.TC_LINEAR, paper.TC_NONLINEAR)
+        text = render_uniform_containment(report)
+        assert "hθ ∉ P(bθ)" in text
+        assert "does NOT hold" in text
+        assert "countermodel" in text or "model of P but not of r" in text
+
+    def test_single_witness(self):
+        report = check_uniform_containment(paper.TC_NONLINEAR, paper.TC_LINEAR)
+        text = render_rule_containment(report.witnesses[0])
+        assert text.startswith("rule r:")
+
+
+class TestChaseTranscripts:
+    def test_example11_transcript(self):
+        report = check_model_containment(paper.EX11_P1, [paper.EX11_TGD], paper.EX11_P2)
+        text = render_model_containment(report)
+        assert "SAT(T) ∩ M(P1) ⊆ M(P2)" in text
+        assert "null(s)" in text
+        assert "verdict: proved" in text
+
+    def test_disproof_transcript(self):
+        report = check_model_containment(paper.EX11_P1, [], paper.EX11_P2)
+        text = render_model_containment(report)
+        assert "REFUTED" in text
+
+    def test_single_evidence(self):
+        report = check_model_containment(paper.EX11_P1, [paper.EX11_TGD], paper.EX11_P2)
+        text = render_chase_evidence(report.evidence[1])
+        assert "target hθ" in text
+
+
+class TestPreservationTranscripts:
+    def test_example14_three_combinations(self):
+        report = preserves_nonrecursively(paper.EX11_P1, [paper.EX11_TGD])
+        text = render_preservation(report)
+        assert "3 combination(s)" in text
+        assert "trivial rule" in text
+        assert text.count("Combination") == 3
+
+    def test_violation_transcript(self):
+        from repro import parse_program, parse_tgd
+
+        program = parse_program("H(x, y) :- A(x, y).")
+        report = preserves_nonrecursively(program, [parse_tgd("H(x, y) -> Mark(y)")])
+        text = render_preservation(report)
+        assert "counterexample" in text
+
+
+class TestProofTranscripts:
+    def test_example18_full_story(self):
+        proof = prove_containment_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        text = render_containment_proof(proof)
+        assert "(1)" in text and "(2)" in text and "(3')" in text
+        assert "P2 ⊑ P1: proved" in text
+
+    def test_equivalence_includes_reverse(self):
+        proof = prove_equivalence_with_constraints(
+            paper.EX11_P1, paper.EX11_P2, [paper.EX11_TGD]
+        )
+        text = render_equivalence_proof(proof)
+        assert "Reverse direction" in text
+        assert "P1 ≡ P2: proved" in text
+
+
+class TestCliVerbose:
+    @pytest.fixture
+    def files(self, tmp_path):
+        def write(name, text):
+            path = tmp_path / name
+            path.write_text(text, encoding="utf-8")
+            return str(path)
+
+        return write
+
+    def test_contains_verbose(self, files, capsys):
+        tc = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z).\n"
+        linear = "G(x, z) :- A(x, z).\nG(x, z) :- A(x, y), G(y, z).\n"
+        code = main(
+            ["contains", files("p1.dl", tc), files("p2.dl", linear), "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frozen body" in out
+
+    def test_preserves_verbose(self, files, capsys):
+        guarded = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z), A(y, w).\n"
+        main(
+            [
+                "preserves",
+                files("p.dl", guarded),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Combination" in out
+
+    def test_prove_command(self, files, capsys):
+        p1 = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z), A(y, w).\n"
+        p2 = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z).\n"
+        code = main(
+            [
+                "prove",
+                files("p1.dl", p1),
+                files("p2.dl", p2),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P1 ≡ P2: proved" in out
+
+    def test_prove_verbose(self, files, capsys):
+        p1 = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z), A(y, w).\n"
+        p2 = "G(x, z) :- A(x, z).\nG(x, z) :- G(x, y), G(y, z).\n"
+        main(
+            [
+                "prove",
+                files("p1.dl", p1),
+                files("p2.dl", p2),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Section X proof attempt" in out
+        assert "Reverse direction" in out
+
+    def test_prove_unprovable_exit_code(self, files, capsys):
+        p1 = "G(x, z) :- A(x, z).\n"
+        p2 = "G(x, z) :- B(x, z).\n"
+        code = main(
+            [
+                "prove",
+                files("p1.dl", p1),
+                files("p2.dl", p2),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+            ]
+        )
+        assert code == 1

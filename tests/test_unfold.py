@@ -1,0 +1,132 @@
+"""Unit tests for rule unfolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate, parse_program, uniformly_contains
+from repro.core.unfold import unfold_and_minimize, unfold_atom
+from repro.errors import ValidationError
+from repro.workloads import chain, random_graph
+
+
+@pytest.fixture
+def layered():
+    return parse_program(
+        """
+        B(x, y) :- E(x, y).
+        B(x, y) :- F(x, y).
+        P(x, z) :- B(x, y), B(y, z).
+        """
+    )
+
+
+class TestUnfoldAtom:
+    def test_one_rule_per_definition(self, layered):
+        rule = layered.rules[2]
+        result = unfold_atom(layered, rule, 0)
+        # B has two definitions; the P rule splits in two.
+        assert len(result.replacements) == 2
+        assert len(result.program) == 4
+
+    def test_unfolded_bodies(self, layered):
+        rule = layered.rules[2]
+        result = unfold_atom(layered, rule, 0)
+        rendered = sorted(str(r) for r in result.replacements)
+        assert any("E(" in r for r in rendered)
+        assert any("F(" in r for r in rendered)
+        assert all("B(" in r for r in rendered)  # second B atom remains
+
+    def test_plain_equivalence_preserved(self, layered):
+        rule = layered.rules[2]
+        result = unfold_atom(layered, rule, 0)
+        db = random_graph(8, 16, seed=3, predicate="E")
+        db.update(random_graph(8, 10, seed=4, predicate="F"))
+        assert (
+            evaluate(layered, db).database.tuples("P")
+            == evaluate(result.program, db).database.tuples("P")
+        )
+
+    def test_uniform_containment_one_direction(self, layered):
+        rule = layered.rules[2]
+        result = unfold_atom(layered, rule, 0)
+        # unfolded ⊑u original always...
+        assert uniformly_contains(container=layered, contained=result.program)
+        # ...but not conversely: initial B facts feed the original only.
+        assert not uniformly_contains(container=result.program, contained=layered)
+
+    def test_recursive_unfolding(self, tc):
+        rule = tc.rules[1]  # G(x,z) :- G(x,y), G(y,z)
+        result = unfold_atom(tc, rule, 0)
+        # Two definitions of G -> two replacements; program now has the
+        # init rule + 2 unfolded recursive rules.
+        assert len(result.program) == 3
+        db = chain(6)
+        assert (
+            evaluate(tc, db).database == evaluate(result.program, db).database
+        )
+
+    def test_extensional_atom_rejected(self, tc):
+        with pytest.raises(ValidationError):
+            unfold_atom(tc, tc.rules[0], 0)  # A is extensional
+
+    def test_negated_literal_rejected(self):
+        program = parse_program(
+            """
+            B(x) :- E(x).
+            P(x) :- A(x), not B(x).
+            """
+        )
+        with pytest.raises(ValidationError):
+            unfold_atom(program, program.rules[1], 1)
+
+    def test_foreign_rule_rejected(self, layered):
+        from repro.lang import parse_rule
+
+        with pytest.raises(ValueError):
+            unfold_atom(layered, parse_rule("Z(x) :- E(x, x)."), 0)
+
+    def test_bad_position(self, layered):
+        with pytest.raises(IndexError):
+            unfold_atom(layered, layered.rules[2], 7)
+
+    def test_head_constants_through_unifier(self):
+        program = parse_program(
+            """
+            B(x, 3) :- E(x).
+            P(x, y) :- B(x, y).
+            """
+        )
+        result = unfold_atom(program, program.rules[1], 0)
+        (replacement,) = result.replacements
+        assert str(replacement.head).endswith(", 3)")
+
+    def test_non_unifiable_definition_skipped(self):
+        program = parse_program(
+            """
+            B(x, 3) :- E(x).
+            B(x, 4) :- F(x).
+            P(x) :- B(x, 3).
+            """
+        )
+        result = unfold_atom(program, program.rules[2], 0)
+        assert len(result.replacements) == 1
+        assert "E(" in str(result.replacements[0])
+
+
+class TestUnfoldAndMinimize:
+    def test_unfold_creates_removable_redundancy(self):
+        # After unfolding B in P(x) :- B(x, y), A(x), the A atom becomes
+        # a duplicate of the unfolded body and is removed.
+        program = parse_program(
+            """
+            B(x, y) :- A(x), E(x, y).
+            P(x) :- B(x, y), A(x).
+            """
+        )
+        result = unfold_and_minimize(program, program.rules[1], 0)
+        (p_rule,) = [r for r in result.program.rules if r.head.predicate == "P"]
+        # A(x) appears once, not twice.
+        a_atoms = [a for a in p_rule.body_atoms() if a.predicate == "A"]
+        assert len(a_atoms) == 1
+        assert result.atom_removals

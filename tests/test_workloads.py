@@ -1,0 +1,171 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import evaluate
+from repro.core.containment import uniformly_equivalent
+from repro.core.minimize import is_minimal, minimize_program
+from repro.lang import Program
+from repro.workloads import (
+    SUITES,
+    ancestry,
+    chain,
+    complete,
+    cycle,
+    grid,
+    guarded_tc,
+    layered_dag,
+    load,
+    merged,
+    random_graph,
+    random_positive_program,
+    random_tree,
+    same_generation,
+    star,
+    tc_nonlinear,
+    tc_with_redundant_atoms,
+    tc_with_redundant_rules,
+    unary_marks,
+    wide_rule,
+)
+
+
+class TestGraphGenerators:
+    def test_chain_edge_count(self):
+        assert chain(10).count("A") == 10
+
+    def test_chain_offset(self):
+        db = chain(2, offset=100)
+        assert db.contains_tuple("A", tuple(map(_c, (100, 101))))
+
+    def test_cycle(self):
+        db = cycle(5)
+        assert db.count("A") == 5
+
+    def test_cycle_closure_is_complete(self, tc):
+        out = evaluate(tc, cycle(4)).database
+        assert out.count("G") == 16
+
+    def test_star(self):
+        assert star(7).count("A") == 7
+
+    def test_complete(self):
+        assert complete(4).count("A") == 12
+
+    def test_random_graph_exact_edges(self):
+        assert random_graph(10, 25, seed=1).count("A") == 25
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(10, 20, seed=5) == random_graph(10, 20, seed=5)
+
+    def test_random_graph_seed_matters(self):
+        assert random_graph(10, 20, seed=5) != random_graph(10, 20, seed=6)
+
+    def test_random_graph_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_graph(3, 10, seed=0)
+
+    def test_random_tree_edge_count(self):
+        assert random_tree(20, seed=2).count("A") == 19
+
+    def test_grid_edges(self):
+        # 3x3 grid: 2 right-edges per row * 3 + 2 down * 3 = 12.
+        assert grid(3, 3).count("A") == 12
+
+    def test_layered_dag(self):
+        db = layered_dag(layers=3, width=4, fanout=2, seed=1)
+        assert db.count("A") == 2 * 4 * 2
+
+    def test_unary_marks(self):
+        assert unary_marks(range(5)).count("C") == 5
+
+    def test_merged(self):
+        db = merged(chain(3), unary_marks(range(4)))
+        assert db.count("A") == 3 and db.count("C") == 4
+
+    def test_custom_predicate(self):
+        assert chain(3, predicate="E").predicates == {"E"}
+
+
+class TestProgramFamilies:
+    def test_planted_atoms_are_redundant(self):
+        program = tc_with_redundant_atoms(3)
+        assert uniformly_equivalent(program, tc_nonlinear())
+
+    def test_planted_rules_are_redundant(self):
+        program = tc_with_redundant_rules(2)
+        assert uniformly_equivalent(program, tc_nonlinear())
+
+    def test_guarded_tc_not_uniformly_equivalent(self):
+        # The guards matter under uniform equivalence (Example 4's point).
+        assert not uniformly_equivalent(guarded_tc(1), tc_nonlinear())
+
+    def test_guarded_tc_equivalent_on_data(self, tc):
+        program = guarded_tc(2)
+        for n in (3, 6):
+            edb = chain(n)
+            assert evaluate(program, edb).database == evaluate(tc, edb).database
+
+    def test_wide_rule_redundancy_by_construction(self):
+        rule = wide_rule(core_atoms=3, redundant_atoms=4, seed=9)
+        minimized = minimize_program(Program.of(rule))
+        assert len(minimized.atom_removals) == 4
+
+    def test_wide_rule_core_is_minimal(self):
+        rule = wide_rule(core_atoms=3, redundant_atoms=0, seed=9)
+        assert is_minimal(Program.of(rule))
+
+    def test_wide_rule_deterministic(self):
+        assert wide_rule(3, 2, seed=4) == wide_rule(3, 2, seed=4)
+
+    def test_random_program_parses_and_evaluates(self):
+        program = random_positive_program(
+            rules=5, max_body=3, predicates=2, variables_per_rule=4, seed=3
+        )
+        edb = merged(
+            random_graph(5, 8, seed=1, predicate="E0"),
+            random_graph(5, 8, seed=2, predicate="E1"),
+        )
+        out = evaluate(program, edb).database
+        assert len(out) >= len(edb)
+
+    def test_same_generation_reflexive_on_persons(self):
+        program = same_generation()
+        edb = merged(
+            random_tree(8, seed=1, predicate="Par"),
+            unary_marks(range(8), predicate="Per"),
+        )
+        out = evaluate(program, edb).database
+        for i in range(8):
+            assert out.contains_tuple("Sg", tuple(map(_c, (i, i))))
+
+    def test_ancestry(self):
+        program = ancestry()
+        edb = chain(4, predicate="Par")
+        out = evaluate(program, edb).database
+        assert out.count("Anc") == 10
+
+
+class TestSuites:
+    def test_all_suites_load(self):
+        for name in SUITES:
+            workload = load(name)
+            assert workload.name == name
+            assert len(workload.edb(5)) > 0
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load("nope")
+
+    def test_expected_minimal_is_truthful(self):
+        workload = load("tc+2atoms/chain")
+        result = minimize_program(workload.program)
+        assert result.program == workload.expected_minimal
+
+
+def _c(v):
+    from repro.lang.terms import Constant
+
+    return Constant(v)
