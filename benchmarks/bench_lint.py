@@ -1,0 +1,79 @@
+"""Lint throughput: the containment-backed rules dominate lint cost.
+
+The redundant-atom / redundant-rule passes run the Fig. 1 / Fig. 2
+uniform-containment tests (Section VII), which evaluate the program on a
+frozen body -- everything else in the linter is purely syntactic.  Two
+claims substantiated here:
+
+* lint with the containment rules disabled is near-instant on every
+  workload program (the syntactic passes are linear in program size);
+* ``--max-containment-checks`` bounds the expensive passes, keeping a
+  full lint sub-second on all workloads even where exhaustive checking
+  would be quadratic in rule-body size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import LintConfig, lint
+from repro.workloads.suites import SUITES
+
+CONTAINMENT_RULES = frozenset({"redundant-atom", "redundant-rule"})
+
+SYNTACTIC_ONLY = LintConfig(ignore=CONTAINMENT_RULES)
+FULL_DEFAULT = LintConfig()  # max_containment_checks=64
+
+
+@pytest.mark.parametrize("suite", sorted(SUITES))
+def test_lint_syntactic_rules_only(benchmark, suite):
+    """Every pass except the containment-backed two."""
+    program = SUITES[suite]().program
+    diagnostics = benchmark(lambda: lint(program, SYNTACTIC_ONLY))
+    assert all(d.rule_id not in CONTAINMENT_RULES for d in diagnostics)
+    benchmark.extra_info["suite"] = suite
+    benchmark.extra_info["rule_count"] = len(program)
+    benchmark.extra_info["findings"] = len(diagnostics)
+
+
+@pytest.mark.parametrize("suite", sorted(SUITES))
+def test_lint_with_containment_rules(benchmark, suite):
+    """Full lint under the default containment budget."""
+    program = SUITES[suite]().program
+    diagnostics = benchmark(lambda: lint(program, FULL_DEFAULT))
+    benchmark.extra_info["suite"] = suite
+    benchmark.extra_info["rule_count"] = len(program)
+    benchmark.extra_info["findings"] = len(diagnostics)
+    benchmark.extra_info["by_rule"] = sorted({d.rule_id for d in diagnostics})
+
+
+def test_lint_budget_keeps_full_sweep_sub_second():
+    """Acceptance claim: one budgeted lint of *every* workload program
+    stays under a second wall-clock, and the budget is what guarantees
+    it (checks actually get spent, some workloads plant redundancy)."""
+    config = LintConfig(max_containment_checks=64)
+    start = time.perf_counter()
+    findings = {name: lint(factory().program, config) for name, factory in SUITES.items()}
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0, f"budgeted lint sweep took {elapsed:.2f}s"
+    planted = [
+        name
+        for name, diags in findings.items()
+        if any(d.rule_id in CONTAINMENT_RULES for d in diags)
+    ]
+    assert planted, "redundancy-planting workloads must surface findings"
+
+
+def test_lint_cost_tracks_containment_budget(benchmark):
+    """Raising the budget raises the work done -- the knob is live."""
+    program = SUITES["tc+4atoms/chain"]().program
+    low = lint(program, LintConfig(max_containment_checks=2))
+    high = lint(program, LintConfig(max_containment_checks=256))
+    assert any(d.rule_id == "containment-budget" for d in low)
+    assert sum(d.rule_id == "redundant-atom" for d in high) == 4
+    diagnostics = benchmark(
+        lambda: lint(program, LintConfig(max_containment_checks=256))
+    )
+    benchmark.extra_info["findings"] = len(diagnostics)

@@ -31,6 +31,7 @@ Layers (see DESIGN.md for the full inventory):
 
 from __future__ import annotations
 
+from .analysis import Diagnostic, LintConfig, lint, lint_source
 from .core import (
     ChaseBudget,
     EquivalenceProof,
@@ -102,9 +103,11 @@ __all__ = [
     "ChaseBudget",
     "Constant",
     "Database",
+    "Diagnostic",
     "EquivalenceProof",
     "EvaluationResult",
     "EvaluationStats",
+    "LintConfig",
     "Literal",
     "MaterializedView",
     "MinimizationResult",
@@ -133,6 +136,8 @@ __all__ = [
     "evaluate_with_provenance",
     "format_program",
     "is_minimal",
+    "lint",
+    "lint_source",
     "magic_transform",
     "minimize_program",
     "minimize_rule",

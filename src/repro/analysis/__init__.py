@@ -1,4 +1,4 @@
-"""Structural program analysis: dependence graphs, recursion, safety."""
+"""Structural program analysis: dependence graphs, recursion, safety, linting."""
 
 from __future__ import annotations
 
@@ -10,25 +10,52 @@ from .classification import (
     shares_initialization_rules,
 )
 from .dependence import DependenceGraph
+from .lint import (
+    Diagnostic,
+    Fix,
+    LintConfig,
+    LintRule,
+    Linter,
+    known_rule_ids,
+    lint,
+    lint_source,
+    registered_rules,
+    severity_at_least,
+)
+from .lint_report import render_json, render_text, severity_counts
 from .relevance import (
     RelevanceResult,
     relevant_predicates,
     restrict_to_goal,
     unreachable_predicates,
 )
-from .safety import SafetyViolation, check_rule_source
+from .safety import SafetyViolation, check_program_source, check_rule_source
 
 __all__ = [
     "DependenceGraph",
+    "Diagnostic",
+    "Fix",
+    "LintConfig",
+    "LintRule",
+    "Linter",
     "ProgramProfile",
     "RelevanceResult",
     "SafetyViolation",
+    "check_program_source",
     "check_rule_source",
     "is_initialization_rule",
     "is_nonrecursive",
+    "known_rule_ids",
+    "lint",
+    "lint_source",
     "profile",
+    "registered_rules",
     "relevant_predicates",
+    "render_json",
+    "render_text",
     "restrict_to_goal",
+    "severity_at_least",
+    "severity_counts",
     "shares_initialization_rules",
     "unreachable_predicates",
 ]

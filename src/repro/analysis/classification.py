@@ -36,6 +36,19 @@ class ProgramProfile:
             f"IDB={sorted(self.idb_predicates)}, EDB={sorted(self.edb_predicates)}"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-ready rendering (predicate sets become sorted lists)."""
+        return {
+            "rule_count": self.rule_count,
+            "atom_count": self.atom_count,
+            "idb_predicates": sorted(self.idb_predicates),
+            "edb_predicates": sorted(self.edb_predicates),
+            "recursive_predicates": sorted(self.recursive_predicates),
+            "is_recursive": self.is_recursive,
+            "is_linear": self.is_linear,
+            "initialization_rule_count": self.initialization_rule_count,
+        }
+
 
 def profile(program: Program) -> ProgramProfile:
     """Compute the full structural profile of *program*."""

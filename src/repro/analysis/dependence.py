@@ -106,8 +106,18 @@ class DependenceGraph:
 
     def has_negative_cycle(self) -> bool:
         """Whether any cycle contains a negative edge (unstratifiable)."""
+        return bool(self.negative_cycle_predicates())
+
+    def negative_cycle_predicates(self) -> frozenset[str]:
+        """The predicates of every SCC whose cycle crosses a negative edge.
+
+        Non-empty exactly when the program is unstratifiable; the linter
+        names these predicates in its ``unstratifiable`` diagnostic.
+        """
+        out: set[str] = set()
         for component in self._cyclic_components:
             for u, v, data in self.graph.edges(data=True):
                 if data.get("negative") and u in component and v in component:
-                    return True
-        return False
+                    out.update(component)
+                    break
+        return frozenset(out)

@@ -1,0 +1,72 @@
+"""Reporters turning :class:`~repro.analysis.lint.Diagnostic` lists into output.
+
+Two formats, mirroring the conventions of mainstream linters:
+
+* **text** -- one ``path:line:col: severity rule-id message`` line per
+  finding (flake8-style), fix suggestions indented beneath, and a
+  one-line summary;
+* **json** -- a single machine-readable object with a schema version,
+  per-finding dictionaries (rule id, severity, message, rule index,
+  line/column, fix), and severity counts.  The output round-trips
+  through ``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .lint import SEVERITIES, Diagnostic
+
+#: Bumped when the JSON shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """Finding count per severity, every severity present (possibly 0)."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return counts
+
+
+def render_text(diagnostics: Sequence[Diagnostic], filename: str = "<program>") -> str:
+    """The human-readable report (one finding per line, then a summary)."""
+    lines: list[str] = []
+    for diagnostic in diagnostics:
+        if diagnostic.span is not None:
+            where = f"{filename}:{diagnostic.span.line}:{diagnostic.span.column}"
+        elif diagnostic.rule_index is not None:
+            where = f"{filename}:rule[{diagnostic.rule_index}]"
+        else:
+            where = filename
+        lines.append(
+            f"{where}: {diagnostic.severity} [{diagnostic.rule_id}] {diagnostic.message}"
+        )
+        if diagnostic.fix is not None:
+            lines.append(f"    fix: {diagnostic.fix.description}")
+            if diagnostic.fix.replacement is not None:
+                lines.append(f"         {diagnostic.fix.replacement}")
+    if not diagnostics:
+        lines.append(f"{filename}: clean (no lint findings)")
+    else:
+        counts = severity_counts(diagnostics)
+        summary = ", ".join(
+            f"{counts[severity]} {severity}" for severity in SEVERITIES if counts[severity]
+        )
+        lines.append(f"{len(diagnostics)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], filename: str = "<program>") -> str:
+    """The machine-readable report as a JSON string."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "filename": filename,
+        "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+        "counts": severity_counts(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text", "severity_counts"]

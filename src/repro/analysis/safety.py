@@ -18,11 +18,18 @@ from ..lang.terms import Variable
 
 @dataclass(frozen=True)
 class SafetyViolation:
-    """One loose variable in one rule."""
+    """One loose variable in one rule.
+
+    ``rule_index`` and ``line`` are filled by the whole-program entry
+    point (:func:`check_program_source`); the single-rule entry point
+    leaves them at their defaults.
+    """
 
     rule_text: str
     variable: Variable
     location: str  # "head" or "negated literal"
+    rule_index: int | None = None
+    line: int | None = None
 
     def __str__(self) -> str:
         return f"variable {self.variable} in {self.location} of '{self.rule_text}' is not range-restricted"
@@ -64,6 +71,52 @@ def check_rule_source(source: str) -> list[SafetyViolation]:
     return violations
 
 
+def check_program_source(source: str) -> list[SafetyViolation]:
+    """Validate a whole program text, reporting every loose variable.
+
+    Unlike :func:`repro.lang.parse_program` -- which raises
+    :class:`~repro.errors.UnsafeRuleError` at the first unsafe rule --
+    this walks *all* rules and collects every violation, annotated with
+    the 0-based rule index and source line.  Parse errors still raise
+    :class:`~repro.errors.ParseError` (malformed text has no rules to
+    diagnose).
+    """
+    from ..lang.parser import _Parser  # local import: diagnostic-only dependency
+
+    parser = _Parser(source)
+    violations: list[SafetyViolation] = []
+    rule_index = 0
+    while parser.current.kind != "eof":
+        line = parser.current.line
+        head = parser.parse_atom()
+        body = []
+        if parser.current.kind == "implies":
+            parser.advance()
+            body.append(parser.parse_literal())
+            while parser.accept_punct(","):
+                body.append(parser.parse_literal())
+        parser.expect("punct", ".")
+
+        positive_vars: set[Variable] = set()
+        for literal in body:
+            if literal.positive:
+                positive_vars.update(literal.atom.variables())
+        text = _render(head, body)
+        for var in sorted(set(head.variables()) - positive_vars, key=lambda v: v.name):
+            violations.append(SafetyViolation(text, var, "head", rule_index, line))
+        for literal in body:
+            if not literal.positive:
+                for var in sorted(
+                    literal.atom.variable_set() - positive_vars, key=lambda v: v.name
+                ):
+                    violations.append(
+                        SafetyViolation(text, var, "negated literal", rule_index, line)
+                    )
+        rule_index += 1
+    parser.finish()
+    return violations
+
+
 def _render(head, body) -> str:
     if not body:
         return f"{head}."
@@ -81,4 +134,10 @@ def assert_safe(rule: Rule) -> Rule:
     return rule
 
 
-__all__ = ["SafetyViolation", "assert_safe", "check_rule_source", "ParseError"]
+__all__ = [
+    "SafetyViolation",
+    "assert_safe",
+    "check_program_source",
+    "check_rule_source",
+    "ParseError",
+]

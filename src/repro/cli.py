@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-datalog parse      PROGRAM            # validate + profile
+    repro-datalog lint       PROGRAM            # static diagnostics
     repro-datalog eval       PROGRAM --edb F    # bottom-up evaluation
     repro-datalog minimize   PROGRAM            # Fig. 2 minimization
     repro-datalog optimize   PROGRAM            # + Section X/XI layer
@@ -64,10 +65,49 @@ def _load_tgds(path: str) -> list[Tgd]:
 
 
 def _cmd_parse(args: argparse.Namespace) -> int:
+    import json
+
     program = _load_program(args.program)
+    if args.json:
+        print(json.dumps(profile(program).to_dict(), indent=2))
+        return 0
     print(format_program(program))
     print()
     print(profile(program))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import known_rule_ids, lint_source, severity_at_least
+    from .analysis.lint import LintConfig
+    from .analysis.lint_report import render_json, render_text
+
+    select = frozenset(args.select.split(",")) if args.select else None
+    ignore = frozenset(args.ignore.split(",")) if args.ignore else frozenset()
+    unknown = ((select or frozenset()) | ignore) - known_rule_ids()
+    if unknown:
+        known = ", ".join(sorted(known_rule_ids()))
+        print(
+            f"error: unknown lint rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig(
+        select=select,
+        ignore=ignore,
+        max_containment_checks=args.max_containment_checks,
+        exported=frozenset(args.export) if args.export else None,
+    )
+    diagnostics = lint_source(_read(args.program), config)
+    if args.format == "json":
+        print(render_json(diagnostics, filename=args.program))
+    else:
+        print(render_text(diagnostics, filename=args.program))
+    if args.fail_on != "never" and any(
+        severity_at_least(d.severity, args.fail_on) for d in diagnostics
+    ):
+        return 1
     return 0
 
 
@@ -235,7 +275,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("parse", help="validate and profile a program")
     p.add_argument("program")
+    p.add_argument(
+        "--json", action="store_true", help="emit the profile as machine-readable JSON"
+    )
     p.set_defaults(func=_cmd_parse)
+
+    p = sub.add_parser(
+        "lint", help="static diagnostics: redundancy, stratification, tgd candidates"
+    )
+    p.add_argument("program")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--select",
+        metavar="RULE_IDS",
+        help="comma-separated lint rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="RULE_IDS",
+        help="comma-separated lint rule ids to skip",
+    )
+    p.add_argument(
+        "--max-containment-checks",
+        type=int,
+        default=64,
+        metavar="N",
+        help="budget for the Fig. 1/2 uniform-containment tests (default 64)",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "hint", "never"],
+        default="warning",
+        help="exit 1 when a finding at/above this severity exists (default warning)",
+    )
+    p.add_argument(
+        "--export",
+        action="append",
+        metavar="PRED",
+        help="declare an exported (output) predicate; enables the unused-idb rule",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("eval", help="bottom-up evaluation")
     p.add_argument("program")

@@ -202,6 +202,111 @@ def _minimize_rule_within(
     return current_rule, removals, tests
 
 
+class ContainmentBudget:
+    """A cap on the number of uniform-containment tests a scan may run.
+
+    The Fig. 1/2 tests are each a full bottom-up evaluation, so callers
+    that want *diagnostics* rather than a minimized program (the linter)
+    bound them.  ``limit=None`` means unlimited.
+    """
+
+    __slots__ = ("limit", "spent", "skipped")
+
+    def __init__(self, limit: int | None = None):
+        self.limit = limit
+        self.spent = 0
+        self.skipped = 0
+
+    def take(self) -> bool:
+        """Reserve one test; ``False`` (and counted as skipped) if exhausted."""
+        if self.limit is not None and self.spent >= self.limit:
+            self.skipped += 1
+            return False
+        self.spent += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.skipped > 0
+
+
+@dataclass(frozen=True)
+class RedundantAtom:
+    """A body atom whose single deletion preserves uniform equivalence."""
+
+    rule: Rule
+    body_index: int
+    reduced: Rule
+
+    @property
+    def atom(self) -> Atom:
+        return self.rule.body[self.body_index].atom
+
+
+@dataclass
+class RedundancyScan:
+    """Read-only findings of the Fig. 1/2 tests over a whole program.
+
+    Unlike :func:`minimize_program` this never rewrites the program:
+    each finding is an independent single-deletion witness against the
+    *original* program, which is exactly what a diagnostic needs (the
+    reported rule text matches the source).
+    """
+
+    redundant_atoms: list[RedundantAtom] = field(default_factory=list)
+    redundant_rules: list[Rule] = field(default_factory=list)
+    containment_tests: int = 0
+    tests_skipped: int = 0
+
+    @property
+    def budget_exhausted(self) -> bool:
+        return self.tests_skipped > 0
+
+
+def scan_redundancy(
+    program: Program,
+    engine: EngineName = "seminaive",
+    max_checks: int | None = None,
+    atoms: bool = True,
+    rules: bool = True,
+    budget: ContainmentBudget | None = None,
+) -> RedundancyScan:
+    """Find redundant atoms (Fig. 1) and rules (Fig. 2) without mutating.
+
+    An atom finding means ``r̂ ⊑u P`` where ``r̂`` drops one body atom;
+    a rule finding means ``r ⊑u P - r``.  Both are sound deletion
+    witnesses taken one at a time; applying several at once is *not*
+    justified by this scan (use :func:`minimize_program` for that).
+    ``max_checks`` caps the total number of containment tests; findings
+    past the cap are silently skipped and counted in ``tests_skipped``.
+    Callers sharing a cap across several scans pass a *budget* instead
+    (then ``containment_tests``/``tests_skipped`` report the budget's
+    running totals).
+    """
+    if budget is None:
+        budget = ContainmentBudget(max_checks)
+    scan = RedundancyScan()
+    if atoms:
+        for rule in program.rules:
+            for index in range(len(rule.body)):
+                if not rule.can_drop_body_literal(index):
+                    continue
+                if not budget.take():
+                    continue
+                candidate = rule.without_body_literal(index)
+                if rule_uniformly_contained_in(candidate, program, engine):
+                    scan.redundant_atoms.append(RedundantAtom(rule, index, candidate))
+    if rules:
+        for rule in program.rules:
+            if not budget.take():
+                continue
+            if rule_uniformly_contained_in(rule, program.without_rule(rule), engine):
+                scan.redundant_rules.append(rule)
+    scan.containment_tests = budget.spent
+    scan.tests_skipped = budget.skipped
+    return scan
+
+
 def is_minimal(program: Program, engine: EngineName = "seminaive") -> bool:
     """Whether no single atom or rule deletion preserves uniform equivalence.
 

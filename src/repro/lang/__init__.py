@@ -23,7 +23,16 @@ from .canonical import (
     rules_isomorphic,
 )
 from .freeze import FrozenRule, freeze_atoms, freeze_rule
-from .parser import parse_atom, parse_program, parse_rule, parse_tgd, parse_tgds
+from .parser import (
+    ParsedProgram,
+    SourceSpan,
+    parse_atom,
+    parse_program,
+    parse_program_with_spans,
+    parse_rule,
+    parse_tgd,
+    parse_tgds,
+)
 from .rename import merge_disjoint, namespace, rename_predicates
 from .pretty import (
     format_atom,
@@ -77,8 +86,10 @@ __all__ = [
     "Literal",
     "Null",
     "NullFactory",
+    "ParsedProgram",
     "Program",
     "Rule",
+    "SourceSpan",
     "Substitution",
     "Term",
     "Variable",
@@ -104,6 +115,7 @@ __all__ = [
     "namespace",
     "parse_atom",
     "parse_program",
+    "parse_program_with_spans",
     "parse_rule",
     "parse_tgd",
     "parse_tgds",

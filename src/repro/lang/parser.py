@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from ..errors import ParseError
 from .atoms import Atom, Literal
@@ -60,6 +60,32 @@ class Token:
     text: str
     line: int
     column: int
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """The 1-based source extent of one parsed rule (inclusive)."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class ParsedProgram:
+    """A program plus the source span of each distinct rule.
+
+    ``spans`` maps every rule of ``program`` to the span of its *first*
+    occurrence in the source (a :class:`~repro.lang.programs.Program`
+    drops duplicate rules, so later occurrences have no representative).
+    """
+
+    program: Program
+    spans: Mapping[Rule, SourceSpan]
 
 
 def tokenize(source: str) -> Iterator[Token]:
@@ -226,6 +252,28 @@ def parse_program(source: str) -> Program:
     program = parser.parse_program()
     parser.finish()
     return program
+
+
+def parse_program_with_spans(source: str) -> ParsedProgram:
+    """Parse a program and record where each rule sits in the source.
+
+    The extra bookkeeping is one token lookup per rule; tools that point
+    at findings (``repro-datalog lint``) use this entry point, everything
+    else keeps :func:`parse_program`.
+    """
+    parser = _Parser(source)
+    rules: list[Rule] = []
+    spans: list[SourceSpan] = []
+    while parser.current.kind != "eof":
+        start = parser.current
+        rules.append(parser.parse_rule())
+        end = parser.tokens[parser.index - 1]  # the terminating "." token
+        spans.append(SourceSpan(start.line, start.column, end.line, end.column))
+    parser.finish()
+    mapping: dict[Rule, SourceSpan] = {}
+    for rule, span in zip(rules, spans):
+        mapping.setdefault(rule, span)
+    return ParsedProgram(Program(rules), mapping)
 
 
 def parse_rule(source: str) -> Rule:

@@ -141,3 +141,31 @@ class TestSafetyDiagnostics:
     def test_violation_message(self):
         violation = check_rule_source("G(x, z) :- A(x, x).")[0]
         assert "range-restricted" in str(violation)
+
+
+class TestDependenceEdgeCases:
+    def test_zero_ary_recursion_detected(self):
+        program = parse_program("Go() :- Start().\nGo() :- Go(), Step().")
+        graph = DependenceGraph(program)
+        assert graph.is_recursive
+        assert graph.recursive_predicates == {"Go"}
+        assert not graph.has_negative_cycle()
+
+    def test_head_negated_in_own_body(self):
+        # P depends negatively on itself: a one-node negative cycle.
+        program = parse_program("P(x) :- A(x), not P(x).")
+        graph = DependenceGraph(program)
+        assert graph.has_negative_cycle()
+        assert graph.negative_cycle_predicates() == {"P"}
+        assert graph.recursive_predicates == {"P"}
+
+    def test_facts_only_program(self):
+        program = parse_program("A(1, 2).\nA(2, 3).")
+        graph = DependenceGraph(program)
+        assert not graph.is_recursive
+        assert not graph.has_negative_cycle()
+        assert graph.negative_cycle_predicates() == frozenset()
+        info = profile(program)
+        assert info.rule_count == 2
+        assert info.atom_count == 2
+        assert not info.is_recursive

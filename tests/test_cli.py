@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.cli import main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 TC = """
 G(x, z) :- A(x, z).
@@ -49,6 +54,15 @@ class TestParse:
 
     def test_missing_file(self, capsys):
         assert main(["parse", "/does/not/exist.dl"]) == 2
+
+    def test_json_profile(self, files, capsys):
+        assert main(["parse", files("tc.dl", TC), "--json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["rule_count"] == 2
+        assert profile["idb_predicates"] == ["G"]
+        assert profile["edb_predicates"] == ["A"]
+        assert profile["is_recursive"] is True
+        assert profile["is_linear"] is False
 
 
 class TestEval:
@@ -221,3 +235,80 @@ class TestExamples:
         assert main(["examples"]) == 0
         out = capsys.readouterr().out
         assert "E01" in out and "E19" in out
+
+
+class TestLint:
+    def test_redundant_atom_exits_1_with_fix(self, files, capsys):
+        assert main(["lint", files("r.dl", TC_REDUNDANT)]) == 1
+        out = capsys.readouterr().out
+        assert "[redundant-atom]" in out
+        assert "A(w, y)" in out
+        assert "fix:" in out
+
+    def test_clean_program_exits_0(self, files, capsys):
+        assert main(["lint", files("tc.dl", TC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_round_trips(self, files, capsys):
+        main(["lint", files("r.dl", TC_REDUNDANT), "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        finding = next(
+            d for d in data["diagnostics"] if d["rule"] == "redundant-atom"
+        )
+        assert finding["severity"] == "warning"
+        assert finding["rule_index"] == 0
+        assert finding["line"] == 2  # TC_REDUNDANT opens with a blank line
+
+    def test_fail_on_error_tolerates_warnings(self, files):
+        assert main(["lint", files("r.dl", TC_REDUNDANT), "--fail-on", "error"]) == 0
+
+    def test_fail_on_never(self, files):
+        assert main(["lint", files("r.dl", TC_REDUNDANT), "--fail-on", "never"]) == 0
+
+    def test_ignore_suppresses_finding(self, files):
+        code = main(
+            ["lint", files("r.dl", TC_REDUNDANT), "--ignore", "redundant-atom"]
+        )
+        assert code == 0
+
+    def test_select_limits_rules(self, files, capsys):
+        code = main(
+            ["lint", files("r.dl", TC_REDUNDANT), "--select", "singleton-variable"]
+        )
+        assert code == 0
+        assert "redundant-atom" not in capsys.readouterr().out
+
+    def test_unknown_rule_id_is_usage_error(self, files, capsys):
+        assert main(["lint", files("tc.dl", TC), "--select", "no-such-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_syntax_error_reported_as_diagnostic(self, files, capsys):
+        assert main(["lint", files("bad.dl", "G(x :- A(x).")]) == 1
+        assert "[syntax]" in capsys.readouterr().out
+
+    def test_unsafe_rule_reported_as_safety(self, files, capsys):
+        assert main(["lint", files("u.dl", "G(x, z) :- A(x).")]) == 1
+        assert "[safety]" in capsys.readouterr().out
+
+    def test_max_containment_checks_zero(self, files, capsys):
+        code = main(
+            ["lint", files("r.dl", TC_REDUNDANT), "--max-containment-checks", "0"]
+        )
+        out = capsys.readouterr().out
+        assert "redundant-atom" not in out
+        assert "[containment-budget]" in out
+        assert code == 0  # info findings are below the default warning threshold
+
+    def test_export_enables_unused_idb(self, files, capsys):
+        source = "Out(x) :- E(x).\nDead(x) :- E(x), Dead(x).\n"
+        assert main(["lint", files("d.dl", source), "--export", "Out"]) == 1
+        assert "[unused-idb]" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["lint", "/does/not/exist.dl"]) == 2
+
+    @pytest.mark.parametrize(
+        "example", sorted(EXAMPLES_DIR.glob("*.dl")), ids=lambda p: p.name
+    )
+    def test_shipped_examples_are_lint_clean(self, example):
+        assert main(["lint", str(example)]) == 0

@@ -1,0 +1,389 @@
+"""Unit tests for the lint diagnostics framework (repro.analysis.lint)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    LintConfig,
+    Linter,
+    check_program_source,
+    known_rule_ids,
+    lint,
+    lint_source,
+    registered_rules,
+    render_json,
+    render_text,
+    severity_at_least,
+)
+from repro.analysis.lint import Fix, max_severity
+from repro.core.minimize import ContainmentBudget, scan_redundancy
+from repro.lang import parse_program, parse_program_with_spans
+
+# Paper Section VII: A(w, y) is redundant (map y -> z folds it onto A(w, z)).
+REDUNDANT_ATOM = "G(x, y, z) :- G(x, w, z), A(w, y), A(w, z), A(z, z), A(z, y).\n"
+
+# TC plus a derivable two-step path rule (redundant under Fig. 2).
+REDUNDANT_RULE = """
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z).
+G(x, z) :- A(x, y), A(y, z).
+"""
+
+CLEAN_TC = """
+G(x, z) :- A(x, z).
+G(x, z) :- G(x, y), G(y, z).
+"""
+
+
+def ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+class TestDiagnostic:
+    def test_to_dict_keys_always_present(self):
+        d = Diagnostic("redundant-atom", "warning", "msg")
+        data = d.to_dict()
+        assert set(data) == {
+            "rule",
+            "severity",
+            "message",
+            "rule_index",
+            "line",
+            "column",
+            "fix",
+        }
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("x", "fatal", "msg")
+
+    def test_severity_ordering(self):
+        assert severity_at_least("error", "warning")
+        assert severity_at_least("warning", "warning")
+        assert not severity_at_least("info", "warning")
+        assert severity_at_least("info", "hint")
+
+    def test_max_severity(self):
+        diags = [Diagnostic("a", "info", "m"), Diagnostic("b", "warning", "m")]
+        assert max_severity(diags) == "warning"
+        assert max_severity([]) is None
+
+
+class TestRegistry:
+    def test_nine_paper_rules_registered(self):
+        expected = {
+            "redundant-atom",
+            "redundant-rule",
+            "duplicate-rule",
+            "cartesian-product",
+            "singleton-variable",
+            "unused-idb",
+            "undefined-predicate",
+            "unstratifiable",
+            "tgd-candidate",
+        }
+        assert expected <= set(registered_rules())
+
+    def test_pseudo_ids_known(self):
+        assert {"safety", "syntax", "arity", "containment-budget"} <= known_rule_ids()
+
+
+class TestRedundantAtom:
+    def test_paper_example_flagged_with_fix(self):
+        diags = lint(parse_program(REDUNDANT_ATOM))
+        findings = [d for d in diags if d.rule_id == "redundant-atom"]
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "A(w, y)" in finding.message
+        assert finding.rule_index == 0
+        assert finding.fix is not None
+        assert finding.fix.replacement is not None
+        assert "A(w, y)" not in finding.fix.replacement
+
+    def test_clean_program_has_no_warnings(self):
+        diags = lint(parse_program(CLEAN_TC))
+        assert all(not severity_at_least(d.severity, "warning") for d in diags)
+
+    def test_budget_zero_disables_and_reports(self):
+        config = LintConfig(max_containment_checks=0)
+        diags = lint(parse_program(REDUNDANT_ATOM), config)
+        assert "redundant-atom" not in ids(diags)
+        assert "containment-budget" in ids(diags)
+
+
+class TestRedundantRule:
+    def test_derivable_path_rule_flagged(self):
+        diags = lint(parse_program(REDUNDANT_RULE))
+        findings = [d for d in diags if d.rule_id == "redundant-rule"]
+        assert len(findings) == 1
+        assert findings[0].rule_index == 2
+        assert findings[0].fix == Fix("delete the rule")
+
+
+class TestDuplicateRule:
+    def test_renamed_variant_flagged(self):
+        program = parse_program(
+            """
+            P(x) :- E(x, y), F(y).
+            P(a) :- E(a, b), F(b).
+            """
+        )
+        findings = [d for d in lint(program) if d.rule_id == "duplicate-rule"]
+        assert len(findings) == 1
+        assert findings[0].rule_index == 1
+
+    def test_body_reordering_flagged(self):
+        program = parse_program(
+            """
+            P(x) :- E(x, y), F(y).
+            P(x) :- F(y), E(x, y).
+            """
+        )
+        assert "duplicate-rule" in ids(lint(program))
+
+    def test_distinct_rules_not_flagged(self):
+        assert "duplicate-rule" not in ids(lint(parse_program(CLEAN_TC)))
+
+
+class TestCartesianProduct:
+    def test_disconnected_body_flagged(self):
+        program = parse_program("Q(x, y) :- E(x), F(y).")
+        findings = [d for d in lint(program) if d.rule_id == "cartesian-product"]
+        assert len(findings) == 1
+
+    def test_connected_body_clean(self):
+        program = parse_program("Q(x, y) :- E(x, y), F(y).")
+        assert "cartesian-product" not in ids(lint(program))
+
+    def test_ground_guard_exempt(self):
+        program = parse_program("Q(x) :- Flag(1), E(x).")
+        assert "cartesian-product" not in ids(lint(program))
+
+
+class TestSingletonVariable:
+    def test_singleton_is_hint(self):
+        program = parse_program("P(x) :- E(x, y).")
+        findings = [d for d in lint(program) if d.rule_id == "singleton-variable"]
+        assert len(findings) == 1
+        assert findings[0].severity == "hint"
+        assert "y" in findings[0].message
+
+    def test_joined_variables_clean(self):
+        program = parse_program("P(x) :- E(x, y), F(y).")
+        assert "singleton-variable" not in ids(lint(program))
+
+
+class TestUnusedIdb:
+    PROGRAM = """
+        Out(x) :- Mid(x).
+        Mid(x) :- E(x).
+        Dead(x) :- E(x), Dead(x).
+    """
+
+    def test_disabled_without_exports(self):
+        assert "unused-idb" not in ids(lint(parse_program(self.PROGRAM)))
+
+    def test_flagged_with_exports(self):
+        config = LintConfig(exported=frozenset({"Out"}))
+        findings = [
+            d for d in lint(parse_program(self.PROGRAM), config) if d.rule_id == "unused-idb"
+        ]
+        assert len(findings) == 1
+        assert "Dead" in findings[0].message
+
+    def test_exported_predicates_never_flagged(self):
+        config = LintConfig(exported=frozenset({"Out", "Dead"}))
+        assert "unused-idb" not in ids(lint(parse_program(self.PROGRAM), config))
+
+
+class TestUndefinedPredicate:
+    def test_near_miss_of_idb_flagged(self):
+        program = parse_program(
+            """
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Rech(z, y).
+            """
+        )
+        findings = [d for d in lint(program) if d.rule_id == "undefined-predicate"]
+        assert len(findings) == 1
+        assert "Rech" in findings[0].message
+        assert "Reach" in findings[0].message
+
+    def test_short_edb_names_not_flagged(self):
+        # A and G are distance 2 apart as words of length 1; no typo story.
+        assert "undefined-predicate" not in ids(lint(parse_program(CLEAN_TC)))
+
+    def test_distinct_edb_relations_not_flagged(self):
+        program = parse_program("Sg(x, x) :- Per(x).\nSg(x, y) :- Par(x, y).")
+        assert "undefined-predicate" not in ids(lint(program))
+
+
+class TestUnstratifiable:
+    def test_negation_through_recursion_is_error(self):
+        program = parse_program(
+            """
+            P(x) :- E(x), not Q(x).
+            Q(x) :- E(x), not P(x).
+            """
+        )
+        findings = [d for d in lint(program) if d.rule_id == "unstratifiable"]
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "P" in findings[0].message and "Q" in findings[0].message
+
+    def test_stratified_negation_clean(self):
+        program = parse_program(
+            """
+            P(x) :- E(x).
+            Q(x) :- E(x), not P(x).
+            """
+        )
+        assert "unstratifiable" not in ids(lint(program))
+
+
+class TestTgdCandidate:
+    def test_example18_guard_surfaced_as_info(self):
+        program = parse_program(
+            """
+            G(x, z) :- A(x, z).
+            G(x, z) :- G(x, y), G(y, z), A(y, w).
+            """
+        )
+        findings = [d for d in lint(program) if d.rule_id == "tgd-candidate"]
+        assert findings
+        assert all(d.severity == "info" for d in findings)
+        assert any("A(y, w)" in d.message for d in findings)
+
+    def test_per_rule_cap_respected(self):
+        config = LintConfig(max_tgd_candidates_per_rule=0)
+        program = parse_program(REDUNDANT_ATOM)
+        assert "tgd-candidate" not in ids(lint(program, config))
+
+
+class TestSelectIgnore:
+    def test_select_runs_only_named_rules(self):
+        config = LintConfig(select=frozenset({"singleton-variable"}))
+        diags = lint(parse_program(REDUNDANT_ATOM), config)
+        assert set(ids(diags)) <= {"singleton-variable"}
+
+    def test_ignore_suppresses(self):
+        config = LintConfig(ignore=frozenset({"redundant-atom"}))
+        diags = lint(parse_program(REDUNDANT_ATOM), config)
+        assert "redundant-atom" not in ids(diags)
+
+    def test_linter_with_explicit_rules(self):
+        from repro.analysis.lint_rules import SingletonVariableLint
+
+        linter = Linter(rules=[SingletonVariableLint()])
+        diags = linter.run(parse_program("P(x) :- E(x, y)."))
+        assert ids(diags) == ["singleton-variable"]
+
+
+class TestLintSource:
+    def test_spans_attached(self):
+        diags = lint_source("% comment\n" + REDUNDANT_ATOM)
+        finding = next(d for d in diags if d.rule_id == "redundant-atom")
+        assert finding.span is not None
+        assert finding.span.line == 2
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_source("G(x :- A(x).")
+        assert ids(diags) == ["syntax"]
+        assert diags[0].severity == "error"
+
+    def test_arity_error_reported(self):
+        diags = lint_source("P(x) :- E(x).\nQ(x) :- E(x, x).")
+        assert ids(diags) == ["arity"]
+
+    def test_safety_violations_reported_per_rule(self):
+        diags = lint_source("P(x) :- E(x).\nG(x, z) :- E(x).\nH(x) :- D(x), not F(x, y).")
+        assert ids(diags) == ["safety", "safety"]
+        assert [d.rule_index for d in diags] == [1, 2]
+
+    def test_filters_apply_to_source_level_ids(self):
+        assert lint_source("G(x :- A(x).", LintConfig(ignore=frozenset({"syntax"}))) == []
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert "clean" in render_text([], "p.dl")
+
+    def test_text_lists_findings_and_fix(self):
+        diags = lint_source(REDUNDANT_ATOM)
+        text = render_text(diags, "p.dl")
+        assert "p.dl:1:1" in text
+        assert "[redundant-atom]" in text
+        assert "fix:" in text
+        assert "finding(s)" in text
+
+    def test_json_round_trips_with_required_keys(self):
+        diags = lint_source(REDUNDANT_ATOM)
+        data = json.loads(render_json(diags, "p.dl"))
+        assert data["version"] == 1
+        assert data["filename"] == "p.dl"
+        assert len(data["diagnostics"]) == len(diags)
+        for entry in data["diagnostics"]:
+            assert "rule" in entry and "severity" in entry and "rule_index" in entry
+
+    def test_json_counts(self):
+        data = json.loads(render_json(lint_source(REDUNDANT_ATOM), "p.dl"))
+        assert data["counts"]["warning"] == 1
+
+
+class TestScanRedundancy:
+    def test_non_mutating(self):
+        program = parse_program(REDUNDANT_ATOM)
+        before = program.rules
+        scan = scan_redundancy(program)
+        assert program.rules == before
+        assert len(scan.redundant_atoms) == 1
+        assert scan.redundant_atoms[0].atom.predicate == "A"
+
+    def test_budget_enforced(self):
+        program = parse_program(REDUNDANT_RULE)
+        scan = scan_redundancy(program, max_checks=1)
+        assert scan.containment_tests == 1
+        assert scan.budget_exhausted
+
+    def test_shared_budget(self):
+        budget = ContainmentBudget(2)
+        program = parse_program(REDUNDANT_RULE)
+        scan_redundancy(program, atoms=True, rules=False, budget=budget)
+        scan_redundancy(program, atoms=False, rules=True, budget=budget)
+        assert budget.spent == 2
+        assert budget.skipped > 0
+
+    def test_matches_minimize_on_paper_example(self):
+        from repro import minimize_program
+
+        program = parse_program(REDUNDANT_ATOM)
+        scan = scan_redundancy(program)
+        result = minimize_program(program)
+        assert {f.atom for f in scan.redundant_atoms} == {
+            r.atom for r in result.atom_removals
+        }
+
+
+class TestCheckProgramSource:
+    def test_clean_program(self):
+        assert check_program_source(CLEAN_TC) == []
+
+    def test_collects_all_violations_with_positions(self):
+        violations = check_program_source(
+            "P(x) :- E(x).\nG(x, z) :- E(x).\nH(x) :- D(x), not F(x, y).\n"
+        )
+        assert [(v.rule_index, v.variable.name, v.location) for v in violations] == [
+            (1, "z", "head"),
+            (2, "y", "negated literal"),
+        ]
+        assert violations[0].line == 2
+
+    def test_parse_error_still_raises(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            check_program_source("P(x :- E(x).")

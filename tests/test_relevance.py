@@ -99,3 +99,24 @@ class TestRestrictToGoal:
         result = restrict_to_goal(program, "P")
         heads = {r.head.predicate for r in result.program.rules}
         assert heads == {"P", "Q"}
+
+
+class TestRelevanceEdgeCases:
+    def test_zero_ary_predicates(self):
+        program = parse_program("Go() :- Start().\nGo() :- Go(), Step().")
+        assert relevant_predicates(program, "Go") == {"Go", "Start", "Step"}
+        assert unreachable_predicates(program, "Go") == frozenset()
+
+    def test_head_negated_in_own_body_still_relevant(self):
+        # Negative dependencies count for relevance: dropping A or P would
+        # change the (stratified-semantics) answer to a P query.
+        program = parse_program("P(x) :- A(x), not P(x).")
+        assert relevant_predicates(program, "P") == {"P", "A"}
+
+    def test_facts_only_program(self):
+        program = parse_program("A(1, 2).\nA(2, 3).")
+        assert relevant_predicates(program, "A") == {"A"}
+        assert unreachable_predicates(program, "A") == frozenset()
+        result = restrict_to_goal(program, "A")
+        assert not result.changed
+        assert len(result.program) == 2
