@@ -25,6 +25,8 @@ Layers (see DESIGN.md for the full inventory):
   (§VI), minimization (§VII), tgds and the chase (§VIII),
   non-recursive preservation (§IX), equivalence proofs (§X),
   heuristic tgd discovery and the optimizer (§XI);
+* :mod:`repro.obs`      -- tracing spans, the metrics registry, the
+  profiler, and the bench runner;
 * :mod:`repro.workloads` -- synthetic programs and EDBs for benchmarks;
 * :mod:`repro.paper`    -- the paper's Examples 1-19 as executable data.
 """
@@ -78,6 +80,8 @@ from .errors import (
     UnsafeRuleError,
     ValidationError,
 )
+from .obs import metrics_registry, render_spans, trace, tracing
+
 from .lang import (
     Atom,
     Constant,
@@ -139,6 +143,7 @@ __all__ = [
     "lint",
     "lint_source",
     "magic_transform",
+    "metrics_registry",
     "minimize_program",
     "minimize_rule",
     "optimize",
@@ -152,8 +157,11 @@ __all__ = [
     "prove_containment_with_constraints",
     "prove_equivalence_with_constraints",
     "relation_of",
+    "render_spans",
     "rule_uniformly_contained_in",
     "tabled_query",
+    "trace",
+    "tracing",
     "uniformly_contains",
     "uniformly_equivalent",
     "variables",

@@ -13,6 +13,8 @@ Subcommands::
     repro-datalog query      PROGRAM --edb F Q  # goal-directed query (magic sets)
     repro-datalog explain    PROGRAM --edb F A  # why-provenance proof of a fact
     repro-datalog bounded    PROGRAM            # recursion-elimination search
+    repro-datalog profile    PROGRAM --edb F    # per-rule/per-span work breakdown
+    repro-datalog bench                         # workload suites -> BENCH_<date>.json
     repro-datalog examples                      # run the paper's examples
 
 Programs and EDB files use the Datalog syntax of
@@ -247,6 +249,80 @@ def _cmd_bounded(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .lang import parse_atom
+    from .obs.profiler import (
+        profile_comparison,
+        profile_evaluation,
+        render_comparison,
+        render_profile,
+    )
+
+    if args.engine in ("magic", "supplementary", "topdown") and not args.query:
+        print(f"error: engine {args.engine!r} requires a query atom (--query)", file=sys.stderr)
+        return 2
+    program = _load_program(args.program)
+    edb = _load_edb(args.edb)
+    query = parse_atom(args.query) if args.query else None
+    if args.compare_minimized:
+        comparison = profile_comparison(program, edb, engine=args.engine, query=query)
+        if args.json:
+            print(json.dumps(comparison.to_dict(), indent=2))
+        else:
+            print(render_comparison(comparison))
+        return 0
+    report = profile_evaluation(program, edb, engine=args.engine, query=query)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_profile(report, max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.benchrun import diff_bench_documents, render_diff, run_bench
+    from .obs.schema import validate_bench_document
+
+    if args.validate:
+        document = json.loads(_read(args.validate))
+        errors = validate_bench_document(document)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid ({len(document['entries'])} entries)")
+        return 0
+
+    suites = args.suite if args.suite else None
+    sizes = args.size if args.size else None
+    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    try:
+        document = run_bench(
+            suites=suites, sizes=sizes, quick=args.quick, date=args.date, progress=progress
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    out_path = Path(args.out) if args.out else Path(f"BENCH_{document['generated']}.json")
+    out_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path} ({len(document['entries'])} entries, "
+          f"engines: {', '.join(document['engines'])})")
+    if args.compare:
+        previous = json.loads(_read(args.compare))
+        errors = validate_bench_document(previous)
+        if errors:
+            print(f"error: {args.compare} is not a valid bench document", file=sys.stderr)
+            return 2
+        print()
+        print(f"comparison against {args.compare}:")
+        print(render_diff(diff_bench_documents(previous, document)))
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .testing import run_differential_suite
 
@@ -375,6 +451,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("--max-depth", type=int, default=4, help="unrolling depth bound")
     p.set_defaults(func=_cmd_bounded)
+
+    p = sub.add_parser(
+        "profile", help="profile one evaluation: per-rule and per-span breakdown"
+    )
+    p.add_argument("program")
+    p.add_argument("--edb", required=True, help="file of ground facts")
+    p.add_argument(
+        "--engine",
+        choices=["naive", "seminaive", "magic", "supplementary", "topdown"],
+        default="seminaive",
+    )
+    p.add_argument("--query", help="query atom (required for magic/supplementary/topdown)")
+    p.add_argument("--json", action="store_true", help="emit the profile as JSON")
+    p.add_argument(
+        "--compare-minimized",
+        action="store_true",
+        help="also minimize (Fig. 2) and profile both, reporting the join-work saving",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=2, help="span-tree depth in text output"
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="run the workload suites and write a BENCH_<date>.json document"
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small matrix for CI smoke (seconds)"
+    )
+    p.add_argument(
+        "--suite", action="append", metavar="NAME", help="workload name (repeatable)"
+    )
+    p.add_argument(
+        "--size", action="append", type=int, metavar="N", help="EDB size (repeatable)"
+    )
+    p.add_argument("--out", metavar="FILE", help="output path (default BENCH_<date>.json)")
+    p.add_argument("--date", metavar="ISO", help="override the document date stamp")
+    p.add_argument(
+        "--compare", metavar="FILE", help="diff the new run against a previous document"
+    )
+    p.add_argument(
+        "--validate",
+        metavar="FILE",
+        help="validate an existing document against the schema and exit",
+    )
+    p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "fuzz", help="differential-test the engines and optimizers on random inputs"

@@ -31,6 +31,8 @@ from ..lang.freeze import freeze_rule
 from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.terms import NullFactory
+from ..obs.metrics import metrics_registry
+from ..obs.tracer import trace
 from .tgds import Tgd
 
 
@@ -109,30 +111,42 @@ def chase(
     rounds = 0
     saturated = False
     found = target is not None and target in current
-    try:
-        while not found:
-            rounds += 1
-            budget.check(rounds, nulls, current)
-            before = len(current)
-            if len(program):
-                result = evaluate(program, current, engine=engine)
-                current = result.database
-            if target is not None and target in current:
-                found = True
-                break
-            added = 0
-            for tgd in tgds:
-                added += tgd.apply_all_once(current, nulls)
-                if target is not None and target in current:
-                    found = True
+    with trace("chase.run", tgds=len(tgds), rules=len(program)) as span:
+        try:
+            while not found:
+                rounds += 1
+                budget.check(rounds, nulls, current)
+                before = len(current)
+                with trace("chase.round", index=rounds):
+                    if len(program):
+                        result = evaluate(program, current, engine=engine)
+                        current = result.database
+                    if target is not None and target in current:
+                        found = True
+                        break
+                    added = 0
+                    for tgd in tgds:
+                        added += tgd.apply_all_once(current, nulls)
+                        if target is not None and target in current:
+                            found = True
+                            break
+                if found:
                     break
-            if found:
-                break
-            if len(current) == before and added == 0:
-                saturated = True
-                break
-    except BudgetExceededError:
-        saturated = False
+                if len(current) == before and added == 0:
+                    saturated = True
+                    break
+        except BudgetExceededError:
+            saturated = False
+        if span:
+            span.add("rounds", rounds)
+            span.add("nulls_created", nulls.issued)
+            span.add("atoms", len(current))
+    registry = metrics_registry()
+    registry.increment("chase.runs")
+    registry.increment("chase.rounds", rounds)
+    registry.increment("chase.nulls_created", nulls.issued)
+    if not (saturated or found):
+        registry.increment("chase.budget_exhausted")
     return ChaseOutcome(
         database=current,
         saturated=saturated or found,

@@ -25,6 +25,8 @@ from ..engine.fixpoint import EngineName, evaluate
 from ..lang.freeze import freeze_rule
 from ..lang.programs import Program
 from ..lang.rules import Rule
+from ..obs.metrics import metrics_registry
+from ..obs.tracer import trace
 
 
 @dataclass(frozen=True)
@@ -82,10 +84,14 @@ def check_rule_containment(
 
 
 def _test_rule(rule: Rule, container: Program, engine: EngineName) -> RuleContainmentWitness:
-    frozen = freeze_rule(rule)
-    canonical = Database(frozen.body)
-    result = evaluate(container, canonical, engine=engine)
-    holds = frozen.head in result.database
+    with trace("containment.rule_test") as span:
+        frozen = freeze_rule(rule)
+        canonical = Database(frozen.body)
+        result = evaluate(container, canonical, engine=engine)
+        holds = frozen.head in result.database
+        if span:
+            span.set(rule=str(rule), holds=holds)
+    metrics_registry().increment("containment.rule_tests")
     return RuleContainmentWitness(
         rule=rule,
         holds=holds,

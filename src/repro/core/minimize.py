@@ -34,6 +34,8 @@ from ..engine.fixpoint import EngineName
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..lang.rules import Rule
+from ..obs.metrics import metrics_registry
+from ..obs.tracer import trace
 from .containment import rule_uniformly_contained_in
 
 #: An atom-consideration order: given a rule, the body indexes to try, in order.
@@ -138,29 +140,37 @@ def minimize_program(
     """
     result = MinimizationResult(original=program, program=program)
 
-    # Phase 1: atom deletions, each atom considered once, context = whole program.
-    current = program
-    for rule in rule_order(program):
-        if rule not in current:  # pragma: no cover - defensive; orders must yield program rules
-            continue
-        minimized, removals, tests = _minimize_rule_within(current, rule, engine, atom_order)
-        result.containment_tests += tests
-        if removals:
-            result.atom_removals.extend(removals)
-            current = current.replace_rule(rule, minimized)
+    with trace("minimize.program", rules=len(program.rules)) as root:
+        # Phase 1: atom deletions, each atom considered once, context = whole program.
+        current = program
+        with trace("minimize.atom_phase"):
+            for rule in rule_order(program):
+                if rule not in current:  # pragma: no cover - defensive; orders must yield program rules
+                    continue
+                minimized, removals, tests = _minimize_rule_within(current, rule, engine, atom_order)
+                result.containment_tests += tests
+                if removals:
+                    result.atom_removals.extend(removals)
+                    current = current.replace_rule(rule, minimized)
 
-    # Phase 2: rule deletions, each rule considered once.
-    for rule in rule_order(current):
-        if rule not in current:
-            # The rule object from the order may predate phase-1 edits;
-            # phase 2 must consider the *minimized* rules, which
-            # rule_order(current) already yields for the default order.
-            continue
-        candidate_program = current.without_rule(rule)
-        result.containment_tests += 1
-        if rule_uniformly_contained_in(rule, candidate_program, engine):
-            result.rule_removals.append(RuleRemoval(rule))
-            current = candidate_program
+        # Phase 2: rule deletions, each rule considered once.
+        with trace("minimize.rule_phase"):
+            for rule in rule_order(current):
+                if rule not in current:
+                    # The rule object from the order may predate phase-1 edits;
+                    # phase 2 must consider the *minimized* rules, which
+                    # rule_order(current) already yields for the default order.
+                    continue
+                candidate_program = current.without_rule(rule)
+                result.containment_tests += 1
+                if rule_uniformly_contained_in(rule, candidate_program, engine):
+                    result.rule_removals.append(RuleRemoval(rule))
+                    current = candidate_program
+
+        if root:
+            root.add("atom_removals", len(result.atom_removals))
+            root.add("rule_removals", len(result.rule_removals))
+            root.add("containment_tests", result.containment_tests)
 
     result.program = current
     return result
@@ -208,6 +218,10 @@ class ContainmentBudget:
     The Fig. 1/2 tests are each a full bottom-up evaluation, so callers
     that want *diagnostics* rather than a minimized program (the linter)
     bound them.  ``limit=None`` means unlimited.
+
+    Every decision also feeds the process-wide metrics registry
+    (``containment.budget_spent`` / ``containment.budget_skipped``),
+    so lint runs show up in ``BENCH_*.json`` registry snapshots.
     """
 
     __slots__ = ("limit", "spent", "skipped")
@@ -221,8 +235,10 @@ class ContainmentBudget:
         """Reserve one test; ``False`` (and counted as skipped) if exhausted."""
         if self.limit is not None and self.spent >= self.limit:
             self.skipped += 1
+            metrics_registry().increment("containment.budget_skipped")
             return False
         self.spent += 1
+        metrics_registry().increment("containment.budget_spent")
         return True
 
     @property

@@ -26,13 +26,14 @@ from .indexes import PredicateIndex
 class Database:
     """A mutable set of ground atoms, grouped by predicate."""
 
-    __slots__ = ("_relations", "_arities", "_indexes", "_size")
+    __slots__ = ("_relations", "_arities", "_indexes", "_size", "_scans")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._relations: dict[str, set[tuple]] = {}
         self._arities: dict[str, int] = {}
         self._indexes: dict[str, PredicateIndex] = {}
         self._size = 0
+        self._scans = 0
         for atom in atoms:
             self.add(atom)
 
@@ -57,6 +58,7 @@ class Database:
         new._arities = dict(self._arities)
         new._indexes = {}
         new._size = self._size
+        new._scans = 0
         return new
 
     # -- mutation ----------------------------------------------------------------
@@ -221,6 +223,7 @@ class Database:
         if not rows:
             return ()
         if not bound:
+            self._scans += 1
             return rows
         index = self._indexes.get(predicate)
         if index is None:
@@ -247,6 +250,16 @@ class Database:
     def probe_count(self) -> int:
         """Total index probes across all predicates (join-work metric)."""
         return sum(ix.probes for ix in self._indexes.values())
+
+    def scan_count(self) -> int:
+        """Unindexed full-relation scans served by :meth:`candidates`.
+
+        Together with :meth:`probe_count` this splits the join access
+        pattern: probes hit an index bucket, scans walk a whole
+        relation (a subgoal with no bound positions).  Engine root
+        spans attach both (see :mod:`repro.obs.tracer`).
+        """
+        return self._scans
 
     # -- presentation ------------------------------------------------------------------
     def __str__(self) -> str:

@@ -30,6 +30,7 @@ from ..data.database import Database
 from ..errors import GroundnessError, UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
+from ..obs.tracer import trace
 from .joins import fire_rule, match_body
 from .stats import EvaluationStats
 
@@ -77,35 +78,39 @@ class MaterializedView:
     def insert_all(self, atoms) -> MaintenanceStats:
         """Add several given facts; one semi-naive propagation pass."""
         stats = MaintenanceStats()
-        delta = Database()
-        for atom in atoms:
-            if not atom.is_ground:
-                raise GroundnessError(f"cannot insert non-ground atom {atom}")
-            self._base.add(atom)
-            if self._materialized.add(atom):
-                delta.add(atom)
-                stats.inserted += 1
-        work = EvaluationStats()
-        while delta:
-            new_delta = Database()
-            for rule in self.program.rules:
-                if rule.is_fact:
-                    continue
-                for position, literal in enumerate(rule.body):
-                    if delta.count(literal.predicate) == 0:
+        with trace("incremental.insert") as span:
+            delta = Database()
+            for atom in atoms:
+                if not atom.is_ground:
+                    raise GroundnessError(f"cannot insert non-ground atom {atom}")
+                self._base.add(atom)
+                if self._materialized.add(atom):
+                    delta.add(atom)
+                    stats.inserted += 1
+            work = EvaluationStats()
+            span.watch(work)
+            while delta:
+                new_delta = Database()
+                for rule in self.program.rules:
+                    if rule.is_fact:
                         continue
-                    derived = fire_rule(
-                        self._materialized,
-                        rule.head,
-                        rule.body,
-                        stats=work,
-                        source_for={position: delta},
-                    )
-                    for fact in derived:
-                        if fact not in self._materialized and fact not in new_delta:
-                            new_delta.add(fact)
-            stats.inserted += self._materialized.update(new_delta)
-            delta = new_delta
+                    for position, literal in enumerate(rule.body):
+                        if delta.count(literal.predicate) == 0:
+                            continue
+                        derived = fire_rule(
+                            self._materialized,
+                            rule.head,
+                            rule.body,
+                            stats=work,
+                            source_for={position: delta},
+                        )
+                        for fact in derived:
+                            if fact not in self._materialized and fact not in new_delta:
+                                new_delta.add(fact)
+                stats.inserted += self._materialized.update(new_delta)
+                delta = new_delta
+            if span:
+                span.add("inserted", stats.inserted)
         return stats
 
     # -- deletions -----------------------------------------------------------
@@ -116,29 +121,36 @@ class MaterializedView:
     def delete_all(self, atoms) -> MaintenanceStats:
         """Remove several given facts (delete-and-rederive)."""
         stats = MaintenanceStats()
-        seed = Database()
-        for atom in atoms:
-            if self._base.discard(atom):
-                seed.add(atom)
-        if not seed:
-            return stats
+        with trace("incremental.delete") as span:
+            seed = Database()
+            for atom in atoms:
+                if self._base.discard(atom):
+                    seed.add(atom)
+            if not seed:
+                return stats
 
-        # Step 1: over-delete everything with a derivation through a
-        # deleted fact.
-        overdeleted = self._overdelete(seed)
-        stats.overdeleted = len(overdeleted)
+            # Step 1: over-delete everything with a derivation through a
+            # deleted fact.
+            with trace("incremental.overdelete"):
+                overdeleted = self._overdelete(seed)
+            stats.overdeleted = len(overdeleted)
 
-        survivor = self._materialized.copy()
-        survivor.discard_all(overdeleted.atoms())
+            survivor = self._materialized.copy()
+            survivor.discard_all(overdeleted.atoms())
 
-        # Step 2: rederive from the surviving database plus the
-        # protected base facts that were not themselves deleted.
-        rederived = self._rederive(overdeleted, survivor)
-        stats.rederived = len(rederived)
+            # Step 2: rederive from the surviving database plus the
+            # protected base facts that were not themselves deleted.
+            with trace("incremental.rederive"):
+                rederived = self._rederive(overdeleted, survivor)
+            stats.rederived = len(rederived)
 
-        stats.deleted = len(overdeleted) - len(rederived)
-        self._materialized = survivor
-        self._materialized.update(rederived)
+            stats.deleted = len(overdeleted) - len(rederived)
+            self._materialized = survivor
+            self._materialized.update(rederived)
+            if span:
+                span.add("overdeleted", stats.overdeleted)
+                span.add("rederived", stats.rederived)
+                span.add("deleted", stats.deleted)
         return stats
 
     def _overdelete(self, seed: Database) -> Database:

@@ -32,6 +32,7 @@ from ..lang.atoms import Atom, Literal
 from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
+from ..obs.tracer import trace
 from .fixpoint import EngineName, EvaluationResult, evaluate
 
 #: Separator for generated predicate names; documented reserved prefix.
@@ -156,16 +157,20 @@ def magic_transform(
     done: set[tuple[str, Adornment]] = set()
     out_rules: list[Rule] = []
 
-    while pending:
-        pred, adornment = pending.pop()
-        if (pred, adornment) in done:
-            continue
-        done.add((pred, adornment))
-        for rule in program.rules_for(pred):
-            ordered = _apply_sips(rule, adornment, sips)
-            out_rules.extend(
-                _rewrite_rule(ordered, adornment, idb, pending)
-            )
+    with trace("magic.transform", sips=sips) as span:
+        while pending:
+            pred, adornment = pending.pop()
+            if (pred, adornment) in done:
+                continue
+            done.add((pred, adornment))
+            for rule in program.rules_for(pred):
+                ordered = _apply_sips(rule, adornment, sips)
+                out_rules.extend(
+                    _rewrite_rule(ordered, adornment, idb, pending)
+                )
+        if span:
+            span.add("adornments", len(done))
+            span.add("rules_generated", len(out_rules))
 
     return MagicRewriting(
         program=Program(out_rules),
@@ -277,11 +282,15 @@ def answer_query(
             answers._add_row(query.predicate, row)
         return answers, EvaluationResult(db.copy(), _empty_stats())
 
-    rewriting = magic_transform(program, query, sips=sips)
-    seeded = db.copy()
-    seeded.add(rewriting.seed)
-    result = evaluate(rewriting.program, seeded, engine=engine)
-    return rewriting.answers(result.database), result
+    with trace("magic.answer_query", query=str(query)) as span:
+        rewriting = magic_transform(program, query, sips=sips)
+        seeded = db.copy()
+        seeded.add(rewriting.seed)
+        result = evaluate(rewriting.program, seeded, engine=engine)
+        answers = rewriting.answers(result.database)
+        if span:
+            span.add("answers", len(answers))
+    return answers, result
 
 
 def _empty_stats():

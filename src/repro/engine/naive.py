@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..data.database import Database
 from ..errors import UnsafeRuleError
 from ..lang.programs import Program
+from ..obs.tracer import trace
 from .fixpoint import EvaluationResult
 from .joins import fire_rule
 from .stats import EvaluationStats
@@ -26,17 +27,26 @@ def naive_fixpoint(program: Program, db: Database) -> EvaluationResult:
             "naive evaluation requires a positive program; "
             "use repro.engine.stratified for programs with negation"
         )
-    stats = EvaluationStats()
+    stats = EvaluationStats(engine="naive")
     stats.start()
     result = db.copy()
-    changed = True
-    while changed:
-        stats.iterations += 1
-        changed = False
-        for rule in program.rules:
-            for atom in fire_rule(result, rule.head, rule.body, stats=stats):
-                if result.add(atom):
-                    stats.facts_derived += 1
-                    changed = True
+    with trace("naive.eval", rules=len(program.rules)) as root:
+        root.watch(stats)
+        changed = True
+        while changed:
+            stats.iterations += 1
+            changed = False
+            with trace("naive.iteration", index=stats.iterations) as iteration:
+                iteration.watch(stats)
+                for rule_index, rule in enumerate(program.rules):
+                    with trace("naive.rule", rule=rule_index) as span:
+                        span.watch(stats)
+                        for atom in fire_rule(result, rule.head, rule.body, stats=stats):
+                            if result.add(atom):
+                                stats.facts_derived += 1
+                                changed = True
+        if root:
+            root.add("index_probes", result.probe_count())
+            root.add("full_scans", result.scan_count())
     stats.stop()
     return EvaluationResult(result, stats)

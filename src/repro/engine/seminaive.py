@@ -24,6 +24,7 @@ from ..data.database import Database
 from ..errors import UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
+from ..obs.tracer import trace
 from .fixpoint import EvaluationResult
 from .joins import fire_rule, plan_order
 from .stats import EvaluationStats
@@ -36,7 +37,7 @@ def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
             "semi-naive evaluation requires a positive program; "
             "use repro.engine.stratified for programs with negation"
         )
-    stats = EvaluationStats()
+    stats = EvaluationStats(engine="seminaive")
     stats.start()
     full = db.copy()
     #: (rule, delta position) -> cached join order.  Greedy planning
@@ -44,30 +45,42 @@ def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
     #: variant amortizes across all iterations.
     plans: dict[tuple[int, int], list[int]] = {}
 
-    # Round 0: fire ground facts (empty bodies) and seed the delta with
-    # the whole input, so every rule sees the input as "new".
-    delta = db.copy()
-    stats.iterations += 1
-    for rule in program.rules:
-        if rule.is_fact:
-            if full.add(rule.head):
-                stats.facts_derived += 1
-                delta.add(rule.head)
+    with trace("seminaive.eval", rules=len(program.rules)) as root:
+        root.watch(stats)
 
-    while delta:
+        # Round 0: fire ground facts (empty bodies) and seed the delta with
+        # the whole input, so every rule sees the input as "new".
+        delta = db.copy()
         stats.iterations += 1
-        new_delta = Database()
-        for rule_index, rule in enumerate(program.rules):
+        for rule in program.rules:
             if rule.is_fact:
-                continue
-            derived = _fire_rule_seminaive(
-                rule.head, rule, full, delta, stats, plans, rule_index
-            )
-            for atom in derived:
-                if atom not in full and atom not in new_delta:
-                    new_delta.add(atom)
-        stats.facts_derived += full.update(new_delta)
-        delta = new_delta
+                if full.add(rule.head):
+                    stats.facts_derived += 1
+                    delta.add(rule.head)
+
+        while delta:
+            stats.iterations += 1
+            with trace(
+                "seminaive.iteration", index=stats.iterations, delta=len(delta)
+            ) as iteration:
+                iteration.watch(stats)
+                new_delta = Database()
+                for rule_index, rule in enumerate(program.rules):
+                    if rule.is_fact:
+                        continue
+                    with trace("seminaive.rule", rule=rule_index) as span:
+                        span.watch(stats)
+                        derived = _fire_rule_seminaive(
+                            rule.head, rule, full, delta, stats, plans, rule_index
+                        )
+                        for atom in derived:
+                            if atom not in full and atom not in new_delta:
+                                new_delta.add(atom)
+                stats.facts_derived += full.update(new_delta)
+                delta = new_delta
+        if root:
+            root.add("index_probes", full.probe_count())
+            root.add("full_scans", full.scan_count())
     stats.stop()
     return EvaluationResult(full, stats)
 

@@ -12,12 +12,18 @@ its join work:
   (the dominant cost driver; proportional to join work),
 * ``facts_derived`` -- new atoms added to the database,
 * ``elapsed`` -- wall-clock seconds.
+
+Every completed ``start()``/``stop()`` run also publishes its totals to
+the process-wide metrics registry (:mod:`repro.obs.metrics`), which the
+``repro-datalog bench`` trajectory files snapshot.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from ..obs.metrics import metrics_registry
 
 
 @dataclass
@@ -29,21 +35,42 @@ class EvaluationStats:
     subgoal_attempts: int = 0
     facts_derived: int = 0
     elapsed: float = 0.0
-    _started: float = field(default=0.0, repr=False)
+    engine: str | None = field(default=None, repr=False, compare=False)
+    _started: float | None = field(default=None, repr=False, compare=False)
 
     def start(self) -> None:
         self._started = time.perf_counter()
 
     def stop(self) -> None:
-        self.elapsed = time.perf_counter() - self._started
+        """Close the current timing window; idempotent.
+
+        Only a ``stop()`` matching an open ``start()`` accumulates into
+        ``elapsed`` -- a stray second call neither clobbers nor inflates
+        it.  Each effective stop publishes the run to the registry.
+        """
+        if self._started is None:
+            return
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        metrics_registry().record_evaluation(self, engine=self.engine)
 
     def merge(self, other: "EvaluationStats") -> None:
-        """Accumulate another run's counters into this one."""
+        """Accumulate another run's counters into this one (elapsed too)."""
         self.iterations += other.iterations
         self.rule_firings += other.rule_firings
         self.subgoal_attempts += other.subgoal_attempts
         self.facts_derived += other.facts_derived
         self.elapsed += other.elapsed
+
+    def to_dict(self) -> dict[str, float | int]:
+        """The counters as a flat JSON-ready mapping (bench/profile use)."""
+        return {
+            "iterations": self.iterations,
+            "rule_firings": self.rule_firings,
+            "subgoal_attempts": self.subgoal_attempts,
+            "facts_derived": self.facts_derived,
+            "elapsed_s": self.elapsed,
+        }
 
     def summary(self) -> str:
         return (

@@ -28,6 +28,7 @@ from ..lang.atoms import Atom, Literal
 from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
+from ..obs.tracer import trace
 from .magic import (
     Adornment,
     MagicRewriting,
@@ -73,18 +74,22 @@ def supplementary_magic_transform(program: Program, query: Atom) -> MagicRewriti
     out_rules: list[Rule] = []
     rule_serial = 0
 
-    while pending:
-        pred, adornment = pending.pop()
-        if (pred, adornment) in done:
-            continue
-        done.add((pred, adornment))
-        for rule in program.rules_for(pred):
-            out_rules.extend(
-                _rewrite_rule_supplementary(
-                    rule, adornment, idb, pending, rule_serial
+    with trace("supplementary.transform") as span:
+        while pending:
+            pred, adornment = pending.pop()
+            if (pred, adornment) in done:
+                continue
+            done.add((pred, adornment))
+            for rule in program.rules_for(pred):
+                out_rules.extend(
+                    _rewrite_rule_supplementary(
+                        rule, adornment, idb, pending, rule_serial
+                    )
                 )
-            )
-            rule_serial += 1
+                rule_serial += 1
+        if span:
+            span.add("adornments", len(done))
+            span.add("rules_generated", len(out_rules))
 
     return MagicRewriting(
         program=Program(out_rules),
@@ -106,11 +111,15 @@ def answer_query_supplementary(
     """
     from .fixpoint import evaluate
 
-    rewriting = supplementary_magic_transform(program, query)
-    seeded = db.copy()
-    seeded.add(rewriting.seed)
-    result = evaluate(rewriting.program, seeded, engine=engine)
-    return rewriting.answers(result.database), result
+    with trace("supplementary.answer_query", query=str(query)) as span:
+        rewriting = supplementary_magic_transform(program, query)
+        seeded = db.copy()
+        seeded.add(rewriting.seed)
+        result = evaluate(rewriting.program, seeded, engine=engine)
+        answers = rewriting.answers(result.database)
+        if span:
+            span.add("answers", len(answers))
+    return answers, result
 
 
 def _needed_after(

@@ -30,6 +30,7 @@ from ..errors import UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..lang.terms import Term, Variable
+from ..obs.tracer import trace
 from .stats import EvaluationStats
 
 
@@ -87,7 +88,7 @@ def tabled_query(
     """
     if not program.is_positive:
         raise UnsafeRuleError("tabled evaluation requires a positive program")
-    stats = EvaluationStats()
+    stats = EvaluationStats(engine="topdown")
     stats.start()
     idb = program.idb_predicates
 
@@ -95,19 +96,27 @@ def tabled_query(
     root = _call_for(query, {})
     _register(tables, root)
 
-    for _ in range(max_passes):
-        stats.iterations += 1
-        changed = False
-        calls_before = len(tables)
-        for call in list(tables):
-            if _solve_call(program, db, idb, call, tables, stats):
+    with trace("topdown.query", query=str(query)) as root_span:
+        root_span.watch(stats)
+        for _ in range(max_passes):
+            stats.iterations += 1
+            changed = False
+            calls_before = len(tables)
+            with trace(
+                "topdown.pass", index=stats.iterations, calls=len(tables)
+            ) as pass_span:
+                pass_span.watch(stats)
+                for call in list(tables):
+                    if _solve_call(program, db, idb, call, tables, stats):
+                        changed = True
+            # Registering a new sub-call is progress too: its table must be
+            # solved (and may feed its parents) on the next pass.
+            if len(tables) > calls_before:
                 changed = True
-        # Registering a new sub-call is progress too: its table must be
-        # solved (and may feed its parents) on the next pass.
-        if len(tables) > calls_before:
-            changed = True
-        if not changed:
-            break
+            if not changed:
+                break
+        if root_span:
+            root_span.add("calls", len(tables))
 
     # Full pattern matching on the way out: the call pattern tracks
     # boundness only, so repeated query variables (``G(x, x)``) are

@@ -1,0 +1,227 @@
+"""The workload-suite bench runner behind ``repro-datalog bench``.
+
+One bench run measures every named workload of
+:mod:`repro.workloads.suites` under every applicable engine and emits a
+``BENCH_<date>.json`` document (validated against
+:mod:`repro.obs.schema` before writing).  Successive documents are the
+repository's performance trajectory: any two can be diffed with
+:func:`diff_bench_documents` (CLI: ``bench --compare``).
+
+Engine applicability per workload:
+
+* ``naive`` / ``seminaive`` -- always (plain bottom-up evaluation);
+* ``magic`` / ``supplementary`` / ``topdown`` -- workloads that declare
+  a query atom;
+* ``incremental`` -- always: a maintenance scenario builds the
+  materialized view on most of the EDB, inserts the held-out facts,
+  then deletes them again (insert + DRed delete round-trip).
+
+``--quick`` shrinks the suite/size matrix to seconds for CI smoke use
+while still covering all six engines.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from ..data.database import Database
+from ..engine.fixpoint import evaluate
+from ..engine.incremental import MaterializedView
+from ..engine.magic import answer_query
+from ..engine.supplementary import answer_query_supplementary
+from ..engine.topdown import tabled_query
+from ..workloads.suites import SUITES, Workload
+from .metrics import metrics_registry
+from .schema import ALL_ENGINES, BENCH_SCHEMA, validate_bench_document
+
+#: The --quick matrix: small sizes, a suite subset that still exercises
+#: all six engines (magic-tc carries the query for the query engines).
+QUICK_SUITES = ("tc+2atoms/chain", "magic-tc", "same-generation")
+QUICK_SIZES = (12,)
+
+#: The full matrix (every named suite).
+FULL_SIZES = (16, 32)
+
+#: Hold out this many EDB facts for the incremental scenario.
+_INCREMENTAL_HOLDOUT = 4
+
+
+def _entry(
+    workload: Workload, size: int, engine: str, stats: dict[str, float | int]
+) -> dict[str, Any]:
+    return {
+        "workload": workload.name,
+        "size": size,
+        "engine": engine,
+        "stats": stats,
+    }
+
+
+def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int]:
+    """Insert + delete maintenance round-trip; returns flat counters."""
+    atoms = sorted(edb.atoms(), key=lambda a: a.sort_key())
+    holdout = atoms[-_INCREMENTAL_HOLDOUT:] if len(atoms) > _INCREMENTAL_HOLDOUT else atoms[-1:]
+    base = Database(a for a in atoms if a not in set(holdout))
+    started = time.perf_counter()
+    view = MaterializedView(workload.program, base)
+    built = time.perf_counter()
+    insert_stats = view.insert_all(holdout)
+    delete_stats = view.delete_all(holdout)
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "build_s": built - started,
+        "maintained_facts": len(view),
+        "inserted": insert_stats.inserted,
+        "deleted": delete_stats.deleted,
+        "overdeleted": delete_stats.overdeleted,
+        "rederived": delete_stats.rederived,
+    }
+
+
+def run_workload(
+    workload: Workload, size: int, engines: Iterable[str]
+) -> list[dict[str, Any]]:
+    """Measure one workload at one size under the applicable *engines*."""
+    entries: list[dict[str, Any]] = []
+    edb = workload.edb(size)
+    for engine in engines:
+        if engine in ("naive", "seminaive"):
+            result = evaluate(workload.program, edb, engine=engine)
+            entries.append(_entry(workload, size, engine, result.stats.to_dict()))
+        elif engine in ("magic", "supplementary"):
+            if workload.query is None:
+                continue
+            answer = answer_query if engine == "magic" else answer_query_supplementary
+            answers, result = answer(workload.program, edb, workload.query)
+            stats = result.stats.to_dict()
+            stats["answers"] = len(answers)
+            entries.append(_entry(workload, size, engine, stats))
+        elif engine == "topdown":
+            if workload.query is None:
+                continue
+            tabled = tabled_query(workload.program, edb, workload.query)
+            stats = tabled.stats.to_dict()
+            stats["answers"] = len(tabled.answers)
+            stats["calls"] = tabled.calls_made
+            entries.append(_entry(workload, size, engine, stats))
+        elif engine == "incremental":
+            entries.append(
+                _entry(workload, size, engine, _run_incremental(workload, edb))
+            )
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+    return entries
+
+
+def run_bench(
+    suites: Optional[Iterable[str]] = None,
+    sizes: Optional[Iterable[int]] = None,
+    quick: bool = False,
+    date: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Run the bench matrix; return a schema-valid bench document.
+
+    Args:
+        suites: workload names (default: the full registry, or
+            :data:`QUICK_SUITES` under *quick*).
+        sizes: EDB sizes (default :data:`FULL_SIZES` / :data:`QUICK_SIZES`).
+        quick: use the small CI matrix.
+        date: ISO date stamped into the document (default: today).
+        progress: optional callback receiving one line per measurement.
+    """
+    suite_names = list(suites) if suites else list(QUICK_SUITES if quick else sorted(SUITES))
+    size_list = [int(s) for s in (sizes if sizes else (QUICK_SIZES if quick else FULL_SIZES))]
+    unknown = [name for name in suite_names if name not in SUITES]
+    if unknown:
+        known = ", ".join(sorted(SUITES))
+        raise KeyError(f"unknown workload(s) {unknown}; known: {known}")
+
+    entries: list[dict[str, Any]] = []
+    for name in suite_names:
+        workload = SUITES[name]()
+        for size in size_list:
+            if progress:
+                progress(f"bench {name} size={size}")
+            entries.extend(run_workload(workload, size, ALL_ENGINES))
+
+    document = {
+        "schema": BENCH_SCHEMA,
+        "generated": date or _datetime.date.today().isoformat(),
+        "quick": quick,
+        "engines": sorted({e["engine"] for e in entries}),
+        "entries": entries,
+        "metrics": metrics_registry().export(),
+    }
+    errors = validate_bench_document(document)
+    if errors:  # pragma: no cover - the runner must emit valid documents
+        raise ValueError("bench runner produced an invalid document:\n" + "\n".join(errors))
+    return document
+
+
+def diff_bench_documents(
+    old: dict[str, Any], new: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Compare two bench documents on their shared (workload, size, engine) keys.
+
+    Returns one record per shared key with the old/new elapsed seconds
+    and subgoal attempts, plus the relative time change.  Keys present
+    in only one document are reported with ``status`` ``"added"`` /
+    ``"removed"``.
+    """
+
+    def keyed(doc: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
+        return {
+            (e["workload"], e["size"], e["engine"]): e for e in doc.get("entries", [])
+        }
+
+    old_entries, new_entries = keyed(old), keyed(new)
+    records: list[dict[str, Any]] = []
+    for key in sorted(set(old_entries) | set(new_entries), key=str):
+        workload, size, engine = key
+        record: dict[str, Any] = {"workload": workload, "size": size, "engine": engine}
+        if key not in old_entries:
+            record["status"] = "added"
+        elif key not in new_entries:
+            record["status"] = "removed"
+        else:
+            record["status"] = "shared"
+            o, n = old_entries[key]["stats"], new_entries[key]["stats"]
+            record["elapsed_s_old"] = o.get("elapsed_s")
+            record["elapsed_s_new"] = n.get("elapsed_s")
+            if record["elapsed_s_old"]:
+                record["elapsed_change"] = (
+                    record["elapsed_s_new"] - record["elapsed_s_old"]
+                ) / record["elapsed_s_old"]
+            for counter in ("subgoal_attempts", "rule_firings"):
+                if counter in o or counter in n:
+                    record[f"{counter}_old"] = o.get(counter)
+                    record[f"{counter}_new"] = n.get(counter)
+        records.append(record)
+    return records
+
+
+def render_diff(records: list[dict[str, Any]]) -> str:
+    """Text rendering of :func:`diff_bench_documents` output."""
+    lines = [
+        f"{'workload':<24} {'size':>5} {'engine':<14} "
+        f"{'elapsed old':>12} {'elapsed new':>12} {'change':>8}"
+    ]
+    for record in records:
+        if record["status"] != "shared":
+            lines.append(
+                f"{record['workload']:<24} {record['size']:>5} "
+                f"{record['engine']:<14} [{record['status']}]"
+            )
+            continue
+        change = record.get("elapsed_change")
+        change_text = f"{change * 100:+.1f}%" if change is not None else "n/a"
+        lines.append(
+            f"{record['workload']:<24} {record['size']:>5} {record['engine']:<14} "
+            f"{record['elapsed_s_old'] * 1000:>10.2f}ms "
+            f"{record['elapsed_s_new'] * 1000:>10.2f}ms {change_text:>8}"
+        )
+    return "\n".join(lines)

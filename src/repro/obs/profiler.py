@@ -1,0 +1,294 @@
+"""One-shot evaluation profiles: per-rule and per-span work breakdowns.
+
+This is the library behind ``repro-datalog profile``.  A profile runs
+one evaluation under tracing (:mod:`repro.obs.tracer`) and reduces the
+span forest to
+
+* the overall :class:`~repro.engine.stats.EvaluationStats` counters,
+* the database access split (index probes vs full scans),
+* a **per-rule breakdown** -- for bottom-up engines, how many subgoal
+  attempts, firings and how much wall time each rule consumed, which is
+  the paper's "number of joins" claim at rule granularity,
+* the raw span tree (text or JSON) for drill-down.
+
+:func:`profile_comparison` profiles a program and its Fig. 2
+minimization side by side -- the quantitative form of Section I's
+"removing redundant parts reduces the number of joins done during the
+evaluation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..data.database import Database
+from ..lang.atoms import Atom
+from ..lang.programs import Program
+from .tracer import Span, aggregate_spans, render_spans, tracing
+
+#: Version marker of the profile JSON document.
+PROFILE_SCHEMA = "repro.profile/1"
+
+#: Engines the profiler can drive; query engines need a query atom.
+PROFILE_ENGINES = ("naive", "seminaive", "magic", "supplementary", "topdown")
+_QUERY_ENGINES = ("magic", "supplementary", "topdown")
+
+
+@dataclass
+class RuleProfile:
+    """Aggregated work of one rule across all iterations."""
+
+    index: int
+    rule: str
+    elapsed_s: float = 0.0
+    activations: int = 0
+    counters: dict[str, int | float] = field(default_factory=dict)
+
+    @property
+    def subgoal_attempts(self) -> int:
+        return int(self.counters.get("subgoal_attempts", 0))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "rule": self.rule,
+            "elapsed_s": self.elapsed_s,
+            "activations": self.activations,
+            **{k: v for k, v in sorted(self.counters.items())},
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The result of profiling one evaluation."""
+
+    engine: str
+    stats: dict[str, int | float]
+    rules: list[RuleProfile]
+    spans: list[Span]
+    query: Optional[str] = None
+    answers: Optional[int] = None
+    #: For query engines: the evaluated (rewritten) program, whose rules
+    #: the per-rule breakdown refers to; equals the input otherwise.
+    evaluated_program: Optional[Program] = None
+
+    @property
+    def subgoal_attempts(self) -> int:
+        return int(self.stats.get("subgoal_attempts", 0))
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "engine": self.engine,
+            "stats": dict(self.stats),
+            "rules": [rule.to_dict() for rule in self.rules],
+            "spans": [span.to_dict() for span in self.spans],
+        }
+        if self.query is not None:
+            out["query"] = self.query
+            out["answers"] = self.answers
+        return out
+
+
+def profile_evaluation(
+    program: Program,
+    edb: Database,
+    engine: str = "seminaive",
+    query: Atom | None = None,
+) -> ProfileReport:
+    """Profile one evaluation of *program* on *edb*.
+
+    Args:
+        program: the program to run (not mutated).
+        edb: the input database (not mutated).
+        engine: one of :data:`PROFILE_ENGINES`.  ``magic`` and
+            ``supplementary`` profile the *rewritten* program their
+            transformation produces, so the per-rule breakdown names
+            adorned/magic rules; ``topdown`` reports pass-level spans
+            (tabling has no per-rule firing loop to attribute).
+        query: goal atom; required by the query engines.
+    """
+    if engine not in PROFILE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {PROFILE_ENGINES}"
+        )
+    if engine in _QUERY_ENGINES and query is None:
+        raise ValueError(f"engine {engine!r} requires a query atom")
+
+    evaluated = program
+    answers: int | None = None
+    with tracing() as spans:
+        if engine in ("naive", "seminaive"):
+            from ..engine.fixpoint import evaluate
+
+            result = evaluate(program, edb, engine=engine)
+            stats = result.stats
+        elif engine in ("magic", "supplementary"):
+            from ..engine.fixpoint import evaluate
+
+            if engine == "magic":
+                from ..engine.magic import magic_transform as transform
+            else:
+                from ..engine.supplementary import (
+                    supplementary_magic_transform as transform,
+                )
+            rewriting = transform(program, query)
+            evaluated = rewriting.program
+            seeded = edb.copy()
+            seeded.add(rewriting.seed)
+            result = evaluate(rewriting.program, seeded, engine="seminaive")
+            stats = result.stats
+            answers = len(rewriting.answers(result.database))
+        else:  # topdown
+            from ..engine.topdown import tabled_query
+
+            tabled = tabled_query(program, edb, query)
+            stats = tabled.stats
+            answers = len(tabled.answers)
+
+    rule_labels = [str(rule) for rule in evaluated.rules]
+    per_rule = _collect_rule_profiles(spans, rule_labels)
+    return ProfileReport(
+        engine=engine,
+        stats=stats.to_dict(),
+        rules=per_rule,
+        spans=spans,
+        query=str(query) if query is not None else None,
+        answers=answers,
+        evaluated_program=evaluated,
+    )
+
+
+def _collect_rule_profiles(
+    spans: list[Span], rule_labels: list[str]
+) -> list[RuleProfile]:
+    """Reduce ``*.rule`` spans to one :class:`RuleProfile` per rule index."""
+    merged: dict[int, dict[str, int | float]] = {}
+    for name in ("seminaive.rule", "naive.rule"):
+        for index, bucket in aggregate_spans(spans, name, by="rule").items():
+            target = merged.setdefault(int(index), {"count": 0, "elapsed_s": 0.0})
+            for key, value in bucket.items():
+                target[key] = target.get(key, 0) + value
+    profiles = []
+    for index in sorted(merged):
+        bucket = merged[index]
+        label = rule_labels[index] if 0 <= index < len(rule_labels) else f"rule #{index}"
+        profiles.append(
+            RuleProfile(
+                index=index,
+                rule=label,
+                elapsed_s=float(bucket.pop("elapsed_s")),
+                activations=int(bucket.pop("count")),
+                counters=bucket,
+            )
+        )
+    return profiles
+
+
+def render_profile(report: ProfileReport, max_depth: int = 2) -> str:
+    """Human-readable profile: totals, per-rule table, span tree."""
+    lines = [f"engine: {report.engine}"]
+    if report.query is not None:
+        lines.append(f"query: {report.query} ({report.answers} answer(s))")
+    stats = report.stats
+    lines.append(
+        "totals: "
+        f"iterations={stats.get('iterations', 0)} "
+        f"firings={stats.get('rule_firings', 0)} "
+        f"subgoals={stats.get('subgoal_attempts', 0)} "
+        f"derived={stats.get('facts_derived', 0)} "
+        f"elapsed={stats.get('elapsed_s', 0.0) * 1000:.2f}ms"
+    )
+    if report.rules:
+        lines.append("")
+        lines.append("per-rule breakdown (by subgoal attempts):")
+        header = f"  {'subgoals':>9} {'firings':>8} {'elapsed':>9}  rule"
+        lines.append(header)
+        for rule in sorted(
+            report.rules, key=lambda r: r.subgoal_attempts, reverse=True
+        ):
+            lines.append(
+                f"  {rule.subgoal_attempts:>9} "
+                f"{int(rule.counters.get('rule_firings', 0)):>8} "
+                f"{rule.elapsed_s * 1000:>7.2f}ms  {rule.rule}"
+            )
+    lines.append("")
+    lines.append(f"span tree (depth <= {max_depth}):")
+    lines.append(render_spans(report.spans, max_depth=max_depth))
+    return "\n".join(lines)
+
+
+@dataclass
+class ProfileComparison:
+    """Side-by-side profiles of a program and its minimization."""
+
+    original: ProfileReport
+    minimized: ProfileReport
+    atom_removals: int
+    rule_removals: int
+
+    @property
+    def subgoal_reduction(self) -> int:
+        return self.original.subgoal_attempts - self.minimized.subgoal_attempts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "comparison": {
+                "atom_removals": self.atom_removals,
+                "rule_removals": self.rule_removals,
+                "subgoal_reduction": self.subgoal_reduction,
+            },
+            "original": self.original.to_dict(),
+            "minimized": self.minimized.to_dict(),
+        }
+
+
+def profile_comparison(
+    program: Program,
+    edb: Database,
+    engine: str = "seminaive",
+    query: Atom | None = None,
+) -> ProfileComparison:
+    """Profile *program* and its Fig. 2 minimization on the same input."""
+    from ..core.minimize import minimize_program
+
+    minimization = minimize_program(program)
+    original = profile_evaluation(program, edb, engine=engine, query=query)
+    minimized = profile_evaluation(
+        minimization.program, edb, engine=engine, query=query
+    )
+    return ProfileComparison(
+        original=original,
+        minimized=minimized,
+        atom_removals=len(minimization.atom_removals),
+        rule_removals=len(minimization.rule_removals),
+    )
+
+
+def render_comparison(comparison: ProfileComparison) -> str:
+    """The fewer-joins claim with numbers: original vs minimized."""
+    a, b = comparison.original, comparison.minimized
+    lines = [
+        f"minimization removed {comparison.atom_removals} atom(s) "
+        f"and {comparison.rule_removals} rule(s)",
+        "",
+        f"{'':>12} {'original':>12} {'minimized':>12}",
+    ]
+    for key in ("iterations", "rule_firings", "subgoal_attempts", "facts_derived"):
+        lines.append(
+            f"{key:>20} {int(a.stats.get(key, 0)):>12} {int(b.stats.get(key, 0)):>12}"
+        )
+    lines.append(
+        f"{'elapsed_ms':>20} {a.stats.get('elapsed_s', 0.0) * 1000:>12.2f} "
+        f"{b.stats.get('elapsed_s', 0.0) * 1000:>12.2f}"
+    )
+    delta = b.subgoal_attempts - a.subgoal_attempts
+    total = a.subgoal_attempts or 1
+    lines.append("")
+    lines.append(
+        f"subgoal attempts: {a.subgoal_attempts} -> {b.subgoal_attempts} "
+        f"({delta:+d}, {100.0 * delta / total:+.1f}%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""The versioned schema of ``BENCH_*.json`` trajectory files.
+
+``repro-datalog bench`` emits one document per run; successive files
+(``BENCH_2026-08-05.json``, ``BENCH_2026-09-01.json``, ...) form the
+repository's performance trajectory and must stay mutually diffable.
+This module is the single source of truth for the document shape, and
+:func:`validate_bench_document` is run by the bench command before
+writing, by the CI smoke job on the emitted file, and by ``bench
+--validate`` on any historical file -- so the format cannot silently
+drift.
+
+Document shape (version :data:`BENCH_SCHEMA`)::
+
+    {
+      "schema": "repro.bench/1",
+      "generated": "2026-08-05",            # ISO date of the run
+      "quick": false,                        # --quick subset?
+      "engines": ["incremental", ...],       # distinct engines, sorted
+      "entries": [
+        {
+          "workload": "tc+2atoms/chain",     # repro.workloads suite name
+          "size": 32,                        # EDB generator parameter
+          "engine": "seminaive",
+          "stats": {"elapsed_s": 0.0123, ...}   # numeric work counters
+        }, ...
+      ],
+      "metrics": { "schema": "repro.metrics/1", ... }   # registry snapshot
+    }
+
+``stats`` keys vary by engine (bottom-up engines report the
+EvaluationStats counters; ``incremental`` reports maintenance
+counters); ``elapsed_s`` is mandatory everywhere so that any two files
+can be compared time-wise on their shared (workload, size, engine)
+keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .metrics import METRICS_SCHEMA
+
+#: Version marker of the bench document format.
+BENCH_SCHEMA = "repro.bench/1"
+
+#: The engines a full (non-filtered) bench run must cover.
+ALL_ENGINES = (
+    "naive",
+    "seminaive",
+    "magic",
+    "supplementary",
+    "topdown",
+    "incremental",
+)
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+
+def validate_bench_document(doc: Any) -> list[str]:
+    """Check *doc* against the bench schema; return the list of errors.
+
+    An empty list means the document is valid.  Errors are path-prefixed
+    human-readable strings, suitable for printing one per line.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document: expected a JSON object"]
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        errors.append(f"schema: expected {BENCH_SCHEMA!r}, got {schema!r}")
+    generated = doc.get("generated")
+    if not isinstance(generated, str) or not _DATE_RE.match(generated):
+        errors.append(f"generated: expected an ISO date string, got {generated!r}")
+    if not isinstance(doc.get("quick"), bool):
+        errors.append("quick: expected a boolean")
+
+    entries = doc.get("entries")
+    seen_engines: set[str] = set()
+    seen_keys: set[tuple] = set()
+    if not isinstance(entries, list) or not entries:
+        errors.append("entries: expected a non-empty array")
+    else:
+        for i, entry in enumerate(entries):
+            at = f"entries[{i}]"
+            if not isinstance(entry, dict):
+                errors.append(f"{at}: expected an object")
+                continue
+            workload = entry.get("workload")
+            if not isinstance(workload, str) or not workload:
+                errors.append(f"{at}.workload: expected a non-empty string")
+            size = entry.get("size")
+            if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
+                errors.append(f"{at}.size: expected a positive integer")
+            engine = entry.get("engine")
+            if engine not in ALL_ENGINES:
+                errors.append(
+                    f"{at}.engine: {engine!r} is not one of {sorted(ALL_ENGINES)}"
+                )
+            else:
+                seen_engines.add(engine)
+            key = (workload, size, engine)
+            if key in seen_keys:
+                errors.append(f"{at}: duplicate (workload, size, engine) key {key}")
+            seen_keys.add(key)
+            stats = entry.get("stats")
+            if not isinstance(stats, dict):
+                errors.append(f"{at}.stats: expected an object")
+                continue
+            if "elapsed_s" not in stats:
+                errors.append(f"{at}.stats: missing mandatory 'elapsed_s'")
+            for name, value in stats.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"{at}.stats.{name}: expected a number, got {value!r}")
+
+    engines = doc.get("engines")
+    if not isinstance(engines, list) or any(not isinstance(e, str) for e in engines):
+        errors.append("engines: expected an array of strings")
+    elif entries and isinstance(entries, list) and seen_engines:
+        if engines != sorted(seen_engines):
+            errors.append(
+                f"engines: must equal the sorted distinct entry engines "
+                f"{sorted(seen_engines)}, got {engines}"
+            )
+
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            errors.append("metrics: expected an object")
+        elif metrics.get("schema") != METRICS_SCHEMA:
+            errors.append(
+                f"metrics.schema: expected {METRICS_SCHEMA!r}, "
+                f"got {metrics.get('schema')!r}"
+            )
+    return errors

@@ -1,0 +1,309 @@
+"""Structured tracing: nested spans with wall time and attached counters.
+
+The paper's argument for minimization is quantitative -- removing
+redundant parts "reduces the number of joins done during the
+evaluation" (Section I).  This tracer makes that claim observable
+end-to-end: the engines, the containment test, the chase, and the
+minimizer all open *spans* around their phases, and each span carries
+
+* a name (dotted, e.g. ``seminaive.iteration``),
+* wall-clock ``elapsed`` seconds,
+* free-form ``attributes`` (rule index, engine name, ...),
+* ``counters`` -- integer work measures, either added explicitly with
+  :meth:`Span.add` or harvested as deltas of an
+  :class:`~repro.engine.stats.EvaluationStats` via :meth:`Span.watch`.
+
+Design constraints, in order:
+
+1. **~Zero overhead when disabled.**  Instrumentation sites call
+   :func:`trace`, which returns the shared :data:`NULL_SPAN` singleton
+   when tracing is off; entering/exiting it and calling its methods are
+   no-ops.  ``NULL_SPAN`` is falsy, so sites guard any label
+   computation with ``if span: span.set(...)``.
+2. **No global mutation leaks.**  :func:`tracing` enables collection
+   for a dynamic extent and restores the previous tracer state on
+   exit, so nested/pre-existing traces are unaffected.
+3. **Plain data out.**  Finished spans convert to dicts
+   (:meth:`Span.to_dict`), render as a text tree
+   (:func:`render_spans`), and aggregate by attribute
+   (:func:`aggregate_spans`) -- the profiler builds its per-rule
+   breakdown from the last of these.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: EvaluationStats fields harvested by :meth:`Span.watch` (elapsed is
+#: the span's own measurement and deliberately not among them).
+WATCHED_FIELDS = ("iterations", "rule_firings", "subgoal_attempts", "facts_derived")
+
+
+class Span:
+    """One traced region; collects time, attributes, counters, children."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "counters",
+        "children",
+        "started_at",
+        "elapsed",
+        "_watched",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, attributes: dict[str, Any], tracer: "Tracer"):
+        self.name = name
+        self.attributes = attributes
+        self.counters: dict[str, int | float] = {}
+        self.children: list[Span] = []
+        self.started_at = 0.0
+        self.elapsed = 0.0
+        self._watched: tuple[Any, dict[str, int]] | None = None
+        self._tracer = tracer
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes (labels, indexes); returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        """Accumulate a named work counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def watch(self, stats: Any) -> "Span":
+        """Snapshot *stats* now; attach the per-field deltas at span exit.
+
+        *stats* is anything exposing the :data:`WATCHED_FIELDS` integer
+        attributes (an :class:`~repro.engine.stats.EvaluationStats`).
+        """
+        self._watched = (
+            stats,
+            {f: getattr(stats, f) for f in WATCHED_FIELDS if hasattr(stats, f)},
+        )
+        return self
+
+    def __enter__(self) -> "Span":
+        self.started_at = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.elapsed = time.perf_counter() - self.started_at
+        watched = self._watched
+        if watched is not None:
+            stats, before = watched
+            for field_name, old in before.items():
+                delta = getattr(stats, field_name) - old
+                if delta:
+                    self.add(field_name, delta)
+            self._watched = None
+        self._tracer._pop(self)
+        return False
+
+    # -- data access -----------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total(self, counter: str) -> int | float:
+        """Sum of *counter* over this span and all descendants."""
+        return sum(span.counters.get(counter, 0) for span in self.walk())
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "elapsed_s": self.elapsed}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name} {self.elapsed * 1000:.2f}ms "
+            f"attrs={self.attributes} counters={self.counters} "
+            f"children={len(self.children)}>"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        return None
+
+    def watch(self, stats: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+#: The singleton no-op span.  ``trace(...) is NULL_SPAN`` iff disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans while enabled.
+
+    Instrumentation goes through the module-level :func:`trace`, which
+    consults the process-wide tracer; tests may instantiate their own.
+    """
+
+    __slots__ = ("enabled", "roots", "_stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attributes, self)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exits out of order (a caller kept a span open across
+        # an exception) instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _TRACER
+
+
+def trace(name: str, **attributes: Any):
+    """Open a span on the process-wide tracer (``NULL_SPAN`` if disabled).
+
+    Usage at an instrumentation site::
+
+        with trace("seminaive.iteration") as span:
+            span.watch(stats)          # no-op when disabled
+            ...                        # the traced work
+    """
+    t = _TRACER
+    if not t.enabled:
+        return NULL_SPAN
+    return Span(name, attributes, t)
+
+
+@contextmanager
+def tracing() -> Iterator[list[Span]]:
+    """Enable span collection for a dynamic extent.
+
+    Yields the list that receives the root spans; the previous tracer
+    state (including any outer collection) is restored on exit::
+
+        with tracing() as spans:
+            evaluate(program, edb)
+        print(render_spans(spans))
+    """
+    t = _TRACER
+    previous = (t.enabled, t.roots, t._stack)
+    t.enabled, t.roots, t._stack = True, [], []
+    collected = t.roots
+    try:
+        yield collected
+    finally:
+        t.enabled, t.roots, t._stack = previous
+
+
+def render_spans(
+    spans: list[Span],
+    max_depth: int | None = None,
+    min_elapsed: float = 0.0,
+) -> str:
+    """Render a span forest as an indented text tree.
+
+    Args:
+        spans: root spans (e.g. the list yielded by :func:`tracing`).
+        max_depth: prune the tree below this depth (``None`` = full).
+        min_elapsed: skip spans faster than this many seconds (their
+            counters are still reflected in the parents' totals).
+    """
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        if span.elapsed < min_elapsed and depth > 0:
+            return
+        label = span.name
+        attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        counters = " ".join(f"{k}={v}" for k, v in sorted(span.counters.items()))
+        parts = [f"{'  ' * depth}{label}", f"{span.elapsed * 1000:.2f}ms"]
+        if attrs:
+            parts.append(f"[{attrs}]")
+        if counters:
+            parts.append(counters)
+        lines.append(" ".join(parts))
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in spans:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def aggregate_spans(
+    spans: list[Span],
+    name: str,
+    by: str,
+) -> dict[Any, dict[str, int | float]]:
+    """Group spans named *name* by attribute *by*; sum counters + elapsed.
+
+    Returns ``{attribute value: {"count": n, "elapsed_s": t, **summed
+    counters}}``.  The profiler uses this with ``name="*.rule"``-style
+    spans and ``by="rule"`` to produce per-rule work breakdowns.
+    """
+    out: dict[Any, dict[str, int | float]] = {}
+    for root in spans:
+        for span in root.walk():
+            if span.name != name or by not in span.attributes:
+                continue
+            key = span.attributes[by]
+            bucket = out.setdefault(key, {"count": 0, "elapsed_s": 0.0})
+            bucket["count"] += 1
+            bucket["elapsed_s"] += span.elapsed
+            for counter, value in span.counters.items():
+                bucket[counter] = bucket.get(counter, 0) + value
+    return out

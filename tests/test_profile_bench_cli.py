@@ -1,0 +1,214 @@
+"""CLI tests for the ``profile`` and ``bench`` verbs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.profiler import PROFILE_SCHEMA
+from repro.obs.schema import ALL_ENGINES, BENCH_SCHEMA, validate_bench_document
+
+#: Transitive closure with a planted redundant atom (Edge(x, z) twice)
+#: and a fully redundant third rule -- Fig. 2 removes both.
+TC_REDUNDANT = """
+Path(x, y) :- Edge(x, y).
+Path(x, y) :- Edge(x, z), Path(z, y), Edge(x, z).
+Path(x, y) :- Edge(x, y), Path(x, y).
+"""
+
+EDB = """
+Edge(1, 2).
+Edge(2, 3).
+Edge(3, 4).
+Edge(4, 5).
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return write
+
+
+class TestProfile:
+    def test_text_output_has_per_rule_breakdown(self, files, capsys):
+        code = main(["profile", files("p.dl", TC_REDUNDANT), "--edb", files("e.dl", EDB)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-rule breakdown" in out
+        assert "Path(x, y) :- Edge(x, y)." in out
+        assert "span tree" in out
+        assert "seminaive.eval" in out
+
+    def test_json_output_is_schema_stamped(self, files, capsys):
+        code = main(
+            ["profile", files("p.dl", TC_REDUNDANT), "--edb", files("e.dl", EDB), "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["engine"] == "seminaive"
+        assert doc["stats"]["subgoal_attempts"] > 0
+        assert len(doc["rules"]) == 3
+        # Per-rule subgoal attempts sum to the overall total.
+        assert sum(r.get("subgoal_attempts", 0) for r in doc["rules"]) == (
+            doc["stats"]["subgoal_attempts"]
+        )
+
+    def test_compare_minimized_reports_strict_subgoal_decrease(self, files, capsys):
+        code = main(
+            [
+                "profile",
+                files("p.dl", TC_REDUNDANT),
+                "--edb",
+                files("e.dl", EDB),
+                "--compare-minimized",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        original = doc["original"]["stats"]["subgoal_attempts"]
+        minimized = doc["minimized"]["stats"]["subgoal_attempts"]
+        assert minimized < original  # the paper's fewer-joins claim
+        assert doc["comparison"]["subgoal_reduction"] == original - minimized
+        assert doc["comparison"]["atom_removals"] >= 1
+        # Same fixpoint reached either way (uniform equivalence).
+        assert (
+            doc["original"]["stats"]["facts_derived"]
+            == doc["minimized"]["stats"]["facts_derived"]
+        )
+
+    def test_compare_minimized_text(self, files, capsys):
+        code = main(
+            [
+                "profile",
+                files("p.dl", TC_REDUNDANT),
+                "--edb",
+                files("e.dl", EDB),
+                "--compare-minimized",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subgoal attempts:" in out
+        assert "minimization removed" in out
+
+    def test_magic_engine_profiles_rewritten_rules(self, files, capsys):
+        code = main(
+            [
+                "profile",
+                files("p.dl", TC_REDUNDANT),
+                "--edb",
+                files("e.dl", EDB),
+                "--engine",
+                "magic",
+                "--query",
+                "Path(1, y)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query: Path(1, y)" in out
+        assert "m__" in out  # breakdown names the magic-rewritten rules
+
+    def test_topdown_engine(self, files, capsys):
+        code = main(
+            [
+                "profile",
+                files("p.dl", TC_REDUNDANT),
+                "--edb",
+                files("e.dl", EDB),
+                "--engine",
+                "topdown",
+                "--query",
+                "Path(1, y)",
+            ]
+        )
+        assert code == 0
+        assert "answer(s)" in capsys.readouterr().out
+
+    def test_query_engine_without_query_is_an_error(self, files, capsys):
+        code = main(
+            [
+                "profile",
+                files("p.dl", TC_REDUNDANT),
+                "--edb",
+                files("e.dl", EDB),
+                "--engine",
+                "magic",
+            ]
+        )
+        assert code == 2
+        assert "requires a query" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_quick_writes_schema_valid_document(self, files, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--quiet", "--date", "2026-08-05", "--out", str(out_path)]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_bench_document(doc) == []
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["quick"] is True
+        assert doc["generated"] == "2026-08-05"
+        # The acceptance criterion: every engine appears in a quick run.
+        assert doc["engines"] == sorted(ALL_ENGINES)
+        assert doc["metrics"]["counters"]["evaluation.runs"] > 0
+
+    def test_validate_accepts_fresh_document(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--quiet", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--validate", str(out_path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_corrupt_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": BENCH_SCHEMA, "entries": []}), encoding="utf-8")
+        assert main(["bench", "--validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_compare_against_previous_run(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        args = ["bench", "--quiet", "--suite", "magic-tc", "--size", "8"]
+        assert main(args + ["--out", str(first)]) == 0
+        assert main(args + ["--out", str(second), "--compare", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "comparison against" in out
+        assert "magic-tc" in out
+
+    def test_unknown_suite_is_usage_error(self, capsys):
+        assert main(["bench", "--quiet", "--suite", "no-such-workload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_selected_suite_and_size(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--quiet",
+                "--suite",
+                "same-generation",
+                "--size",
+                "6",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert {e["workload"] for e in doc["entries"]} == {"same-generation"}
+        assert {e["size"] for e in doc["entries"]} == {6}
+        # same-generation has no query: only the non-goal-directed engines.
+        assert doc["engines"] == ["incremental", "naive", "seminaive"]
