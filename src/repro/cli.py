@@ -38,14 +38,82 @@ from .core import (
 )
 from .core.tgds import Tgd
 from .data.database import Database
-from .engine import evaluate
+from .engine import engine_names, evaluate, get_engine
 from .errors import ReproError
 from .lang import format_database, format_program, parse_program, parse_tgds
 from .lang.programs import Program
 
+#: Exit code for a run that completed PARTIALLY under a resource limit:
+#: the printed facts are sound but the fixpoint was not reached.
+EXIT_PARTIAL = 3
+
 
 def _read(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
+
+
+def _add_governor_flags(p: argparse.ArgumentParser, with_on_limit: bool = True) -> None:
+    """Resource-governance flags shared by evaluation-driving verbs."""
+    p.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the run degrades or raises (see --on-limit)",
+    )
+    p.add_argument(
+        "--max-facts", type=int, metavar="N", help="cap on facts derived during the run"
+    )
+    p.add_argument(
+        "--max-rounds", type=int, metavar="N", help="cap on fixpoint rounds/passes"
+    )
+    if with_on_limit:
+        p.add_argument(
+            "--on-limit",
+            choices=["partial", "raise"],
+            default="partial",
+            help="what a tripped limit does: print the sound partial result and "
+            f"exit {EXIT_PARTIAL} (default), or raise and exit 2",
+        )
+
+
+def _governor_from_args(args: argparse.Namespace):
+    """Build a ResourceGovernor from the shared flags, or None if unset."""
+    if args.deadline is None and args.max_facts is None and args.max_rounds is None:
+        return None
+    from .resilience import ResourceGovernor
+
+    return ResourceGovernor(
+        deadline_s=args.deadline,
+        max_facts=args.max_facts,
+        max_rounds=args.max_rounds,
+    )
+
+
+def _add_chase_flags(p: argparse.ArgumentParser) -> None:
+    """ChaseBudget flags for the chase-backed verbs."""
+    p.add_argument(
+        "--chase-rounds",
+        type=int,
+        metavar="N",
+        help="chase budget: max rounds per chase run (default 200)",
+    )
+    p.add_argument(
+        "--chase-nulls",
+        type=int,
+        metavar="N",
+        help="chase budget: max labelled nulls per chase run (default 2000)",
+    )
+
+
+def _chase_budget_from_args(args: argparse.Namespace):
+    from .core.chase import DEFAULT_BUDGET, ChaseBudget
+
+    if args.chase_rounds is None and args.chase_nulls is None:
+        return DEFAULT_BUDGET
+    return ChaseBudget(
+        max_rounds=args.chase_rounds if args.chase_rounds is not None else DEFAULT_BUDGET.max_rounds,
+        max_nulls=args.chase_nulls if args.chase_nulls is not None else DEFAULT_BUDGET.max_nulls,
+    )
 
 
 def _load_program(path: str) -> Program:
@@ -116,29 +184,48 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_eval(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     edb = _load_edb(args.edb)
-    result = evaluate(program, edb, engine=args.engine)
+    governor = _governor_from_args(args)
+    result = evaluate(
+        program, edb, engine=args.engine, governor=governor, on_limit=args.on_limit
+    )
     print(format_database(result.database))
     if args.stats:
         print()
         print(result.stats.summary())
+    if result.is_partial:
+        print(result.degradation.summary(), file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
-    result = minimize_program(program)
+    governor = _governor_from_args(args)
+    result = minimize_program(program, governor=governor)
     print(format_program(result.program))
     print()
     print(result.summary())
+    if result.degradation is not None:
+        print(result.degradation.summary(), file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
-    report = optimize(program, use_equivalence=not args.uniform_only)
+    governor = _governor_from_args(args)
+    report = optimize(
+        program,
+        use_equivalence=not args.uniform_only,
+        budget=_chase_budget_from_args(args),
+        governor=governor,
+    )
     print(format_program(report.optimized))
     print()
     print(report.summary())
+    if report.degradation is not None:
+        print(report.degradation.summary(), file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
@@ -174,7 +261,7 @@ def _cmd_contains(args: argparse.Namespace) -> int:
 def _cmd_preserves(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
     tgds = _load_tgds(args.tgds)
-    report = preserves_nonrecursively(program, tgds)
+    report = preserves_nonrecursively(program, tgds, budget=_chase_budget_from_args(args))
     if args.verbose:
         from .core.transcripts import render_preservation
 
@@ -192,7 +279,9 @@ def _cmd_prove(args: argparse.Namespace) -> int:
     p1 = _load_program(args.p1)
     p2 = _load_program(args.p2)
     tgds = _load_tgds(args.tgds)
-    proof = prove_equivalence_with_constraints(p1, p2, tgds)
+    proof = prove_equivalence_with_constraints(
+        p1, p2, tgds, budget=_chase_budget_from_args(args)
+    )
     if args.verbose:
         print(render_equivalence_proof(proof))
     else:
@@ -201,18 +290,31 @@ def _cmd_prove(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from .engine import answer_query
     from .lang import parse_atom
 
     program = _load_program(args.program)
     edb = _load_edb(args.edb)
     query = parse_atom(args.query)
-    answers, result = answer_query(program, edb, query, engine=args.engine)
+    governor = _governor_from_args(args)
+    spec = get_engine(args.method)
+    kwargs = {"governor": governor}
+    if args.method in ("magic", "supplementary"):
+        kwargs["engine"] = args.engine
+    answers, result = spec.answer(program, edb, query, **kwargs)
+    if args.on_limit == "raise" and result.is_partial:
+        from .errors import ResourceLimitExceeded
+
+        raise ResourceLimitExceeded(
+            result.degradation.summary(), report=result.degradation
+        )
     for atom in sorted(answers.atoms(), key=lambda a: a.sort_key()):
         print(atom)
     if args.stats:
         print()
         print(result.stats.summary())
+    if result.is_partial:
+        print(result.degradation.summary(), file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
@@ -395,12 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("eval", help="bottom-up evaluation")
     p.add_argument("program")
     p.add_argument("--edb", required=True, help="file of ground facts")
-    p.add_argument("--engine", choices=["naive", "seminaive"], default="seminaive")
+    p.add_argument(
+        "--engine", choices=list(engine_names("fixpoint")), default="seminaive"
+    )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    _add_governor_flags(p)
     p.set_defaults(func=_cmd_eval)
 
     p = sub.add_parser("minimize", help="minimize under uniform equivalence (Fig. 2)")
     p.add_argument("program")
+    _add_governor_flags(p, with_on_limit=False)
     p.set_defaults(func=_cmd_minimize)
 
     p = sub.add_parser("optimize", help="minimize + equivalence-based optimization")
@@ -408,6 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--uniform-only", action="store_true", help="skip the Section X/XI layer"
     )
+    _add_governor_flags(p, with_on_limit=False)
+    _add_chase_flags(p)
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("contains", help="test uniform containment both ways")
@@ -420,6 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("--tgds", required=True, help="file of tgds, one per line")
     p.add_argument("--verbose", action="store_true", help="print per-combination transcripts")
+    _add_chase_flags(p)
     p.set_defaults(func=_cmd_preserves)
 
     p = sub.add_parser(
@@ -429,14 +538,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("p2")
     p.add_argument("--tgds", required=True, help="file of tgds, one per line")
     p.add_argument("--verbose", action="store_true", help="print the full three-condition transcript")
+    _add_chase_flags(p)
     p.set_defaults(func=_cmd_prove)
 
-    p = sub.add_parser("query", help="answer a query goal-directed (magic sets)")
+    p = sub.add_parser("query", help="answer a query goal-directed")
     p.add_argument("program")
     p.add_argument("query", help="query atom, e.g. 'G(0, x)'")
     p.add_argument("--edb", required=True, help="file of ground facts")
-    p.add_argument("--engine", choices=["naive", "seminaive"], default="seminaive")
+    p.add_argument(
+        "--method",
+        choices=list(engine_names("query")),
+        default="magic",
+        help="query-evaluation strategy (default magic sets)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["naive", "seminaive"],
+        default="seminaive",
+        help="bottom-up engine under magic/supplementary (ignored by topdown)",
+    )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    _add_governor_flags(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("explain", help="show a proof tree for a derived fact")
@@ -457,9 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("program")
     p.add_argument("--edb", required=True, help="file of ground facts")
+    from .obs.profiler import PROFILE_ENGINES
+
     p.add_argument(
         "--engine",
-        choices=["naive", "seminaive", "magic", "supplementary", "topdown"],
+        choices=list(PROFILE_ENGINES),
         default="seminaive",
     )
     p.add_argument("--query", help="query atom (required for magic/supplementary/topdown)")

@@ -95,6 +95,7 @@ def chase(
     budget: ChaseBudget = DEFAULT_BUDGET,
     target: Atom | None = None,
     engine: EngineName = "seminaive",
+    on_budget: str = "partial",
 ) -> ChaseOutcome:
     """Compute ``[P, T](db)`` (the input is not mutated).
 
@@ -103,7 +104,16 @@ def chase(
     atoms.  If *target* is given, the chase stops early as soon as the
     target atom appears -- the optimization the paper points out when
     testing uniform containment under constraints.
+
+    Args:
+        on_budget: ``"partial"`` (default) absorbs a blown budget into
+            ``saturated=False`` (the database is still a sound
+            under-approximation); ``"raise"`` re-raises the
+            :class:`~repro.errors.BudgetExceededError` for callers that
+            must distinguish exhaustion from a mere non-answer.
     """
+    if on_budget not in ("partial", "raise"):
+        raise ValueError(f"on_budget must be 'partial' or 'raise', got {on_budget!r}")
     program = program if program is not None else Program()
     tgds = tgds or []
     current = db.copy()
@@ -137,6 +147,9 @@ def chase(
                     break
         except BudgetExceededError:
             saturated = False
+            if on_budget == "raise":
+                metrics_registry().increment("chase.budget_exhausted")
+                raise
         if span:
             span.add("rounds", rounds)
             span.add("nulls_created", nulls.issued)

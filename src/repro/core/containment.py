@@ -69,25 +69,36 @@ def rule_uniformly_contained_in(
     rule: Rule,
     container: Program,
     engine: EngineName = "seminaive",
+    governor=None,
 ) -> bool:
     """Test ``{rule} ⊑u container`` (Section VI, single-rule case)."""
-    return _test_rule(rule, container, engine).holds
+    return _test_rule(rule, container, engine, governor).holds
 
 
 def check_rule_containment(
     rule: Rule,
     container: Program,
     engine: EngineName = "seminaive",
+    governor=None,
 ) -> RuleContainmentWitness:
     """Like :func:`rule_uniformly_contained_in` but with full evidence."""
-    return _test_rule(rule, container, engine)
+    return _test_rule(rule, container, engine, governor)
 
 
-def _test_rule(rule: Rule, container: Program, engine: EngineName) -> RuleContainmentWitness:
+def _test_rule(
+    rule: Rule, container: Program, engine: EngineName, governor=None
+) -> RuleContainmentWitness:
+    # A PARTIAL evaluation here would be *unsound*: the frozen head
+    # might be derivable past the interruption point, and reporting
+    # "not contained" on that basis would let minimization delete a
+    # non-redundant atom.  A governed trip therefore always raises
+    # (on_limit="raise"); callers degrade by stopping, never by guessing.
     with trace("containment.rule_test") as span:
         frozen = freeze_rule(rule)
         canonical = Database(frozen.body)
-        result = evaluate(container, canonical, engine=engine)
+        result = evaluate(
+            container, canonical, engine=engine, governor=governor, on_limit="raise"
+        )
         holds = frozen.head in result.database
         if span:
             span.set(rule=str(rule), holds=holds)
@@ -105,6 +116,7 @@ def uniformly_contains(
     container: Program,
     contained: Program,
     engine: EngineName = "seminaive",
+    governor=None,
 ) -> bool:
     """Test ``contained ⊑u container``.
 
@@ -112,7 +124,8 @@ def uniformly_contains(
     *contained* is uniformly contained in *container* (Section VI).
     """
     return all(
-        _test_rule(rule, container, engine).holds for rule in contained.rules
+        _test_rule(rule, container, engine, governor).holds
+        for rule in contained.rules
     )
 
 
@@ -120,13 +133,18 @@ def check_uniform_containment(
     container: Program,
     contained: Program,
     engine: EngineName = "seminaive",
+    governor=None,
 ) -> UniformContainmentReport:
     """``contained ⊑u container`` with a per-rule transcript.
 
     Unlike :func:`uniformly_contains` this does not short-circuit, so
-    the report lists *every* failing rule.
+    the report lists *every* failing rule.  A governed limit trip
+    raises :class:`~repro.errors.ResourceLimitExceeded` (a partial
+    answer set would mislabel undecided rules as failing).
     """
-    witnesses = [_test_rule(rule, container, engine) for rule in contained.rules]
+    witnesses = [
+        _test_rule(rule, container, engine, governor) for rule in contained.rules
+    ]
     return UniformContainmentReport(
         holds=all(w.holds for w in witnesses),
         witnesses=witnesses,
@@ -137,9 +155,12 @@ def uniformly_equivalent(
     p1: Program,
     p2: Program,
     engine: EngineName = "seminaive",
+    governor=None,
 ) -> bool:
     """Test ``p1 ≡u p2`` (both containment directions)."""
-    return uniformly_contains(p1, p2, engine) and uniformly_contains(p2, p1, engine)
+    return uniformly_contains(p1, p2, engine, governor) and uniformly_contains(
+        p2, p1, engine, governor
+    )
 
 
 def canonical_database(rule: Rule) -> Database:

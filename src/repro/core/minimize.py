@@ -31,11 +31,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..engine.fixpoint import EngineName
+from ..errors import ResourceLimitExceeded
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..obs.metrics import metrics_registry
 from ..obs.tracer import trace
+from ..resilience.governor import DegradationReport
 from .containment import rule_uniformly_contained_in
 
 #: An atom-consideration order: given a rule, the body indexes to try, in order.
@@ -78,23 +80,33 @@ class RuleRemoval:
 
 @dataclass
 class MinimizationResult:
-    """The outcome of Fig. 2 minimization with a full audit trail."""
+    """The outcome of Fig. 2 minimization with a full audit trail.
+
+    ``degradation`` is set when a governed run's limit tripped before
+    all candidates were considered.  The returned program is still
+    uniformly equivalent to the input (every applied removal was
+    individually verified); it just may not be *minimal*.
+    """
 
     original: Program
     program: Program
     atom_removals: list[AtomRemoval] = field(default_factory=list)
     rule_removals: list[RuleRemoval] = field(default_factory=list)
     containment_tests: int = 0
+    degradation: DegradationReport | None = None
 
     @property
     def changed(self) -> bool:
         return bool(self.atom_removals or self.rule_removals)
 
     def summary(self) -> str:
+        suffix = ""
+        if self.degradation is not None:
+            suffix = f"; INCOMPLETE ({self.degradation.limit} tripped)"
         return (
             f"{len(self.atom_removals)} atom(s) and {len(self.rule_removals)} rule(s) removed; "
             f"{self.original.size()} -> {self.program.size()} atoms "
-            f"({self.containment_tests} containment tests)"
+            f"({self.containment_tests} containment tests){suffix}"
         )
 
 
@@ -121,7 +133,9 @@ def minimize_rule(
     context = within if within is not None else Program.of(rule)
     if rule not in context:
         raise ValueError("rule being minimized must be part of the given program context")
-    minimized, _removals, _tests = _minimize_rule_within(context, rule, engine, atom_order)
+    minimized, _removals, _tests = _minimize_rule_within(
+        context, rule, engine, atom_order
+    )
     return minimized
 
 
@@ -130,6 +144,7 @@ def minimize_program(
     engine: EngineName = "seminaive",
     atom_order: AtomOrder = natural_atom_order,
     rule_order: RuleOrder = natural_rule_order,
+    governor=None,
 ) -> MinimizationResult:
     """Fig. 2: minimize a whole program under uniform equivalence.
 
@@ -137,35 +152,51 @@ def minimize_program(
     the *current whole program*; phase 2 removes redundant rules.  The
     output has neither redundant atoms nor redundant rules (Theorem 2)
     and is uniformly equivalent to the input.
+
+    With a *governor*, a tripped limit ends minimization early: the
+    result carries the removals verified so far (still an equivalent
+    program -- just possibly non-minimal) plus the degradation report.
     """
     result = MinimizationResult(original=program, program=program)
+    current = program
 
     with trace("minimize.program", rules=len(program.rules)) as root:
-        # Phase 1: atom deletions, each atom considered once, context = whole program.
-        current = program
-        with trace("minimize.atom_phase"):
-            for rule in rule_order(program):
-                if rule not in current:  # pragma: no cover - defensive; orders must yield program rules
-                    continue
-                minimized, removals, tests = _minimize_rule_within(current, rule, engine, atom_order)
-                result.containment_tests += tests
-                if removals:
-                    result.atom_removals.extend(removals)
-                    current = current.replace_rule(rule, minimized)
+        try:
+            if governor is not None:
+                governor.note(engine="minimize")
+            # Phase 1: atom deletions, each atom considered once, context = whole program.
+            with trace("minimize.atom_phase"):
+                for rule in rule_order(program):
+                    if rule not in current:  # pragma: no cover - defensive; orders must yield program rules
+                        continue
+                    minimized, removals, tests = _minimize_rule_within(
+                        current, rule, engine, atom_order, governor
+                    )
+                    result.containment_tests += tests
+                    if removals:
+                        result.atom_removals.extend(removals)
+                        current = current.replace_rule(rule, minimized)
 
-        # Phase 2: rule deletions, each rule considered once.
-        with trace("minimize.rule_phase"):
-            for rule in rule_order(current):
-                if rule not in current:
-                    # The rule object from the order may predate phase-1 edits;
-                    # phase 2 must consider the *minimized* rules, which
-                    # rule_order(current) already yields for the default order.
-                    continue
-                candidate_program = current.without_rule(rule)
-                result.containment_tests += 1
-                if rule_uniformly_contained_in(rule, candidate_program, engine):
-                    result.rule_removals.append(RuleRemoval(rule))
-                    current = candidate_program
+            # Phase 2: rule deletions, each rule considered once.
+            with trace("minimize.rule_phase"):
+                for rule in rule_order(current):
+                    if rule not in current:
+                        # The rule object from the order may predate phase-1 edits;
+                        # phase 2 must consider the *minimized* rules, which
+                        # rule_order(current) already yields for the default order.
+                        continue
+                    if governor is not None:
+                        governor.tick()
+                    candidate_program = current.without_rule(rule)
+                    result.containment_tests += 1
+                    if rule_uniformly_contained_in(
+                        rule, candidate_program, engine, governor
+                    ):
+                        result.rule_removals.append(RuleRemoval(rule))
+                        current = candidate_program
+        except ResourceLimitExceeded as error:
+            result.degradation = error.report
+            metrics_registry().increment("minimize.degraded")
 
         if root:
             root.add("atom_removals", len(result.atom_removals))
@@ -181,6 +212,7 @@ def _minimize_rule_within(
     rule: Rule,
     engine: EngineName,
     atom_order: AtomOrder,
+    governor=None,
 ) -> tuple[Rule, list[AtomRemoval], int]:
     """Minimize one rule's body against the evolving program."""
     removals: list[AtomRemoval] = []
@@ -196,9 +228,11 @@ def _minimize_rule_within(
             continue
         if not current_rule.can_drop_body_literal(current_index):
             continue
+        if governor is not None:
+            governor.tick()
         candidate = current_rule.without_body_literal(current_index)
         tests += 1
-        if rule_uniformly_contained_in(candidate, current_program, engine):
+        if rule_uniformly_contained_in(candidate, current_program, engine, governor):
             removals.append(
                 AtomRemoval(
                     rule_before=current_rule,
@@ -273,10 +307,11 @@ class RedundancyScan:
     redundant_rules: list[Rule] = field(default_factory=list)
     containment_tests: int = 0
     tests_skipped: int = 0
+    degradation: DegradationReport | None = None
 
     @property
     def budget_exhausted(self) -> bool:
-        return self.tests_skipped > 0
+        return self.tests_skipped > 0 or self.degradation is not None
 
 
 def scan_redundancy(
@@ -286,6 +321,7 @@ def scan_redundancy(
     atoms: bool = True,
     rules: bool = True,
     budget: ContainmentBudget | None = None,
+    governor=None,
 ) -> RedundancyScan:
     """Find redundant atoms (Fig. 1) and rules (Fig. 2) without mutating.
 
@@ -302,22 +338,29 @@ def scan_redundancy(
     if budget is None:
         budget = ContainmentBudget(max_checks)
     scan = RedundancyScan()
-    if atoms:
-        for rule in program.rules:
-            for index in range(len(rule.body)):
-                if not rule.can_drop_body_literal(index):
-                    continue
+    try:
+        if atoms:
+            for rule in program.rules:
+                for index in range(len(rule.body)):
+                    if not rule.can_drop_body_literal(index):
+                        continue
+                    if not budget.take():
+                        continue
+                    candidate = rule.without_body_literal(index)
+                    if rule_uniformly_contained_in(candidate, program, engine, governor):
+                        scan.redundant_atoms.append(RedundantAtom(rule, index, candidate))
+        if rules:
+            for rule in program.rules:
                 if not budget.take():
                     continue
-                candidate = rule.without_body_literal(index)
-                if rule_uniformly_contained_in(candidate, program, engine):
-                    scan.redundant_atoms.append(RedundantAtom(rule, index, candidate))
-    if rules:
-        for rule in program.rules:
-            if not budget.take():
-                continue
-            if rule_uniformly_contained_in(rule, program.without_rule(rule), engine):
-                scan.redundant_rules.append(rule)
+                if rule_uniformly_contained_in(
+                    rule, program.without_rule(rule), engine, governor
+                ):
+                    scan.redundant_rules.append(rule)
+    except ResourceLimitExceeded as error:
+        # Findings so far are each individually verified; report the
+        # trip so callers know the scan is incomplete, not clean.
+        scan.degradation = error.report
     scan.containment_tests = budget.spent
     scan.tests_skipped = budget.skipped
     return scan

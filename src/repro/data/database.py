@@ -24,7 +24,17 @@ from .indexes import PredicateIndex
 
 
 class Database:
-    """A mutable set of ground atoms, grouped by predicate."""
+    """A mutable set of ground atoms, grouped by predicate.
+
+    **Fault seams.** The engines reach storage through exactly three
+    methods -- :meth:`candidates` (every join probe), :meth:`_add_row`
+    (every insertion, via :meth:`add`/:meth:`add_fact`) and
+    :meth:`__contains__` (membership tests).  The fault-injection
+    harness (:class:`repro.resilience.faults.FaultyDatabase`) relies on
+    this: it subclasses ``Database`` and overrides only those three
+    seams, so any new storage entry point added here must either route
+    through them or be mirrored in the harness.
+    """
 
     __slots__ = ("_relations", "_arities", "_indexes", "_size", "_scans")
 
@@ -52,7 +62,12 @@ class Database:
         return db
 
     def copy(self) -> "Database":
-        """An independent copy (indexes are rebuilt lazily on demand)."""
+        """An independent copy (indexes are rebuilt lazily on demand).
+
+        Deliberately constructs a plain ``Database``; subclasses that
+        must survive the engines' defensive copies (e.g. the
+        fault-injection wrapper) override this.
+        """
         new = Database.__new__(Database)
         new._relations = {p: set(rows) for p, rows in self._relations.items()}
         new._arities = dict(self._arities)

@@ -10,7 +10,17 @@ from .costs import (
     estimate_rule,
     rank_guards,
 )
-from .fixpoint import EngineName, EvaluationResult, apply_once, evaluate
+from .fixpoint import (
+    EngineName,
+    EngineSpec,
+    EvaluationOutcome,
+    EvaluationResult,
+    apply_once,
+    engine_names,
+    evaluate,
+    get_engine,
+    register_engine,
+)
 from .incremental import MaintenanceStats, MaterializedView
 from .joins import fire_rule, match_body, plan_order
 from .magic import Adornment, MagicRewriting, answer_query, magic_transform
@@ -27,12 +37,14 @@ from .seminaive import seminaive_fixpoint
 from .stats import EvaluationStats
 from .stratified import Stratification, evaluate_stratified, stratify
 from .supplementary import answer_query_supplementary, supplementary_magic_transform
-from .topdown import Call, TabledResult, tabled_query
+from .topdown import Call, TabledResult, tabled_answer_query, tabled_query
 
 __all__ = [
     "Adornment",
     "Call",
     "EngineName",
+    "EngineSpec",
+    "EvaluationOutcome",
     "EvaluationResult",
     "EvaluationStats",
     "JoinEstimate",
@@ -52,7 +64,10 @@ __all__ = [
     "answer_query_supplementary",
     "apply_once",
     "collect_statistics",
+    "engine_names",
     "evaluate",
+    "get_engine",
+    "register_engine",
     "estimate_guard_benefit",
     "estimate_rule",
     "evaluate_stratified",
@@ -65,5 +80,6 @@ __all__ = [
     "seminaive_fixpoint",
     "stratify",
     "supplementary_magic_transform",
+    "tabled_answer_query",
     "tabled_query",
 ]

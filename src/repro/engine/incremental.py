@@ -16,6 +16,14 @@ and offers ``insert`` / ``delete`` with counters, asserting nothing
 about negation (positive programs only -- the stratified extension
 would maintain per-stratum, which is out of scope here).
 
+Resource governance is **transactional** here, not degrading: an
+interrupted over-delete has removed facts that a completed rederive
+step would have restored, so a partial maintenance state is *not* a
+sound under-approximation of anything.  When a governed operation trips
+a limit, the view rolls back to its pre-operation state and the
+:class:`~repro.errors.ResourceLimitExceeded` propagates -- the one
+engine where ``PARTIAL`` would be a lie.
+
 Protected facts: facts present in the *base* (given) database are never
 deleted by maintenance unless explicitly deleted themselves, matching
 the paper's convention that the EDB-part of the output equals the
@@ -27,10 +35,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..data.database import Database
-from ..errors import GroundnessError, UnsafeRuleError
+from ..errors import GroundnessError, ResourceLimitExceeded, UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..obs.tracer import trace
+from ..resilience.governor import ResourceGovernor
 from .joins import fire_rule, match_body
 from .stats import EvaluationStats
 
@@ -48,15 +57,24 @@ class MaintenanceStats:
 class MaterializedView:
     """A program's output kept up to date under fact insertions/deletions."""
 
-    def __init__(self, program: Program, base: Database):
+    def __init__(
+        self,
+        program: Program,
+        base: Database,
+        governor: ResourceGovernor | None = None,
+    ):
         if not program.is_positive:
             raise UnsafeRuleError("incremental maintenance requires a positive program")
         from .fixpoint import evaluate
 
         self.program = program
+        self.governor = governor
         #: The *given* facts (EDB plus any initial IDB facts): protected.
         self._base = base.copy()
-        self._materialized = evaluate(program, base).database
+        # A partially-materialized view cannot be maintained (deltas
+        # against it would be wrong), so initial evaluation must finish.
+        result = evaluate(program, base, governor=governor, on_limit="raise")
+        self._materialized = result.database
 
     # -- read access ---------------------------------------------------------
     @property
@@ -76,41 +94,61 @@ class MaterializedView:
         return self.insert_all([atom])
 
     def insert_all(self, atoms) -> MaintenanceStats:
-        """Add several given facts; one semi-naive propagation pass."""
+        """Add several given facts; one semi-naive propagation pass.
+
+        Governed runs are transactional: on a tripped limit the view
+        rolls back and :class:`ResourceLimitExceeded` propagates.
+        """
         stats = MaintenanceStats()
-        with trace("incremental.insert") as span:
-            delta = Database()
-            for atom in atoms:
-                if not atom.is_ground:
-                    raise GroundnessError(f"cannot insert non-ground atom {atom}")
-                self._base.add(atom)
-                if self._materialized.add(atom):
-                    delta.add(atom)
-                    stats.inserted += 1
-            work = EvaluationStats()
-            span.watch(work)
-            while delta:
-                new_delta = Database()
-                for rule in self.program.rules:
-                    if rule.is_fact:
-                        continue
-                    for position, literal in enumerate(rule.body):
-                        if delta.count(literal.predicate) == 0:
+        snapshot = self._snapshot()
+        try:
+            with trace("incremental.insert") as span:
+                governor = self.governor
+                if governor is not None:
+                    governor.note(engine="incremental")
+                delta = Database()
+                for atom in atoms:
+                    if not atom.is_ground:
+                        raise GroundnessError(f"cannot insert non-ground atom {atom}")
+                    self._base.add(atom)
+                    if self._materialized.add(atom):
+                        delta.add(atom)
+                        stats.inserted += 1
+                work = EvaluationStats()
+                span.watch(work)
+                rounds = 0
+                while delta:
+                    rounds += 1
+                    if governor is not None:
+                        governor.checkpoint(self._materialized, round=rounds)
+                    new_delta = Database()
+                    for rule in self.program.rules:
+                        if rule.is_fact:
                             continue
-                        derived = fire_rule(
-                            self._materialized,
-                            rule.head,
-                            rule.body,
-                            stats=work,
-                            source_for={position: delta},
-                        )
-                        for fact in derived:
-                            if fact not in self._materialized and fact not in new_delta:
-                                new_delta.add(fact)
-                stats.inserted += self._materialized.update(new_delta)
-                delta = new_delta
-            if span:
-                span.add("inserted", stats.inserted)
+                        for position, literal in enumerate(rule.body):
+                            if delta.count(literal.predicate) == 0:
+                                continue
+                            derived = fire_rule(
+                                self._materialized,
+                                rule.head,
+                                rule.body,
+                                stats=work,
+                                source_for={position: delta},
+                                governor=governor,
+                            )
+                            for fact in derived:
+                                if fact not in self._materialized and fact not in new_delta:
+                                    new_delta.add(fact)
+                    added = self._materialized.update(new_delta)
+                    stats.inserted += added
+                    if governor is not None:
+                        governor.add_facts(added)
+                    delta = new_delta
+                if span:
+                    span.add("inserted", stats.inserted)
+        except ResourceLimitExceeded:
+            self._rollback(snapshot)
+            raise
         return stats
 
     # -- deletions -----------------------------------------------------------
@@ -119,39 +157,62 @@ class MaterializedView:
         return self.delete_all([atom])
 
     def delete_all(self, atoms) -> MaintenanceStats:
-        """Remove several given facts (delete-and-rederive)."""
+        """Remove several given facts (delete-and-rederive).
+
+        An interrupted over-delete/rederive would leave the view
+        unsound (over-deleted facts not yet re-proven), so a governed
+        trip rolls back the whole operation and re-raises.
+        """
         stats = MaintenanceStats()
-        with trace("incremental.delete") as span:
-            seed = Database()
-            for atom in atoms:
-                if self._base.discard(atom):
-                    seed.add(atom)
-            if not seed:
-                return stats
+        snapshot = self._snapshot()
+        try:
+            with trace("incremental.delete") as span:
+                if self.governor is not None:
+                    self.governor.note(engine="incremental")
+                seed = Database()
+                for atom in atoms:
+                    if self._base.discard(atom):
+                        seed.add(atom)
+                if not seed:
+                    return stats
 
-            # Step 1: over-delete everything with a derivation through a
-            # deleted fact.
-            with trace("incremental.overdelete"):
-                overdeleted = self._overdelete(seed)
-            stats.overdeleted = len(overdeleted)
+                # Step 1: over-delete everything with a derivation through a
+                # deleted fact.
+                with trace("incremental.overdelete"):
+                    overdeleted = self._overdelete(seed)
+                stats.overdeleted = len(overdeleted)
 
-            survivor = self._materialized.copy()
-            survivor.discard_all(overdeleted.atoms())
+                survivor = self._materialized.copy()
+                survivor.discard_all(overdeleted.atoms())
 
-            # Step 2: rederive from the surviving database plus the
-            # protected base facts that were not themselves deleted.
-            with trace("incremental.rederive"):
-                rederived = self._rederive(overdeleted, survivor)
-            stats.rederived = len(rederived)
+                # Step 2: rederive from the surviving database plus the
+                # protected base facts that were not themselves deleted.
+                with trace("incremental.rederive"):
+                    rederived = self._rederive(overdeleted, survivor)
+                stats.rederived = len(rederived)
 
-            stats.deleted = len(overdeleted) - len(rederived)
-            self._materialized = survivor
-            self._materialized.update(rederived)
-            if span:
-                span.add("overdeleted", stats.overdeleted)
-                span.add("rederived", stats.rederived)
-                span.add("deleted", stats.deleted)
+                stats.deleted = len(overdeleted) - len(rederived)
+                self._materialized = survivor
+                self._materialized.update(rederived)
+                if span:
+                    span.add("overdeleted", stats.overdeleted)
+                    span.add("rederived", stats.rederived)
+                    span.add("deleted", stats.deleted)
+        except ResourceLimitExceeded:
+            self._rollback(snapshot)
+            raise
         return stats
+
+    # -- governed-transaction helpers ----------------------------------------
+    def _snapshot(self):
+        """Pre-operation state, captured only when a governor is active."""
+        if self.governor is None:
+            return None
+        return (self._base.copy(), self._materialized.copy())
+
+    def _rollback(self, snapshot) -> None:
+        if snapshot is not None:
+            self._base, self._materialized = snapshot
 
     def _overdelete(self, seed: Database) -> Database:
         """Facts with some derivation using a seed fact (incl. the seed)."""
@@ -159,6 +220,8 @@ class MaterializedView:
         delta = seed.copy()
         work = EvaluationStats()
         while delta:
+            if self.governor is not None:
+                self.governor.checkpoint(self._materialized)
             new_delta = Database()
             for rule in self.program.rules:
                 if rule.is_fact:
@@ -172,6 +235,7 @@ class MaterializedView:
                         rule.body,
                         stats=work,
                         source_for={position: delta},
+                        governor=self.governor,
                     )
                     for fact in derived:
                         # Base facts not explicitly deleted are protected.
@@ -190,6 +254,8 @@ class MaterializedView:
         work = EvaluationStats()
         current = survivor.copy()
         while changed:
+            if self.governor is not None:
+                self.governor.checkpoint(current)
             changed = False
             for rule in self.program.rules:
                 if rule.is_fact:

@@ -247,6 +247,7 @@ def fire_rule(
     stats: EvaluationStats | None = None,
     source_for: Mapping[int, Database] | None = None,
     order: Sequence[int] | None = None,
+    governor=None,
 ) -> set[Atom]:
     """All head instantiations derivable from *db* through this body.
 
@@ -255,6 +256,13 @@ def fire_rule(
     precomputed *order* (see :func:`plan_order`) to skip per-call
     planning -- the semi-naive engine caches one plan per
     (rule, delta-position) pair across iterations.
+
+    With a *governor* (a :class:`~repro.resilience.ResourceGovernor`),
+    the firing loop ticks it so a wall-clock deadline or cancellation
+    can interrupt even a single explosive rule; the resulting
+    :class:`~repro.errors.ResourceLimitExceeded` propagates to the
+    engine, which returns the facts committed so far as a PARTIAL
+    outcome.
     """
     derived: set[Atom] = set()
     if not literals:
@@ -273,5 +281,7 @@ def fire_rule(
     ):
         if stats is not None:
             stats.rule_firings += 1
+        if governor is not None:
+            governor.tick()
         derived.add(head.substitute(bindings))
     return derived

@@ -33,6 +33,7 @@ from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
 from ..obs.tracer import trace
+from ..resilience.governor import ResourceGovernor
 from .fixpoint import EngineName, EvaluationResult, evaluate
 
 #: Separator for generated predicate names; documented reserved prefix.
@@ -116,7 +117,10 @@ class MagicRewriting:
 
 
 def magic_transform(
-    program: Program, query: Atom, sips: str = "left-to-right"
+    program: Program,
+    query: Atom,
+    sips: str = "left-to-right",
+    governor: ResourceGovernor | None = None,
 ) -> MagicRewriting:
     """Rewrite *program* for goal-directed evaluation of *query*.
 
@@ -159,6 +163,10 @@ def magic_transform(
 
     with trace("magic.transform", sips=sips) as span:
         while pending:
+            if governor is not None:
+                # The adornment frontier is finite but can be exponential
+                # in arity; keep the deadline/cancellation responsive.
+                governor.tick()
             pred, adornment = pending.pop()
             if (pred, adornment) in done:
                 continue
@@ -262,6 +270,7 @@ def answer_query(
     query: Atom,
     engine: EngineName = "seminaive",
     sips: str = "left-to-right",
+    governor: ResourceGovernor | None = None,
 ) -> tuple[Database, EvaluationResult]:
     """Evaluate *query* over ``program(db)`` using magic sets.
 
@@ -272,6 +281,11 @@ def answer_query(
 
     For an EDB query predicate no rewriting is needed: the answers are
     selected directly from *db*.
+
+    With a *governor*, a tripped limit degrades the inner bottom-up run
+    to ``PARTIAL`` and the projected answers are a sound subset of the
+    query's true answers (the rewritten program is positive, so the
+    partial fixpoint under-approximates and projection is monotone).
     """
     if query.predicate not in program.idb_predicates:
         answers = Database()
@@ -283,10 +297,12 @@ def answer_query(
         return answers, EvaluationResult(db.copy(), _empty_stats())
 
     with trace("magic.answer_query", query=str(query)) as span:
-        rewriting = magic_transform(program, query, sips=sips)
+        if governor is not None:
+            governor.note(engine="magic")
+        rewriting = magic_transform(program, query, sips=sips, governor=governor)
         seeded = db.copy()
         seeded.add(rewriting.seed)
-        result = evaluate(rewriting.program, seeded, engine=engine)
+        result = evaluate(rewriting.program, seeded, engine=engine, governor=governor)
         answers = rewriting.answers(result.database)
         if span:
             span.add("answers", len(answers))

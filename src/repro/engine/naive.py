@@ -12,16 +12,24 @@ correctness baseline and as the slow end of the Q7 engine benchmark.
 from __future__ import annotations
 
 from ..data.database import Database
-from ..errors import UnsafeRuleError
+from ..errors import ResourceLimitExceeded, UnsafeRuleError
 from ..lang.programs import Program
 from ..obs.tracer import trace
+from ..resilience.governor import EvaluationStatus, ResourceGovernor
 from .fixpoint import EvaluationResult
 from .joins import fire_rule
 from .stats import EvaluationStats
 
 
-def naive_fixpoint(program: Program, db: Database) -> EvaluationResult:
-    """Iterate all rules over the full database until nothing is new."""
+def naive_fixpoint(
+    program: Program, db: Database, governor: ResourceGovernor | None = None
+) -> EvaluationResult:
+    """Iterate all rules over the full database until nothing is new.
+
+    With a *governor*, a tripped limit stops iteration and the facts
+    derived so far are returned as a ``PARTIAL`` result (a sound
+    under-approximation of ``P(db)`` by monotonicity).
+    """
     if not program.is_positive:
         raise UnsafeRuleError(
             "naive evaluation requires a positive program; "
@@ -30,23 +38,40 @@ def naive_fixpoint(program: Program, db: Database) -> EvaluationResult:
     stats = EvaluationStats(engine="naive")
     stats.start()
     result = db.copy()
+    status = EvaluationStatus.COMPLETE
+    degradation = None
     with trace("naive.eval", rules=len(program.rules)) as root:
         root.watch(stats)
-        changed = True
-        while changed:
-            stats.iterations += 1
-            changed = False
-            with trace("naive.iteration", index=stats.iterations) as iteration:
-                iteration.watch(stats)
-                for rule_index, rule in enumerate(program.rules):
-                    with trace("naive.rule", rule=rule_index) as span:
-                        span.watch(stats)
-                        for atom in fire_rule(result, rule.head, rule.body, stats=stats):
-                            if result.add(atom):
-                                stats.facts_derived += 1
-                                changed = True
+        try:
+            if governor is not None:
+                governor.note(engine="naive")
+            changed = True
+            while changed:
+                stats.iterations += 1
+                if governor is not None:
+                    governor.checkpoint(result, round=stats.iterations)
+                changed = False
+                with trace("naive.iteration", index=stats.iterations) as iteration:
+                    iteration.watch(stats)
+                    for rule_index, rule in enumerate(program.rules):
+                        if governor is not None:
+                            governor.note(rule_index=rule_index)
+                            governor.tick()
+                        with trace("naive.rule", rule=rule_index) as span:
+                            span.watch(stats)
+                            for atom in fire_rule(
+                                result, rule.head, rule.body, stats=stats, governor=governor
+                            ):
+                                if result.add(atom):
+                                    stats.facts_derived += 1
+                                    if governor is not None:
+                                        governor.add_facts(1)
+                                    changed = True
+        except ResourceLimitExceeded as error:
+            status = EvaluationStatus.PARTIAL
+            degradation = error.report
         if root:
             root.add("index_probes", result.probe_count())
             root.add("full_scans", result.scan_count())
     stats.stop()
-    return EvaluationResult(result, stats)
+    return EvaluationResult(result, stats, status=status, degradation=degradation)

@@ -21,17 +21,26 @@ correctly.
 from __future__ import annotations
 
 from ..data.database import Database
-from ..errors import UnsafeRuleError
+from ..errors import ResourceLimitExceeded, UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..obs.tracer import trace
+from ..resilience.governor import EvaluationStatus, ResourceGovernor
 from .fixpoint import EvaluationResult
 from .joins import fire_rule, plan_order
 from .stats import EvaluationStats
 
 
-def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
-    """Compute ``P(db)`` with differential iteration."""
+def seminaive_fixpoint(
+    program: Program, db: Database, governor: ResourceGovernor | None = None
+) -> EvaluationResult:
+    """Compute ``P(db)`` with differential iteration.
+
+    With a *governor*, a tripped limit stops iteration and the facts
+    committed to the full database so far are returned as a ``PARTIAL``
+    result (a sound under-approximation of ``P(db)`` by monotonicity;
+    the interrupted round's uncommitted delta is discarded).
+    """
     if not program.is_positive:
         raise UnsafeRuleError(
             "semi-naive evaluation requires a positive program; "
@@ -40,6 +49,8 @@ def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
     stats = EvaluationStats(engine="seminaive")
     stats.start()
     full = db.copy()
+    status = EvaluationStatus.COMPLETE
+    degradation = None
     #: (rule, delta position) -> cached join order.  Greedy planning
     #: depends only on relation sizes (for tie-breaks), so one plan per
     #: variant amortizes across all iterations.
@@ -47,42 +58,57 @@ def seminaive_fixpoint(program: Program, db: Database) -> EvaluationResult:
 
     with trace("seminaive.eval", rules=len(program.rules)) as root:
         root.watch(stats)
+        try:
+            if governor is not None:
+                governor.note(engine="seminaive")
 
-        # Round 0: fire ground facts (empty bodies) and seed the delta with
-        # the whole input, so every rule sees the input as "new".
-        delta = db.copy()
-        stats.iterations += 1
-        for rule in program.rules:
-            if rule.is_fact:
-                if full.add(rule.head):
-                    stats.facts_derived += 1
-                    delta.add(rule.head)
-
-        while delta:
+            # Round 0: fire ground facts (empty bodies) and seed the delta with
+            # the whole input, so every rule sees the input as "new".
+            delta = db.copy()
             stats.iterations += 1
-            with trace(
-                "seminaive.iteration", index=stats.iterations, delta=len(delta)
-            ) as iteration:
-                iteration.watch(stats)
-                new_delta = Database()
-                for rule_index, rule in enumerate(program.rules):
-                    if rule.is_fact:
-                        continue
-                    with trace("seminaive.rule", rule=rule_index) as span:
-                        span.watch(stats)
-                        derived = _fire_rule_seminaive(
-                            rule.head, rule, full, delta, stats, plans, rule_index
-                        )
-                        for atom in derived:
-                            if atom not in full and atom not in new_delta:
-                                new_delta.add(atom)
-                stats.facts_derived += full.update(new_delta)
-                delta = new_delta
+            for rule in program.rules:
+                if rule.is_fact:
+                    if full.add(rule.head):
+                        stats.facts_derived += 1
+                        delta.add(rule.head)
+
+            while delta:
+                stats.iterations += 1
+                if governor is not None:
+                    governor.checkpoint(full, round=stats.iterations)
+                with trace(
+                    "seminaive.iteration", index=stats.iterations, delta=len(delta)
+                ) as iteration:
+                    iteration.watch(stats)
+                    new_delta = Database()
+                    for rule_index, rule in enumerate(program.rules):
+                        if rule.is_fact:
+                            continue
+                        if governor is not None:
+                            governor.note(rule_index=rule_index)
+                            governor.tick()
+                        with trace("seminaive.rule", rule=rule_index) as span:
+                            span.watch(stats)
+                            derived = _fire_rule_seminaive(
+                                rule.head, rule, full, delta, stats, plans, rule_index,
+                                governor,
+                            )
+                            for atom in derived:
+                                if atom not in full and atom not in new_delta:
+                                    new_delta.add(atom)
+                    added = full.update(new_delta)
+                    stats.facts_derived += added
+                    if governor is not None:
+                        governor.add_facts(added)
+                    delta = new_delta
+        except ResourceLimitExceeded as error:
+            status = EvaluationStatus.PARTIAL
+            degradation = error.report
         if root:
             root.add("index_probes", full.probe_count())
             root.add("full_scans", full.scan_count())
     stats.stop()
-    return EvaluationResult(full, stats)
+    return EvaluationResult(full, stats, status=status, degradation=degradation)
 
 
 def _fire_rule_seminaive(
@@ -93,6 +119,7 @@ def _fire_rule_seminaive(
     stats: EvaluationStats,
     plans: dict[tuple[int, int], list[int]],
     rule_index: int,
+    governor: ResourceGovernor | None = None,
 ) -> set[Atom]:
     """Union of the rule's delta-variants for this iteration."""
     derived: set[Atom] = set()
@@ -118,6 +145,7 @@ def _fire_rule_seminaive(
                 stats=stats,
                 source_for={position: delta},
                 order=order,
+                governor=governor,
             )
         )
     return derived

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..data.database import Database
-from ..errors import StratificationError
+from ..errors import ResourceLimitExceeded, StratificationError
 from ..lang.programs import Program
+from ..resilience.governor import EvaluationStatus, ResourceGovernor
 from .fixpoint import EvaluationResult
 from .seminaive import seminaive_fixpoint
 from .joins import fire_rule
@@ -70,40 +71,79 @@ def stratify(program: Program) -> Stratification:
     return Stratification(stratum, layers)
 
 
-def evaluate_stratified(program: Program, db: Database) -> EvaluationResult:
+def evaluate_stratified(
+    program: Program, db: Database, governor: ResourceGovernor | None = None
+) -> EvaluationResult:
     """Compute the perfect model of a stratified program over *db*.
 
     Each stratum is evaluated to fixpoint with the semi-naive engine;
     negated literals consult the database computed by lower strata,
     which is complete by the time they are read.
+
+    With a *governor*, a tripped limit returns the facts derived so far
+    as a ``PARTIAL`` result with the interrupted stratum in the
+    :class:`~repro.resilience.DegradationReport`.  The partial database
+    is a subset of the perfect model: a rule with negation only fires
+    after its negated predicates' strata completed, so interruption can
+    under-derive but never mis-derive.
     """
     stratification = stratify(program)
-    stats = EvaluationStats()
+    stats = EvaluationStats(engine="stratified")
     stats.start()
     current = db.copy()
-    for layer in stratification.layers:
-        layer_rules = [r for r in program.rules if r.head.predicate in layer]
-        positive = [r for r in layer_rules if r.is_positive]
-        negated = [r for r in layer_rules if not r.is_positive]
-        # Rules with negation in this stratum only negate lower strata
-        # (guaranteed by stratification), so their negated subgoals are
-        # already final; iterate them together with the positive ones
-        # until the stratum is saturated.
-        changed = True
-        while changed:
-            changed = False
-            if positive:
-                result = seminaive_fixpoint(Program(positive), current)
-                stats.merge(result.stats)
-                if len(result.database) > len(current):
-                    changed = True
-                current = result.database
-            for rule in negated:
-                derived = fire_rule(current, rule.head, rule.body, stats=stats)
-                for atom in derived:
-                    if current.add(atom):
-                        stats.facts_derived += 1
+    status = EvaluationStatus.COMPLETE
+    degradation = None
+    try:
+        if governor is not None:
+            governor.note(engine="stratified")
+        for stratum_index, layer in enumerate(stratification.layers):
+            if governor is not None:
+                governor.note(stratum=stratum_index)
+                governor.checkpoint(current)
+            layer_rules = [r for r in program.rules if r.head.predicate in layer]
+            positive = [r for r in layer_rules if r.is_positive]
+            negated = [r for r in layer_rules if not r.is_positive]
+            # Rules with negation in this stratum only negate lower strata
+            # (guaranteed by stratification), so their negated subgoals are
+            # already final; iterate them together with the positive ones
+            # until the stratum is saturated.
+            changed = True
+            while changed:
+                changed = False
+                if positive:
+                    result = seminaive_fixpoint(Program(positive), current, governor)
+                    stats.merge(result.stats)
+                    if result.is_partial:
+                        # The sub-fixpoint already degraded gracefully;
+                        # propagate its report and stop deriving.
+                        current = result.database
+                        status = EvaluationStatus.PARTIAL
+                        degradation = result.degradation
+                        raise _StratumInterrupted()
+                    if len(result.database) > len(current):
                         changed = True
+                    current = result.database
+                for rule in negated:
+                    if governor is not None:
+                        governor.tick()
+                    derived = fire_rule(
+                        current, rule.head, rule.body, stats=stats, governor=governor
+                    )
+                    for atom in derived:
+                        if current.add(atom):
+                            stats.facts_derived += 1
+                            if governor is not None:
+                                governor.add_facts(1)
+                            changed = True
+    except _StratumInterrupted:
+        pass
+    except ResourceLimitExceeded as error:
+        status = EvaluationStatus.PARTIAL
+        degradation = error.report
     stats.stop()
     stats.elapsed = max(stats.elapsed, 0.0)
-    return EvaluationResult(current, stats)
+    return EvaluationResult(current, stats, status=status, degradation=degradation)
+
+
+class _StratumInterrupted(Exception):
+    """Internal control flow: a governed sub-fixpoint returned PARTIAL."""

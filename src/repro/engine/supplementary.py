@@ -41,7 +41,9 @@ from .magic import (
 _SUP_PREFIX = "sup__"
 
 
-def supplementary_magic_transform(program: Program, query: Atom) -> MagicRewriting:
+def supplementary_magic_transform(
+    program: Program, query: Atom, governor=None
+) -> MagicRewriting:
     """Rewrite *program* for *query* with supplementary predicates.
 
     Interface and guarantees match
@@ -76,6 +78,8 @@ def supplementary_magic_transform(program: Program, query: Atom) -> MagicRewriti
 
     with trace("supplementary.transform") as span:
         while pending:
+            if governor is not None:
+                governor.tick()
             pred, adornment = pending.pop()
             if (pred, adornment) in done:
                 continue
@@ -104,18 +108,23 @@ def answer_query_supplementary(
     db,
     query: Atom,
     engine: str = "seminaive",
+    governor=None,
 ):
     """Evaluate *query* via the supplementary rewriting.
 
-    Same contract as :func:`repro.engine.magic.answer_query`.
+    Same contract as :func:`repro.engine.magic.answer_query`, including
+    the governed-degradation behaviour: a PARTIAL inner run projects to
+    a sound subset of the true answers.
     """
     from .fixpoint import evaluate
 
     with trace("supplementary.answer_query", query=str(query)) as span:
-        rewriting = supplementary_magic_transform(program, query)
+        if governor is not None:
+            governor.note(engine="supplementary")
+        rewriting = supplementary_magic_transform(program, query, governor=governor)
         seeded = db.copy()
         seeded.add(rewriting.seed)
-        result = evaluate(rewriting.program, seeded, engine=engine)
+        result = evaluate(rewriting.program, seeded, engine=engine, governor=governor)
         answers = rewriting.answers(result.database)
         if span:
             span.add("answers", len(answers))

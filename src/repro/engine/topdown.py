@@ -26,11 +26,17 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..data.database import Database
-from ..errors import UnsafeRuleError
+from ..errors import ResourceLimitExceeded, UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..lang.terms import Term, Variable
 from ..obs.tracer import trace
+from ..resilience.governor import (
+    DegradationReport,
+    EvaluationStatus,
+    ResourceGovernor,
+)
+from .fixpoint import EvaluationResult
 from .stats import EvaluationStats
 
 
@@ -58,16 +64,28 @@ def _call_for(atom: Atom, bindings: dict[Variable, Term]) -> Call:
 
 @dataclass
 class TabledResult:
-    """Answers for the root call plus the tabling statistics."""
+    """Answers for the root call plus the tabling statistics.
+
+    Every row ever admitted to a table is a true fact of its call's
+    predicate (rows are only added through rule bodies solved against
+    the database and other tables), so a ``PARTIAL`` result's answers
+    are a sound subset of the query's true answers.
+    """
 
     answers: Database
     tables: dict[Call, set[tuple]]
     stats: EvaluationStats
     root: Call
+    status: EvaluationStatus = EvaluationStatus.COMPLETE
+    degradation: Optional[DegradationReport] = None
 
     @property
     def calls_made(self) -> int:
         return len(self.tables)
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status is EvaluationStatus.PARTIAL
 
 
 def tabled_query(
@@ -75,6 +93,7 @@ def tabled_query(
     db: Database,
     query: Atom,
     max_passes: int = 10_000,
+    governor: ResourceGovernor | None = None,
 ) -> TabledResult:
     """Answer *query* top-down with tabling.
 
@@ -85,6 +104,8 @@ def tabled_query(
         query: the goal atom; non-variable arguments are the bound ones.
         max_passes: safety valve for the outer fixpoint (never reached
             on real inputs; tables grow monotonically and are finite).
+        governor: optional resource limits; a trip stops the pass loop
+            and the answers accumulated so far come back as ``PARTIAL``.
     """
     if not program.is_positive:
         raise UnsafeRuleError("tabled evaluation requires a positive program")
@@ -95,26 +116,40 @@ def tabled_query(
     tables: dict[Call, set[tuple]] = {}
     root = _call_for(query, {})
     _register(tables, root)
+    status = EvaluationStatus.COMPLETE
+    degradation = None
 
     with trace("topdown.query", query=str(query)) as root_span:
         root_span.watch(stats)
-        for _ in range(max_passes):
-            stats.iterations += 1
-            changed = False
-            calls_before = len(tables)
-            with trace(
-                "topdown.pass", index=stats.iterations, calls=len(tables)
-            ) as pass_span:
-                pass_span.watch(stats)
-                for call in list(tables):
-                    if _solve_call(program, db, idb, call, tables, stats):
-                        changed = True
-            # Registering a new sub-call is progress too: its table must be
-            # solved (and may feed its parents) on the next pass.
-            if len(tables) > calls_before:
-                changed = True
-            if not changed:
-                break
+        try:
+            if governor is not None:
+                governor.note(engine="topdown")
+            for _ in range(max_passes):
+                stats.iterations += 1
+                if governor is not None:
+                    governor.checkpoint(round=stats.iterations)
+                changed = False
+                calls_before = len(tables)
+                with trace(
+                    "topdown.pass", index=stats.iterations, calls=len(tables)
+                ) as pass_span:
+                    pass_span.watch(stats)
+                    for call in list(tables):
+                        if governor is not None:
+                            governor.tick()
+                        if _solve_call(
+                            program, db, idb, call, tables, stats, governor
+                        ):
+                            changed = True
+                # Registering a new sub-call is progress too: its table must be
+                # solved (and may feed its parents) on the next pass.
+                if len(tables) > calls_before:
+                    changed = True
+                if not changed:
+                    break
+        except ResourceLimitExceeded as error:
+            status = EvaluationStatus.PARTIAL
+            degradation = error.report
         if root_span:
             root_span.add("calls", len(tables))
 
@@ -128,7 +163,42 @@ def tabled_query(
         if match_atom(query, Atom(query.predicate, row)) is not None:
             answers._add_row(query.predicate, row)
     stats.stop()
-    return TabledResult(answers=answers, tables=tables, stats=stats, root=root)
+    return TabledResult(
+        answers=answers,
+        tables=tables,
+        stats=stats,
+        root=root,
+        status=status,
+        degradation=degradation,
+    )
+
+
+def tabled_answer_query(
+    program: Program,
+    db: Database,
+    query: Atom,
+    governor: ResourceGovernor | None = None,
+    max_passes: int = 10_000,
+) -> tuple[Database, EvaluationResult]:
+    """Registry adapter matching the query-engine ``answer`` signature.
+
+    Same contract as :func:`repro.engine.magic.answer_query`: returns
+    the answer database plus an :class:`EvaluationResult` whose database
+    holds every tabled fact (all of them true facts of the program) and
+    whose status/degradation reflect any governed interruption.
+    """
+    tabled = tabled_query(program, db, query, max_passes=max_passes, governor=governor)
+    derived = db.copy()
+    for call, rows in tabled.tables.items():
+        for row in rows:
+            derived._add_row(call.predicate, row)
+    result = EvaluationResult(
+        derived,
+        tabled.stats,
+        status=tabled.status,
+        degradation=tabled.degradation,
+    )
+    return tabled.answers, result
 
 
 def _register(tables: dict[Call, set[tuple]], call: Call) -> None:
@@ -147,6 +217,7 @@ def _solve_call(
     call: Call,
     tables: dict[Call, set[tuple]],
     stats: EvaluationStats,
+    governor: ResourceGovernor | None = None,
 ) -> bool:
     """One pass over the rules for *call*; returns True if its table grew."""
     grew = False
@@ -180,7 +251,7 @@ def _solve_call(
         if not consistent:
             continue
         grew |= _solve_body(
-            program, db, idb, rule, 0, bindings, call, tables, stats
+            program, db, idb, rule, 0, bindings, call, tables, stats, governor
         )
     return grew
 
@@ -195,6 +266,7 @@ def _solve_body(
     call: Call,
     tables: dict[Call, set[tuple]],
     stats: EvaluationStats,
+    governor: ResourceGovernor | None = None,
 ) -> bool:
     """Depth-first solution of the rule body; returns True on table growth."""
     if depth == len(rule.body):
@@ -205,12 +277,16 @@ def _solve_body(
         if _matches_pattern(row, call.pattern) and row not in table:
             table.add(row)
             stats.facts_derived += 1
+            if governor is not None:
+                governor.add_facts(1)
             return True
         return False
 
     literal = rule.body[depth]
     atom = literal.atom
     stats.subgoal_attempts += 1
+    if governor is not None:
+        governor.tick()
     grew = False
     if atom.predicate in idb:
         subcall = _call_for(atom, bindings)
@@ -244,7 +320,8 @@ def _solve_body(
                 break
         if ok:
             grew |= _solve_body(
-                program, db, idb, rule, depth + 1, bindings, call, tables, stats
+                program, db, idb, rule, depth + 1, bindings, call, tables, stats,
+                governor,
             )
         for var in added:
             del bindings[var]

@@ -10,7 +10,10 @@ Errors are grouped by the stage that raises them:
 * resource errors raised by the semi-decidable chase procedures
   (:class:`BudgetExceededError`) -- note that most chase entry points
   prefer returning a three-valued outcome over raising; the exception is
-  only used by the low-level ``chase`` driver when asked to raise.
+  only used by the low-level ``chase`` driver when asked to raise,
+* resilience errors (:class:`ResourceLimitExceeded`,
+  :class:`TransientStorageError`) raised by the
+  :mod:`repro.resilience` governor and fault-injection layers.
 """
 
 from __future__ import annotations
@@ -77,4 +80,33 @@ class BudgetExceededError(ReproError):
     Most public procedures catch this internally and report an
     ``UNKNOWN`` outcome instead; it escapes only from low-level drivers
     invoked with ``on_budget='raise'``.
+    """
+
+
+class ResourceLimitExceeded(ReproError):
+    """A :class:`~repro.resilience.ResourceGovernor` limit tripped.
+
+    Carries the :class:`~repro.resilience.DegradationReport` naming
+    which limit tripped and where (engine, stratum, rule, round).  The
+    engines catch this internally and return a ``PARTIAL``
+    :class:`~repro.engine.fixpoint.EvaluationResult`; it escapes to
+    callers only under ``on_limit='raise'`` (or from operations, such as
+    incremental view maintenance, where a partial result would be
+    unsound and the operation rolls back instead).
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        #: The attached :class:`~repro.resilience.DegradationReport` (if any).
+        self.report = report
+
+
+class TransientStorageError(ReproError):
+    """A (possibly injected) transient fault at a storage seam.
+
+    Raised by the fault-injection harness (:mod:`repro.resilience.faults`)
+    at :class:`~repro.data.database.Database` operation seams; a real
+    deployment would map remote-backend hiccups to this type.  The
+    :class:`~repro.resilience.EvaluationSession` retry loop treats it as
+    retryable; any other exception is not.
     """

@@ -27,11 +27,8 @@ import time
 from typing import Any, Callable, Iterable, Optional
 
 from ..data.database import Database
-from ..engine.fixpoint import evaluate
+from ..engine.fixpoint import get_engine
 from ..engine.incremental import MaterializedView
-from ..engine.magic import answer_query
-from ..engine.supplementary import answer_query_supplementary
-from ..engine.topdown import tabled_query
 from ..workloads.suites import SUITES, Workload
 from .metrics import metrics_registry
 from .schema import ALL_ENGINES, BENCH_SCHEMA, validate_bench_document
@@ -84,35 +81,33 @@ def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int
 def run_workload(
     workload: Workload, size: int, engines: Iterable[str]
 ) -> list[dict[str, Any]]:
-    """Measure one workload at one size under the applicable *engines*."""
+    """Measure one workload at one size under the applicable *engines*.
+
+    Dispatch is driven by the engine registry
+    (:func:`repro.engine.fixpoint.get_engine`), so every registered
+    engine benches through the same seam the CLI and ``evaluate`` use
+    -- an unknown name fails with the registry's truthful error.
+    """
     entries: list[dict[str, Any]] = []
     edb = workload.edb(size)
     for engine in engines:
-        if engine in ("naive", "seminaive"):
-            result = evaluate(workload.program, edb, engine=engine)
+        spec = get_engine(engine)
+        if spec.kind == "fixpoint":
+            result = spec.run(workload.program, edb)
             entries.append(_entry(workload, size, engine, result.stats.to_dict()))
-        elif engine in ("magic", "supplementary"):
+        elif spec.kind == "query":
             if workload.query is None:
                 continue
-            answer = answer_query if engine == "magic" else answer_query_supplementary
-            answers, result = answer(workload.program, edb, workload.query)
+            answers, result = spec.answer(workload.program, edb, workload.query)
             stats = result.stats.to_dict()
             stats["answers"] = len(answers)
             entries.append(_entry(workload, size, engine, stats))
-        elif engine == "topdown":
-            if workload.query is None:
-                continue
-            tabled = tabled_query(workload.program, edb, workload.query)
-            stats = tabled.stats.to_dict()
-            stats["answers"] = len(tabled.answers)
-            stats["calls"] = tabled.calls_made
-            entries.append(_entry(workload, size, engine, stats))
-        elif engine == "incremental":
+        elif spec.kind == "maintenance":
             entries.append(
                 _entry(workload, size, engine, _run_incremental(workload, edb))
             )
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
+        else:  # pragma: no cover - registry kinds are closed
+            raise ValueError(f"engine {engine!r} has unknown kind {spec.kind!r}")
     return entries
 
 

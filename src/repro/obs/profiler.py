@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..data.database import Database
+from ..engine.fixpoint import engine_names, get_engine
 from ..lang.atoms import Atom
 from ..lang.programs import Program
 from .tracer import Span, aggregate_spans, render_spans, tracing
@@ -30,9 +31,11 @@ from .tracer import Span, aggregate_spans, render_spans, tracing
 #: Version marker of the profile JSON document.
 PROFILE_SCHEMA = "repro.profile/1"
 
-#: Engines the profiler can drive; query engines need a query atom.
-PROFILE_ENGINES = ("naive", "seminaive", "magic", "supplementary", "topdown")
-_QUERY_ENGINES = ("magic", "supplementary", "topdown")
+#: Engines the profiler can drive (from the shared registry; the
+#: ``maintenance`` kind is driven through MaterializedView, not here).
+#: Query engines need a query atom.
+PROFILE_ENGINES = tuple(sorted(engine_names("fixpoint") + engine_names("query")))
+_QUERY_ENGINES = engine_names("query")
 
 
 @dataclass
@@ -119,7 +122,7 @@ def profile_evaluation(
     evaluated = program
     answers: int | None = None
     with tracing() as spans:
-        if engine in ("naive", "seminaive"):
+        if get_engine(engine).kind == "fixpoint":
             from ..engine.fixpoint import evaluate
 
             result = evaluate(program, edb, engine=engine)

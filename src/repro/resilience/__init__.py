@@ -1,0 +1,38 @@
+"""Resource governance, graceful degradation, and fault injection.
+
+The production counterpart of the paper's chase discipline: just as
+``[P, T]`` runs under a :class:`~repro.core.chase.ChaseBudget` and
+returns ``UNKNOWN`` instead of looping (Section VIII), every engine
+runs under a :class:`ResourceGovernor` and returns a ``PARTIAL``
+outcome -- a *sound under-approximation* of the minimal model, by
+monotonicity -- instead of hanging.  See the module docstrings of
+:mod:`~repro.resilience.governor`, :mod:`~repro.resilience.faults`,
+and :mod:`~repro.resilience.session` for the three layers.
+"""
+
+from __future__ import annotations
+
+from .faults import FAULT_OPERATIONS, FaultPlan, FaultyDatabase, InjectedFault
+from .governor import (
+    CancellationToken,
+    DegradationReport,
+    EvaluationStatus,
+    ResourceGovernor,
+    approximate_database_bytes,
+)
+from .session import EvaluationSession, RetryPolicy, SessionResult
+
+__all__ = [
+    "CancellationToken",
+    "DegradationReport",
+    "EvaluationSession",
+    "EvaluationStatus",
+    "FAULT_OPERATIONS",
+    "FaultPlan",
+    "FaultyDatabase",
+    "InjectedFault",
+    "ResourceGovernor",
+    "RetryPolicy",
+    "SessionResult",
+    "approximate_database_bytes",
+]

@@ -1,0 +1,158 @@
+"""Chaos drills: seeded fault sweeps across every session-drivable engine.
+
+Three invariants, checked over a matrix of engines and fault seeds:
+
+1. **Typed failures only** -- under injection, an evaluation either
+   succeeds or raises one of the resilience layer's typed exceptions
+   (:class:`TransientStorageError`, :class:`ResourceLimitExceeded`);
+   nothing else escapes, and no corrupt result is returned silently.
+2. **Soundness of whatever completes** -- a run that does complete
+   (possibly after retries) equals the unfaulted fixpoint, and a
+   governed PARTIAL result is a subset of it (monotonicity).
+3. **Bounded time** -- a deadline-governed run never outlives its
+   budget by more than the per-attempt bound documented on
+   :class:`EvaluationSession`.
+
+Every schedule is derived from a seed, so any failure here replays
+bit-for-bit from the parameters in the test id.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database, parse_atom, parse_program
+from repro.engine import evaluate, get_engine
+from repro.errors import ResourceLimitExceeded, TransientStorageError
+from repro.resilience import (
+    EvaluationSession,
+    EvaluationStatus,
+    FaultPlan,
+    ResourceGovernor,
+    RetryPolicy,
+)
+
+TC = parse_program(
+    """
+    T(x, y) :- E(x, y).
+    T(x, z) :- E(x, y), T(y, z).
+    """
+)
+QUERY = parse_atom("T(0, x)")
+SESSION_ENGINES = ("naive", "seminaive", "stratified", "magic", "supplementary", "topdown")
+SEEDS = (1, 2, 3)
+
+
+def chain(n: int) -> Database:
+    return Database.from_facts({"E": [(i, i + 1) for i in range(n)]})
+
+
+def _session(engine: str, **kwargs) -> EvaluationSession:
+    query = QUERY if get_engine(engine).kind == "query" else None
+    return EvaluationSession(TC, chain(12), engine=engine, query=query, **kwargs)
+
+
+def _clean_result(engine: str) -> set:
+    session = _session(engine)
+    return set(session.run().database.atoms())
+
+
+@pytest.mark.parametrize("engine", SESSION_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFaultSweep:
+    def test_typed_exceptions_and_sound_results(self, engine, seed):
+        clean = _clean_result(engine)
+        plan = FaultPlan.seeded(
+            seed=seed,
+            operations=("candidates", "add", "contains"),
+            faults_per_operation=3,
+            horizon=400,
+        )
+        session = _session(
+            engine, fault_plan=plan, retry_policy=RetryPolicy(max_retries=2)
+        )
+        try:
+            result = session.run()
+        except TransientStorageError:
+            return  # retries exhausted: the typed error is the contract
+        assert result.status is EvaluationStatus.COMPLETE
+        assert set(result.database.atoms()) == clean
+
+    def test_enough_retries_always_complete(self, engine, seed):
+        clean = _clean_result(engine)
+        plan = FaultPlan.seeded(
+            seed=seed,
+            operations=("candidates", "add"),
+            faults_per_operation=2,
+            horizon=300,
+        )
+        # 4 one-shot faults total; 8 retries always outlast them.
+        result = _session(
+            engine, fault_plan=plan, retry_policy=RetryPolicy(max_retries=8)
+        ).run()
+        assert result.status is EvaluationStatus.COMPLETE
+        assert set(result.database.atoms()) == clean
+        assert result.attempts <= 1 + plan.injected
+
+
+@pytest.mark.parametrize("engine", SESSION_ENGINES)
+class TestGovernedDegradation:
+    def test_partial_is_subset_of_unfaulted_fixpoint(self, engine):
+        clean = _clean_result(engine)
+        governor = ResourceGovernor(max_facts=15)
+        result = _session(engine, governor=governor).run()
+        assert result.status in (EvaluationStatus.PARTIAL, EvaluationStatus.COMPLETE)
+        assert set(result.database.atoms()) <= clean
+        if result.status is EvaluationStatus.PARTIAL:
+            assert result.degradation is not None
+            assert result.degradation.limit == "max_facts"
+
+    def test_no_hang_past_deadline(self, engine):
+        deadline = 0.05
+        governor = ResourceGovernor(deadline_s=deadline, check_stride=1)
+        started = time.perf_counter()
+        result = _session(engine, governor=governor).run()
+        elapsed = time.perf_counter() - started
+        # One attempt, no retries: generous 20x slack absorbs slow CI.
+        assert elapsed < deadline * 20 + 1.0
+        assert result.status in (EvaluationStatus.PARTIAL, EvaluationStatus.COMPLETE)
+
+
+class TestFaultsComposeWithGovernance:
+    def test_latency_faults_trip_the_deadline(self):
+        plan = FaultPlan.transient_at("candidates", [1, 2, 3], latency_s=0.05)
+        governor = ResourceGovernor(deadline_s=0.01, check_stride=1)
+        result = EvaluationSession(
+            TC, chain(12), governor=governor, fault_plan=plan
+        ).run()
+        assert result.status is EvaluationStatus.PARTIAL
+        assert result.degradation.limit == "deadline"
+
+    def test_governor_resets_per_attempt(self):
+        plan = FaultPlan.transient_at("add", [4])
+        governor = ResourceGovernor(max_facts=5_000)
+        result = EvaluationSession(
+            TC,
+            chain(10),
+            governor=governor,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=3),
+        ).run()
+        assert result.status is EvaluationStatus.COMPLETE
+        assert result.attempts == 2
+
+    def test_partial_under_faults_still_subset(self):
+        clean = set(evaluate(TC, chain(12)).database.atoms())
+        plan = FaultPlan.seeded(seed=9, faults_per_operation=2, horizon=200)
+        governor = ResourceGovernor(max_facts=12)
+        session = EvaluationSession(
+            TC,
+            chain(12),
+            governor=governor,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=6),
+        )
+        result = session.run()
+        assert set(result.database.atoms()) <= clean

@@ -128,3 +128,57 @@ class TestTheorem1:
         tgd = parse_tgd("B(x, y) -> A(x, y)")
         report = check_model_containment(p1, [tgd], p2)
         assert report.verdict is Verdict.PROVED
+
+
+class TestOnBudget:
+    """The on_budget seam: absorb exhaustion (default) or raise typed."""
+
+    DIVERGING = parse_tgd("B(x, y) -> B(y, w)")
+
+    def _db(self):
+        return Database.from_facts({"B": [(1, 2)]})
+
+    def test_partial_absorbs_exhaustion(self):
+        outcome = chase(
+            self._db(), None, [self.DIVERGING],
+            budget=ChaseBudget(max_rounds=5, max_nulls=20),
+        )
+        assert not outcome.saturated
+        assert outcome.database.count("B") >= 1  # sound under-approximation
+
+    def test_raise_surfaces_typed_error(self):
+        from repro.errors import BudgetExceededError
+
+        with pytest.raises(BudgetExceededError):
+            chase(
+                self._db(), None, [self.DIVERGING],
+                budget=ChaseBudget(max_rounds=5, max_nulls=20),
+                on_budget="raise",
+            )
+
+    def test_raise_mode_does_not_fire_on_saturation(self):
+        tgd = parse_tgd("G(x, y) -> A(x, w)")
+        db = Database.from_facts({"G": [(1, 2)]})
+        outcome = chase(db, None, [tgd], on_budget="raise")
+        assert outcome.saturated
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_budget"):
+            chase(self._db(), None, [], on_budget="explode")
+
+    def test_exhaustion_counted_in_metrics(self):
+        from repro.obs.metrics import metrics_registry
+
+        registry = metrics_registry()
+
+        def exhausted():
+            return registry.export()["counters"].get("chase.budget_exhausted", 0)
+
+        before = exhausted()
+        with pytest.raises(Exception):
+            chase(
+                self._db(), None, [self.DIVERGING],
+                budget=ChaseBudget(max_rounds=4, max_nulls=16),
+                on_budget="raise",
+            )
+        assert exhausted() == before + 1

@@ -312,3 +312,141 @@ class TestLint:
     )
     def test_shipped_examples_are_lint_clean(self, example):
         assert main(["lint", str(example)]) == 0
+
+
+class TestGovernorFlags:
+    CHAIN = "\n".join(f"A({i}, {i + 1})." for i in range(30)) + "\n"
+
+    def test_eval_partial_exit_code_and_stderr(self, files, capsys):
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--max-facts",
+                "20",
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "PARTIAL: max_facts tripped" in captured.err
+        assert "G(" in captured.out  # the sound partial facts still print
+
+    def test_eval_on_limit_raise_exits_2(self, files, capsys):
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--max-facts",
+                "20",
+                "--on-limit",
+                "raise",
+            ]
+        )
+        assert code == 2
+        assert "max_facts" in capsys.readouterr().err
+
+    def test_eval_without_flags_is_ungoverned(self, files, capsys):
+        assert main(["eval", files("tc.dl", TC), "--edb", files("e.dl", EDB)]) == 0
+
+    def test_eval_stratified_engine_choice(self, files, capsys):
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("e.dl", EDB),
+                "--engine",
+                "stratified",
+            ]
+        )
+        assert code == 0
+        assert "G(1, 3)" in capsys.readouterr().out
+
+    def test_query_method_flag(self, files, capsys):
+        for method in ("magic", "supplementary", "topdown"):
+            code = main(
+                [
+                    "query",
+                    files("tc.dl", TC),
+                    "G(1, x)",
+                    "--edb",
+                    files("e.dl", EDB),
+                    "--method",
+                    method,
+                ]
+            )
+            assert code == 0
+            assert "G(1, 3)" in capsys.readouterr().out
+
+    def test_query_governed_partial(self, files, capsys):
+        code = main(
+            [
+                "query",
+                files("tc.dl", TC),
+                "G(0, x)",
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--max-facts",
+                "10",
+            ]
+        )
+        assert code == 3
+        assert "PARTIAL" in capsys.readouterr().err
+
+    def test_minimize_deadline_flag(self, files, capsys):
+        code = main(
+            ["minimize", files("red.dl", TC_REDUNDANT), "--deadline", "0.000001"]
+        )
+        assert code == 3
+        assert "PARTIAL: deadline tripped" in capsys.readouterr().err
+
+
+class TestChaseFlags:
+    def test_optimize_accepts_chase_budget(self, files, capsys):
+        code = main(
+            [
+                "optimize",
+                files("ex19.dl", EX19),
+                "--chase-rounds",
+                "50",
+                "--chase-nulls",
+                "100",
+            ]
+        )
+        assert code == 0
+
+    def test_preserves_accepts_chase_budget(self, files, capsys):
+        code = main(
+            [
+                "preserves",
+                files("tc.dl", TC),
+                "--tgds",
+                files("t.tgd", "G(x, z) -> A(x, w)\n"),
+                "--chase-rounds",
+                "50",
+            ]
+        )
+        assert code in (0, 1)
+        assert "preservation" in capsys.readouterr().out
+
+    def test_prove_tiny_budget_reports_unproved(self, files, capsys):
+        p1 = "G(x, z) :- A(x, z).\n"
+        p2 = "G(x, z) :- B(x, z).\n"
+        code = main(
+            [
+                "prove",
+                files("p1.dl", p1),
+                files("p2.dl", p2),
+                "--tgds",
+                files("t.tgd", "B(x, y) -> B(y, w)\n"),
+                "--chase-rounds",
+                "3",
+                "--chase-nulls",
+                "10",
+            ]
+        )
+        assert code == 1

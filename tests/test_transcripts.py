@@ -179,3 +179,47 @@ class TestCliVerbose:
             ]
         )
         assert code == 1
+
+
+class TestUnknownVerdictRendering:
+    """Budget-exhausted (UNKNOWN) outcomes must render truthfully."""
+
+    def _unknown_model_containment(self):
+        from repro.core.chase import ChaseBudget, check_model_containment
+        from repro import parse_program, parse_tgd
+
+        p1 = parse_program("G(x, z) :- A(x, z).")
+        p2 = parse_program("G(x, z) :- B(x, z).")
+        tgd = parse_tgd("B(x, y) -> B(y, w)")
+        return check_model_containment(
+            p1, [tgd], p2, budget=ChaseBudget(max_rounds=5, max_nulls=20)
+        )
+
+    def test_chase_evidence_unknown(self):
+        report = self._unknown_model_containment()
+        assert report.verdict.value == "unknown"
+        text = render_chase_evidence(report.evidence[0])
+        assert "budget exhausted before saturation" in text
+        assert "UNKNOWN" in text
+
+    def test_model_containment_unknown_verdict_line(self):
+        text = render_model_containment(self._unknown_model_containment())
+        assert "verdict: unknown" in text
+
+    def test_preservation_unknown(self):
+        from repro.core.chase import Verdict
+        from repro.core.preservation import CombinationEvidence, PreservationReport
+        from repro import parse_tgd
+
+        tgd = parse_tgd("G(x, y) -> A(x, w)")
+        report = PreservationReport(
+            verdict=Verdict.UNKNOWN,
+            evidence=[
+                CombinationEvidence(
+                    tgd=tgd, choices=(), verdict=Verdict.UNKNOWN, rounds=7
+                )
+            ],
+        )
+        text = render_preservation(report)
+        assert "budget exhausted while a violation persisted" in text
+        assert "verdict: unknown" in text
