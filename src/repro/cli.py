@@ -47,6 +47,10 @@ from .lang.programs import Program
 #: the printed facts are sound but the fixpoint was not reached.
 EXIT_PARTIAL = 3
 
+#: Exit code for ``bench --compare`` when a shared entry regressed past
+#: the threshold (see :data:`repro.obs.benchrun.REGRESSION_THRESHOLD`).
+EXIT_REGRESSION = 4
+
 
 def _read(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
@@ -399,6 +403,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"{args.validate}: valid ({len(document['entries'])} entries)")
         return 0
 
+    compare = args.compare or []
+    if len(compare) > 2:
+        print("error: --compare takes one baseline or OLD NEW", file=sys.stderr)
+        return 2
+    if len(compare) == 2:
+        # Pure diff mode: no new run, compare two existing documents.
+        old_path, new_path = compare
+        documents = []
+        for path in (old_path, new_path):
+            document = json.loads(_read(path))
+            errors = validate_bench_document(document)
+            if errors:
+                print(f"error: {path} is not a valid bench document", file=sys.stderr)
+                return 2
+            documents.append(document)
+        records = diff_bench_documents(documents[0], documents[1])
+        print(f"comparing {old_path} -> {new_path}:")
+        print(render_diff(records))
+        return _bench_gate(records)
+
     suites = args.suite if args.suite else None
     sizes = args.size if args.size else None
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
@@ -413,16 +437,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path} ({len(document['entries'])} entries, "
           f"engines: {', '.join(document['engines'])})")
-    if args.compare:
-        previous = json.loads(_read(args.compare))
+    if compare:
+        baseline_path = compare[0]
+        previous = json.loads(_read(baseline_path))
         errors = validate_bench_document(previous)
         if errors:
-            print(f"error: {args.compare} is not a valid bench document", file=sys.stderr)
+            print(f"error: {baseline_path} is not a valid bench document", file=sys.stderr)
             return 2
+        records = diff_bench_documents(previous, document)
         print()
-        print(f"comparison against {args.compare}:")
-        print(render_diff(diff_bench_documents(previous, document)))
+        print(f"comparison against {baseline_path}:")
+        print(render_diff(records))
+        return _bench_gate(records)
     return 0
+
+
+def _bench_gate(records) -> int:
+    """Non-zero exit when any shared bench entry regressed past the gate."""
+    from .obs.benchrun import REGRESSION_THRESHOLD, regressions
+
+    flagged = regressions(records)
+    if not flagged:
+        return 0
+    print(
+        f"performance regressions (>{REGRESSION_THRESHOLD:.0%} growth):",
+        file=sys.stderr,
+    )
+    for line in flagged:
+        print(f"  {line}", file=sys.stderr)
+    return EXIT_REGRESSION
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -613,7 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="FILE", help="output path (default BENCH_<date>.json)")
     p.add_argument("--date", metavar="ISO", help="override the document date stamp")
     p.add_argument(
-        "--compare", metavar="FILE", help="diff the new run against a previous document"
+        "--compare",
+        nargs="+",
+        metavar="FILE",
+        help="with one FILE: diff the new run against that baseline; "
+        "with OLD NEW: diff two existing documents without running. "
+        f"Exits {EXIT_REGRESSION} on a >20%% regression in rule_firings "
+        "or elapsed_s",
     )
     p.add_argument(
         "--validate",

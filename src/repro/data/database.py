@@ -20,7 +20,14 @@ from typing import Iterable, Iterator, Mapping
 
 from ..errors import ArityError, GroundnessError
 from ..lang.atoms import Atom, coerce_term
+from ..obs.metrics import metrics_registry
 from .indexes import PredicateIndex
+
+#: Most composite (multi-position) indexes kept per predicate.  Compiled
+#: join kernels probe a small, fixed family of bound-position sets, so a
+#: modest cap covers them; past it, probes fall back to the
+#: smallest-single-bucket + filter path.
+_COMPOSITE_CAP = 16
 
 
 class Database:
@@ -75,6 +82,15 @@ class Database:
         new._size = self._size
         new._scans = 0
         return new
+
+    def empty_like(self) -> "Database":
+        """A fresh empty database with the same storage behaviour.
+
+        The semi-naive engines allocate their pre-round snapshots
+        through this seam; the fault-injection wrapper overrides it so
+        snapshots stay fault-wrapped under the same plan.
+        """
+        return Database()
 
     # -- mutation ----------------------------------------------------------------
     def add(self, atom: Atom) -> bool:
@@ -228,9 +244,12 @@ class Database:
         """Tuples of *predicate* consistent with the *bound* positions.
 
         *bound* maps argument positions to required ground terms.  With
-        no bound positions this is a full scan; otherwise the smallest
-        available index bucket is used (built lazily) and remaining
-        bound positions are checked per tuple by the caller or here.
+        no bound positions this is a full scan.  A single bound position
+        is served from that position's bucket; several bound positions
+        are served from a composite index over exactly that position
+        set, built lazily on first probe (capped at
+        :data:`_COMPOSITE_CAP` per predicate, past which the probe falls
+        back to the smallest single bucket plus per-tuple filtering).
 
         Returned tuples always satisfy **all** the bound positions.
         """
@@ -244,21 +263,44 @@ class Database:
         if index is None:
             index = PredicateIndex(self._arities[predicate])
             self._indexes[predicate] = index
-        # Choose the bound position with the smallest bucket; build missing
-        # indexes for the positions we consider.
+        if len(bound) == 1:
+            ((pos, value),) = bound.items()
+            if pos not in index.built_positions():
+                index.build(pos, rows)
+            return index.bucket(pos, value) or ()
+        positions = tuple(sorted(bound))
+        values = tuple(bound[p] for p in positions)
+        hit = index.composite_bucket(positions, values)
+        if hit is None:
+            if index.composite_count() < _COMPOSITE_CAP:
+                index.build_composite(positions, rows)
+                metrics_registry().increment("index.composite_built")
+                hit = index.composite_bucket(positions, values)
+            else:
+                return self._filtered_candidates(index, rows, bound)
+        return hit or ()
+
+    def _filtered_candidates(
+        self, index: PredicateIndex, rows: set[tuple], bound: Mapping[int, object]
+    ) -> Iterable[tuple]:
+        """Multi-bound fallback: smallest single bucket, filter the rest.
+
+        An empty bucket at *any* bound position means no tuple can
+        satisfy all of them, so the probe exits immediately.
+        """
         best_pos = None
         best_size = None
         for pos in bound:
             if pos not in index.built_positions():
                 index.build(pos, rows)
             size = index.bucket_size(pos, bound[pos])
-            if best_size is None or (size is not None and size < best_size):
+            if not size:
+                return ()
+            if best_size is None or size < best_size:
                 best_pos, best_size = pos, size
         bucket = index.bucket(best_pos, bound[best_pos])  # type: ignore[arg-type]
         if not bucket:
             return ()
-        if len(bound) == 1:
-            return bucket
         remaining = [(p, v) for p, v in bound.items() if p != best_pos]
         return (row for row in bucket if all(row[p] == v for p, v in remaining))
 

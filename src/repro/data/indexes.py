@@ -22,14 +22,29 @@ Tuple_ = tuple  # readability alias in annotations below
 
 
 class PredicateIndex:
-    """Per-position hash index over the tuples of one predicate."""
+    """Per-position (and composite) hash index over one predicate's tuples.
 
-    __slots__ = ("arity", "_positions", "_probes")
+    Besides the classic single-position maps, the index supports
+    **composite** indexes over a *set* of positions: a map
+    ``(v_1, ..., v_k) -> {tuples}`` keyed by the values at a sorted
+    position tuple.  A probe with several bound positions then touches
+    exactly the tuples matching *all* of them, instead of picking one
+    position's bucket and filtering the rest tuple by tuple.  Composite
+    indexes are built lazily per bound-position set (the compiled join
+    kernels probe the same sets every round) and maintained on insert
+    and removal like the single-position ones.
+    """
+
+    __slots__ = ("arity", "_positions", "_composites", "_probes")
 
     def __init__(self, arity: int):
         self.arity = arity
         #: position -> value -> set of tuples having that value there
         self._positions: dict[int, dict[Term, set[tuple[Term, ...]]]] = {}
+        #: sorted position tuple -> value tuple -> set of tuples
+        self._composites: dict[
+            tuple[int, ...], dict[tuple[Term, ...], set[tuple[Term, ...]]]
+        ] = {}
         self._probes = 0
 
     @property
@@ -48,14 +63,21 @@ class PredicateIndex:
         self._positions[position] = buckets
 
     def insert(self, row: tuple[Term, ...]) -> None:
-        """Maintain all built positions after an insert."""
+        """Maintain all built positions (and composites) after an insert."""
         for position, buckets in self._positions.items():
             buckets.setdefault(row[position], set()).add(row)
+        for positions, buckets in self._composites.items():
+            key = tuple(row[p] for p in positions)
+            buckets.setdefault(key, set()).add(row)
 
     def remove(self, row: tuple[Term, ...]) -> None:
-        """Maintain all built positions after a removal."""
+        """Maintain all built positions (and composites) after a removal."""
         for position, buckets in self._positions.items():
             bucket = buckets.get(row[position])
+            if bucket is not None:
+                bucket.discard(row)
+        for positions, buckets in self._composites.items():
+            bucket = buckets.get(tuple(row[p] for p in positions))
             if bucket is not None:
                 bucket.discard(row)
 
@@ -74,6 +96,33 @@ class PredicateIndex:
             return None
         hit = buckets.get(value)
         return len(hit) if hit is not None else 0
+
+    # -- composite (multi-position) indexes ------------------------------------
+    def composite_positions(self) -> frozenset[tuple[int, ...]]:
+        """The built composite position sets (as sorted tuples)."""
+        return frozenset(self._composites)
+
+    def composite_count(self) -> int:
+        return len(self._composites)
+
+    def build_composite(
+        self, positions: tuple[int, ...], tuples: Iterable[tuple[Term, ...]]
+    ) -> None:
+        """Build the composite index for the sorted *positions* tuple."""
+        buckets: dict[tuple[Term, ...], set[tuple[Term, ...]]] = {}
+        for row in tuples:
+            buckets.setdefault(tuple(row[p] for p in positions), set()).add(row)
+        self._composites[positions] = buckets
+
+    def composite_bucket(
+        self, positions: tuple[int, ...], values: tuple[Term, ...]
+    ) -> set[tuple[Term, ...]] | None:
+        """Tuples matching *values* at *positions*, or ``None`` if not built."""
+        buckets = self._composites.get(positions)
+        if buckets is None:
+            return None
+        self._probes += 1
+        return buckets.get(values, _EMPTY)
 
 
 _EMPTY: set = set()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .compile import JoinKernel, KernelCache, compile_kernel
 from .costs import (
     JoinEstimate,
     PredicateStatistics,
@@ -48,7 +49,9 @@ __all__ = [
     "EvaluationResult",
     "EvaluationStats",
     "JoinEstimate",
+    "JoinKernel",
     "Justification",
+    "KernelCache",
     "MaintenanceStats",
     "MagicRewriting",
     "MaterializedView",
@@ -64,6 +67,7 @@ __all__ = [
     "answer_query_supplementary",
     "apply_once",
     "collect_statistics",
+    "compile_kernel",
     "engine_names",
     "evaluate",
     "get_engine",

@@ -1,0 +1,547 @@
+"""Compiled join kernels: rule bodies flattened to slot-array programs.
+
+:func:`~repro.engine.joins.match_body` is the *reference* join
+implementation: general, readable, and slow -- every probe re-derives
+the bound argument positions of the current literal by walking its terms
+with ``isinstance`` checks and a fresh ``dict`` of variable bindings
+(:func:`~repro.engine.joins._bound_positions`), and every matched row is
+re-verified position by position even though the index bucket already
+guaranteed most positions.
+
+This module compiles each (rule, delta-position) variant **once** into a
+flat :class:`JoinKernel` that operates on raw tuples and an integer slot
+array:
+
+* variables become *slots* (dense integers assigned in join order);
+* each body literal becomes a :class:`_Step` carrying precomputed
+  ``(position -> slot)`` templates -- positions already bound feed the
+  index probe (and need no per-row re-check, because
+  :meth:`~repro.data.database.Database.candidates` guarantees them),
+  first occurrences write their slot, and intra-atom repeats are the
+  only per-row equality checks left;
+* the head (and each negated subgoal) is emitted by a slot-projection
+  template, so no substitution dictionaries are built on the hot path;
+* the *witness cutoff* of ``match_body`` (stop enumerating once every
+  head variable is bound) becomes a compile-time ``witness_depth``
+  instead of a per-node ``all(v in bindings)`` scan.
+
+**Textbook semi-naive splitting.**  A kernel compiled with a
+``delta_position`` tags every body position with a source:
+
+* the delta position reads Δ (the facts new in the previous round);
+* positions *before* it (in body order) read the **pre-round snapshot**
+  ``F_{k-1}``;
+* positions *after* it read the full database ``F_k = F_{k-1} ∪ Δ``.
+
+A body instantiation whose rows touch Δ at positions ``D ≠ ∅`` is then
+derived exactly once -- by the variant pinned at ``min(D)`` -- instead of
+``|D|`` times as under the naive "non-delta positions read everything"
+discipline.  The duplicates that discipline would have produced are
+counted per emission (each later position whose matched row is in Δ)
+and surface as the ``delta.duplicate_derivations_avoided`` metric.
+
+**Redundant-delta prune.**  When the Δ-pinned atom carries a variable
+exclusive to it (it appears nowhere else in the rule -- the planted
+redundant atoms ``G(x, s)`` of the benchmark workloads are the extreme
+case), a Δ row with a *snapshot* witness agreeing on all shared
+positions derives nothing new: swapping the witness in yields the same
+head with strictly older facts at this position, so the head either was
+derived in an earlier round (all-snapshot body) or is found by the
+variant pinned at the next Δ position.  Such rows are skipped before
+any sub-enumeration, which is what makes the semi-naive engine beat
+naive on rules with redundant existential atoms instead of losing 5× to
+it.
+
+**Fault seams and governance.**  Kernels reach storage only through the
+three documented seams -- every probe goes through ``candidates``, every
+negated check through ``__contains__`` -- and tick the resource governor
+per emitted head, so fault injection and graceful degradation behave
+exactly as they do on the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..data.database import Database
+from ..errors import UnsafeRuleError
+from ..lang.atoms import Atom, Literal
+from ..lang.terms import Term, Variable
+from ..obs.metrics import metrics_registry
+from .joins import plan_order
+from .stats import EvaluationStats
+
+#: Source tags for body positions (resolved to databases per run).
+SRC_DB = 0  #: the evaluation database (no delta splitting / negation)
+SRC_DELTA = 1  #: Δ -- the delta-pinned position
+SRC_BEFORE = 2  #: the pre-round snapshot ``F_{k-1}`` (positions before Δ)
+SRC_AFTER = 3  #: ``F_{k-1} ∪ Δ`` == the full database (positions after Δ)
+
+_NO_BOUND: dict = {}
+
+
+class _Step:
+    """One compiled body literal (in join order)."""
+
+    __slots__ = (
+        "predicate",
+        "positive",
+        "source",
+        "const_bound",
+        "slot_bound",
+        "binds",
+        "self_checks",
+        "template",
+        "body_position",
+        "prune",
+    )
+
+    def __init__(
+        self,
+        predicate: str,
+        positive: bool,
+        source: int,
+        const_bound: dict[int, Term],
+        slot_bound: tuple[tuple[int, int], ...],
+        binds: tuple[tuple[int, int], ...],
+        self_checks: tuple[tuple[int, int], ...],
+        template: tuple | None,
+        body_position: int,
+        prune: tuple[int, ...] | None = None,
+    ):
+        self.predicate = predicate
+        self.positive = positive
+        self.source = source
+        self.const_bound = const_bound
+        self.slot_bound = slot_bound
+        self.binds = binds
+        self.self_checks = self_checks
+        self.template = template
+        self.body_position = body_position
+        #: For the Δ-pinned step only: the positions a snapshot witness
+        #: must agree on (shared variables + constants).  Set when the
+        #: atom has at least one variable exclusive to it, enabling the
+        #: redundant-delta prune (see :meth:`JoinKernel.run`).
+        self.prune = prune
+
+
+class JoinKernel:
+    """A rule body compiled to a flat slot program.
+
+    Build with :func:`compile_kernel`; execute with :meth:`run`.  A
+    kernel is immutable and reusable across fixpoint rounds -- the
+    engines cache one per (rule, delta-position) pair in a
+    :class:`KernelCache`.
+    """
+
+    __slots__ = (
+        "head_predicate",
+        "head_template",
+        "steps",
+        "n_slots",
+        "witness_depth",
+        "delta_position",
+        "order",
+        "_after_prefix",
+    )
+
+    def __init__(
+        self,
+        head_predicate: str,
+        head_template: tuple,
+        steps: tuple[_Step, ...],
+        n_slots: int,
+        witness_depth: int,
+        delta_position: int | None,
+        order: tuple[int, ...],
+    ):
+        self.head_predicate = head_predicate
+        self.head_template = head_template
+        self.steps = steps
+        self.n_slots = n_slots
+        self.witness_depth = witness_depth
+        self.delta_position = delta_position
+        self.order = order
+        #: Enumerated (pre-cutoff) steps reading snapshot ∪ Δ -- the rows
+        #: matched there decide the duplicate-derivations-avoided count.
+        self._after_prefix = tuple(
+            d
+            for d in range(witness_depth)
+            if steps[d].positive and steps[d].source == SRC_AFTER
+        )
+
+    def run(
+        self,
+        db: Database,
+        delta: Database | None = None,
+        before: Database | None = None,
+        stats: EvaluationStats | None = None,
+        governor=None,
+        count_avoided: bool = False,
+    ) -> set[Atom]:
+        """All head atoms derivable through this kernel.
+
+        Args:
+            db: the full database (``SRC_DB`` / ``SRC_AFTER`` positions
+                and every negated check).
+            delta: Δ; required when the kernel was compiled with a
+                delta position.
+            before: the pre-round snapshot for ``SRC_BEFORE`` positions;
+                ``None`` makes them read *db* (the non-textbook
+                discipline used by incremental maintenance, where the
+                materialized database is the only consistent source).
+            stats: join-work counters (``rule_firings``,
+                ``subgoal_attempts``, ``duplicates_avoided``).
+            governor: optional resource governor, ticked per emission.
+            count_avoided: account duplicate derivations avoided by the
+                snapshot discipline (needs *delta*; a lower bound -- only
+                enumerated positions are inspected).
+        """
+        steps = self.steps
+        if self.delta_position is not None and delta is None:
+            raise ValueError("kernel compiled with a delta position needs delta=")
+        sources: list[Database] = []
+        for step in steps:
+            if step.source == SRC_DELTA:
+                sources.append(delta)  # type: ignore[arg-type]
+            elif step.source == SRC_BEFORE:
+                sources.append(before if before is not None else db)
+            else:
+                sources.append(db)
+
+        slots: list[Term | None] = [None] * self.n_slots
+        rows_at: list[tuple | None] = [None] * len(steps)
+        derived: set[Atom] = set()
+        head_template = self.head_template
+        wd = self.witness_depth
+        n = len(steps)
+        counting = count_avoided and delta is not None and self._after_prefix
+        avoided = 0
+
+        def emit() -> None:
+            nonlocal avoided
+            if stats is not None:
+                stats.rule_firings += 1
+            if governor is not None:
+                governor.tick()
+            derived.add(
+                Atom(
+                    self.head_predicate,
+                    tuple(
+                        slots[part] if type(part) is int else part
+                        for part in head_template
+                    ),
+                )
+            )
+            if counting:
+                for d in self._after_prefix:
+                    row = rows_at[d]
+                    if row is not None and delta.contains_tuple(
+                        steps[d].predicate, row
+                    ):
+                        avoided += 1
+
+        def exists(depth: int) -> bool:
+            """Satisfiability of the suffix: stop at the first witness."""
+            nonlocal avoided
+            if depth == n:
+                return True
+            step = steps[depth]
+            if stats is not None:
+                stats.subgoal_attempts += 1
+            if not step.positive:
+                ground = Atom(
+                    step.predicate,
+                    tuple(
+                        slots[part] if type(part) is int else part
+                        for part in step.template
+                    ),
+                )
+                return ground not in db and exists(depth + 1)
+            if step.slot_bound:
+                bound = dict(step.const_bound)
+                for pos, slot in step.slot_bound:
+                    bound[pos] = slots[slot]
+            elif step.const_bound:
+                bound = step.const_bound
+            else:
+                bound = _NO_BOUND
+            source = sources[depth]
+            binds = step.binds
+            self_checks = step.self_checks
+            prune = step.prune if before is not None else None
+            for row in source.candidates(step.predicate, bound):
+                if prune is not None and _has_witness(
+                    before, step.predicate, row, prune
+                ):
+                    avoided += 1
+                    continue
+                for pos, slot in binds:
+                    slots[slot] = row[pos]
+                if self_checks:
+                    ok = True
+                    for pos, slot in self_checks:
+                        if row[pos] != slots[slot]:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                if exists(depth + 1):
+                    return True
+            return False
+
+        def search(depth: int) -> None:
+            nonlocal avoided
+            if depth == wd:
+                if exists(depth):
+                    emit()
+                return
+            step = steps[depth]
+            if stats is not None:
+                stats.subgoal_attempts += 1
+            if not step.positive:
+                ground = Atom(
+                    step.predicate,
+                    tuple(
+                        slots[part] if type(part) is int else part
+                        for part in step.template
+                    ),
+                )
+                if ground not in db:
+                    search(depth + 1)
+                return
+            if step.slot_bound:
+                bound = dict(step.const_bound)
+                for pos, slot in step.slot_bound:
+                    bound[pos] = slots[slot]
+            elif step.const_bound:
+                bound = step.const_bound
+            else:
+                bound = _NO_BOUND
+            source = sources[depth]
+            binds = step.binds
+            self_checks = step.self_checks
+            prune = step.prune if before is not None else None
+            for row in source.candidates(step.predicate, bound):
+                if prune is not None and _has_witness(
+                    before, step.predicate, row, prune
+                ):
+                    avoided += 1
+                    continue
+                for pos, slot in binds:
+                    slots[slot] = row[pos]
+                if self_checks:
+                    ok = True
+                    for pos, slot in self_checks:
+                        if row[pos] != slots[slot]:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                rows_at[depth] = row
+                search(depth + 1)
+
+        search(0)
+        if avoided and stats is not None:
+            stats.duplicates_avoided += avoided
+        return derived
+
+
+def _has_witness(
+    snapshot: Database, predicate: str, row: tuple, positions: tuple[int, ...]
+) -> bool:
+    """Does *snapshot* hold a row agreeing with *row* on *positions*?"""
+    bound = {pos: row[pos] for pos in positions} if positions else _NO_BOUND
+    for _ in snapshot.candidates(predicate, bound):
+        return True
+    return False
+
+
+def _prune_template(
+    head: Atom, body: Sequence[Literal], delta_position: int
+) -> tuple[int, ...] | None:
+    """The shared positions of the Δ-pinned atom, or ``None``.
+
+    Returns the positions a snapshot witness must agree on (constants
+    plus variables occurring more than once in the rule) when the atom
+    has at least one *exclusive* variable -- one appearing exactly once
+    in the whole rule.  Without an exclusive variable a snapshot witness
+    would have to equal the Δ row itself (impossible: Δ is disjoint
+    from the snapshot), so the prune is compiled out.
+    """
+    occurrences: dict[Variable, int] = {}
+    for term in head.args:
+        if isinstance(term, Variable):
+            occurrences[term] = occurrences.get(term, 0) + 1
+    for literal in body:
+        for term in literal.atom.args:
+            if isinstance(term, Variable):
+                occurrences[term] = occurrences.get(term, 0) + 1
+    shared: list[int] = []
+    exclusive = 0
+    for pos, term in enumerate(body[delta_position].atom.args):
+        if isinstance(term, Variable) and occurrences[term] == 1:
+            exclusive += 1
+        else:
+            shared.append(pos)
+    return tuple(shared) if exclusive else None
+
+
+def compile_kernel(
+    head: Atom,
+    body: Sequence[Literal],
+    db: Database,
+    delta_position: int | None = None,
+    order: Sequence[int] | None = None,
+) -> JoinKernel:
+    """Compile one rule variant into a :class:`JoinKernel`.
+
+    The join order is chosen once by :func:`~repro.engine.joins.plan_order`
+    (delta-pinned when *delta_position* is given) against the relation
+    sizes of *db* at compile time; re-planning per round never changes
+    correctness, only tie-breaks, so the compiled order is kept for the
+    kernel's lifetime.
+    """
+    if delta_position is not None:
+        if not (0 <= delta_position < len(body)):
+            raise ValueError(f"delta position {delta_position} out of range")
+        if not body[delta_position].positive:
+            raise ValueError("the delta-pinned body literal must be positive")
+    head_vars = frozenset(head.variables())
+    if order is None:
+        order = plan_order(body, db, prefer_vars=head_vars, first=delta_position)
+    order = tuple(order)
+
+    slot_of: dict[Variable, int] = {}
+    steps: list[_Step] = []
+    bound_vars: set[Variable] = set()
+    witness_depth = len(order)
+    witness_found = head_vars <= bound_vars
+    if witness_found:
+        witness_depth = 0
+
+    for depth, body_index in enumerate(order):
+        literal = body[body_index]
+        atom = literal.atom
+        if not witness_found and head_vars <= bound_vars:
+            witness_depth = depth
+            witness_found = True
+        if literal.positive:
+            if delta_position is None:
+                source = SRC_DB
+            elif body_index == delta_position:
+                source = SRC_DELTA
+            elif body_index < delta_position:
+                source = SRC_BEFORE
+            else:
+                source = SRC_AFTER
+            prune = (
+                _prune_template(head, body, delta_position)
+                if source == SRC_DELTA
+                else None
+            )
+            const_bound: dict[int, Term] = {}
+            slot_bound: list[tuple[int, int]] = []
+            binds: list[tuple[int, int]] = []
+            self_checks: list[tuple[int, int]] = []
+            fresh_here: set[Variable] = set()
+            for pos, term in enumerate(atom.args):
+                if not isinstance(term, Variable):
+                    const_bound[pos] = term
+                elif term in fresh_here:
+                    # Repeated within this atom, first bound here: the
+                    # index cannot enforce it, check per row.
+                    self_checks.append((pos, slot_of[term]))
+                elif term in slot_of:
+                    slot_bound.append((pos, slot_of[term]))
+                else:
+                    slot = slot_of[term] = len(slot_of)
+                    binds.append((pos, slot))
+                    fresh_here.add(term)
+            steps.append(
+                _Step(
+                    atom.predicate,
+                    True,
+                    source,
+                    const_bound,
+                    tuple(slot_bound),
+                    tuple(binds),
+                    tuple(self_checks),
+                    None,
+                    body_index,
+                    prune,
+                )
+            )
+            bound_vars.update(fresh_here)
+        else:
+            # plan_order schedules a negated literal only once fully
+            # bound, so every variable already has a slot.
+            template = tuple(
+                slot_of[t] if isinstance(t, Variable) else t for t in atom.args
+            )
+            steps.append(
+                _Step(
+                    atom.predicate,
+                    False,
+                    SRC_DB,
+                    _NO_BOUND,
+                    (),
+                    (),
+                    (),
+                    template,
+                    body_index,
+                )
+            )
+    if not witness_found and head_vars <= bound_vars:
+        witness_depth = len(order)
+        witness_found = True
+    if not witness_found:
+        missing = sorted(v.name for v in head_vars - bound_vars)
+        raise UnsafeRuleError(
+            f"head variables {missing} never bound by the body (unsafe rule)"
+        )
+
+    head_template = tuple(
+        slot_of[t] if isinstance(t, Variable) else t for t in head.args
+    )
+    metrics_registry().increment("compile.kernels_built")
+    return JoinKernel(
+        head.predicate,
+        head_template,
+        tuple(steps),
+        len(slot_of),
+        witness_depth,
+        delta_position,
+        order,
+    )
+
+
+class KernelCache:
+    """Per-evaluation cache of compiled kernels.
+
+    Keyed by ``(rule_index, delta_position)``; compilation is amortized
+    across every fixpoint round exactly like the old per-variant plan
+    cache, but the cached object is the whole kernel, not just the
+    order.
+    """
+
+    __slots__ = ("_rules", "_db", "_kernels")
+
+    def __init__(self, rules: Sequence, db: Database):
+        self._rules = rules
+        self._db = db
+        self._kernels: dict[tuple[int, int | None], JoinKernel] = {}
+
+    def kernel(self, rule_index: int, delta_position: int | None = None) -> JoinKernel:
+        key = (rule_index, delta_position)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            rule = self._rules[rule_index]
+            kernel = compile_kernel(
+                rule.head, rule.body, self._db, delta_position=delta_position
+            )
+            self._kernels[key] = kernel
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._kernels)

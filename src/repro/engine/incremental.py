@@ -40,6 +40,7 @@ from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..obs.tracer import trace
 from ..resilience.governor import ResourceGovernor
+from .compile import KernelCache
 from .joins import fire_rule, match_body
 from .stats import EvaluationStats
 
@@ -62,6 +63,7 @@ class MaterializedView:
         program: Program,
         base: Database,
         governor: ResourceGovernor | None = None,
+        use_compiled: bool = True,
     ):
         if not program.is_positive:
             raise UnsafeRuleError("incremental maintenance requires a positive program")
@@ -75,6 +77,12 @@ class MaterializedView:
         # against it would be wrong), so initial evaluation must finish.
         result = evaluate(program, base, governor=governor, on_limit="raise")
         self._materialized = result.database
+        # Delta propagation here pins Δ at one position and reads the
+        # materialized database everywhere else (before=None below):
+        # during over-deletion there is no meaningful pre-round snapshot.
+        self._kernels = (
+            KernelCache(program.rules, self._materialized) if use_compiled else None
+        )
 
     # -- read access ---------------------------------------------------------
     @property
@@ -122,19 +130,14 @@ class MaterializedView:
                     if governor is not None:
                         governor.checkpoint(self._materialized, round=rounds)
                     new_delta = Database()
-                    for rule in self.program.rules:
+                    for rule_index, rule in enumerate(self.program.rules):
                         if rule.is_fact:
                             continue
                         for position, literal in enumerate(rule.body):
                             if delta.count(literal.predicate) == 0:
                                 continue
-                            derived = fire_rule(
-                                self._materialized,
-                                rule.head,
-                                rule.body,
-                                stats=work,
-                                source_for={position: delta},
-                                governor=governor,
+                            derived = self._fire_variant(
+                                rule_index, rule, position, delta, work, governor
                             )
                             for fact in derived:
                                 if fact not in self._materialized and fact not in new_delta:
@@ -203,6 +206,29 @@ class MaterializedView:
             raise
         return stats
 
+    def _fire_variant(
+        self,
+        rule_index: int,
+        rule,
+        position: int,
+        delta: Database,
+        work: EvaluationStats,
+        governor: ResourceGovernor | None,
+    ) -> set[Atom]:
+        """One delta-variant against the materialized database."""
+        if self._kernels is not None:
+            return self._kernels.kernel(rule_index, position).run(
+                self._materialized, delta=delta, stats=work, governor=governor
+            )
+        return fire_rule(
+            self._materialized,
+            rule.head,
+            rule.body,
+            stats=work,
+            source_for={position: delta},
+            governor=governor,
+        )
+
     # -- governed-transaction helpers ----------------------------------------
     def _snapshot(self):
         """Pre-operation state, captured only when a governor is active."""
@@ -223,19 +249,14 @@ class MaterializedView:
             if self.governor is not None:
                 self.governor.checkpoint(self._materialized)
             new_delta = Database()
-            for rule in self.program.rules:
+            for rule_index, rule in enumerate(self.program.rules):
                 if rule.is_fact:
                     continue
                 for position, literal in enumerate(rule.body):
                     if delta.count(literal.predicate) == 0:
                         continue
-                    derived = fire_rule(
-                        self._materialized,
-                        rule.head,
-                        rule.body,
-                        stats=work,
-                        source_for={position: delta},
-                        governor=self.governor,
+                    derived = self._fire_variant(
+                        rule_index, rule, position, delta, work, self.governor
                     )
                     for fact in derived:
                         # Base facts not explicitly deleted are protected.

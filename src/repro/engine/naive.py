@@ -16,19 +16,26 @@ from ..errors import ResourceLimitExceeded, UnsafeRuleError
 from ..lang.programs import Program
 from ..obs.tracer import trace
 from ..resilience.governor import EvaluationStatus, ResourceGovernor
+from .compile import KernelCache
 from .fixpoint import EvaluationResult
 from .joins import fire_rule
 from .stats import EvaluationStats
 
 
 def naive_fixpoint(
-    program: Program, db: Database, governor: ResourceGovernor | None = None
+    program: Program,
+    db: Database,
+    governor: ResourceGovernor | None = None,
+    use_compiled: bool = True,
 ) -> EvaluationResult:
     """Iterate all rules over the full database until nothing is new.
 
     With a *governor*, a tripped limit stops iteration and the facts
     derived so far are returned as a ``PARTIAL`` result (a sound
     under-approximation of ``P(db)`` by monotonicity).
+
+    *use_compiled* selects the kernel path (default) or the
+    ``fire_rule`` reference path; both compute the same fixpoint.
     """
     if not program.is_positive:
         raise UnsafeRuleError(
@@ -40,6 +47,7 @@ def naive_fixpoint(
     result = db.copy()
     status = EvaluationStatus.COMPLETE
     degradation = None
+    kernels = KernelCache(program.rules, result) if use_compiled else None
     with trace("naive.eval", rules=len(program.rules)) as root:
         root.watch(stats)
         try:
@@ -59,9 +67,16 @@ def naive_fixpoint(
                             governor.tick()
                         with trace("naive.rule", rule=rule_index) as span:
                             span.watch(stats)
-                            for atom in fire_rule(
-                                result, rule.head, rule.body, stats=stats, governor=governor
-                            ):
+                            if kernels is not None:
+                                derived = kernels.kernel(rule_index).run(
+                                    result, stats=stats, governor=governor
+                                )
+                            else:
+                                derived = fire_rule(
+                                    result, rule.head, rule.body, stats=stats,
+                                    governor=governor,
+                                )
+                            for atom in derived:
                                 if result.add(atom):
                                     stats.facts_derived += 1
                                     if governor is not None:

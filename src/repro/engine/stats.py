@@ -35,6 +35,9 @@ class EvaluationStats:
     subgoal_attempts: int = 0
     facts_derived: int = 0
     elapsed: float = 0.0
+    #: Duplicate derivations the textbook semi-naive snapshot discipline
+    #: suppressed (counted by compiled kernels; 0 on the reference path).
+    duplicates_avoided: int = 0
     engine: str | None = field(default=None, repr=False, compare=False)
     _started: float | None = field(default=None, repr=False, compare=False)
 
@@ -61,6 +64,7 @@ class EvaluationStats:
         self.subgoal_attempts += other.subgoal_attempts
         self.facts_derived += other.facts_derived
         self.elapsed += other.elapsed
+        self.duplicates_avoided += other.duplicates_avoided
 
     def to_dict(self) -> dict[str, float | int]:
         """The counters as a flat JSON-ready mapping (bench/profile use)."""
@@ -69,6 +73,7 @@ class EvaluationStats:
             "rule_firings": self.rule_firings,
             "subgoal_attempts": self.subgoal_attempts,
             "facts_derived": self.facts_derived,
+            "duplicates_avoided": self.duplicates_avoided,
             "elapsed_s": self.elapsed,
         }
 

@@ -44,6 +44,11 @@ FULL_SIZES = (16, 32)
 #: Hold out this many EDB facts for the incremental scenario.
 _INCREMENTAL_HOLDOUT = 4
 
+#: Relative growth in ``elapsed_s`` or ``rule_firings`` past which
+#: :func:`regressions` flags a shared entry (the ``bench --compare``
+#: CI gate exits non-zero on any flagged entry).
+REGRESSION_THRESHOLD = 0.20
+
 
 def _entry(
     workload: Workload, size: int, engine: str, stats: dict[str, float | int]
@@ -197,6 +202,35 @@ def diff_bench_documents(
                     record[f"{counter}_new"] = n.get(counter)
         records.append(record)
     return records
+
+
+def regressions(
+    records: list[dict[str, Any]], threshold: float = REGRESSION_THRESHOLD
+) -> list[str]:
+    """Human-readable lines for shared entries that regressed.
+
+    A shared entry regresses when ``elapsed_s`` or ``rule_firings``
+    grew by more than *threshold* relative to the old document.
+    Entries only present on one side never regress (they are visible in
+    the rendered diff as added/removed).
+    """
+    flagged: list[str] = []
+    for record in records:
+        if record.get("status") != "shared":
+            continue
+        for metric in ("rule_firings", "elapsed_s"):
+            old = record.get(f"{metric}_old")
+            new = record.get(f"{metric}_new")
+            if not old or new is None:
+                continue
+            change = (new - old) / old
+            if change > threshold:
+                flagged.append(
+                    f"{record['workload']} size={record['size']} "
+                    f"{record['engine']}: {metric} {old} -> {new} "
+                    f"({change * 100:+.1f}%)"
+                )
+    return flagged
 
 
 def render_diff(records: list[dict[str, Any]]) -> str:

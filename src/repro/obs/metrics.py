@@ -105,6 +105,13 @@ class MetricsRegistry:
             self.increment(f"{prefix}.rule_firings", stats.rule_firings)
             self.increment(f"{prefix}.subgoal_attempts", stats.subgoal_attempts)
             self.increment(f"{prefix}.facts_derived", stats.facts_derived)
+        avoided = getattr(stats, "duplicates_avoided", 0)
+        if avoided:
+            self.increment("delta.duplicate_derivations_avoided", avoided)
+            if engine:
+                self.increment(
+                    f"delta.duplicate_derivations_avoided.{engine}", avoided
+                )
         self.observe("evaluation.elapsed_s", stats.elapsed)
 
     # -- consumers -------------------------------------------------------------

@@ -181,6 +181,10 @@ class FaultyDatabase(Database):
             new._size += len(rows)
         return new
 
+    def empty_like(self) -> "FaultyDatabase":
+        """Snapshots allocated during evaluation stay fault-wrapped."""
+        return FaultyDatabase(self._plan)
+
     # -- intercepted seams -----------------------------------------------------
     def _add_row(self, predicate: str, row: tuple) -> bool:
         self._plan.before("add")

@@ -1,0 +1,252 @@
+"""Tests for repro.engine.compile: kernels, delta splitting, differentials.
+
+The load-bearing guarantee is the differential one: for every bench
+workload, the compiled kernel path and the ``match_body`` reference path
+compute identical fixpoints -- including under fault injection and under
+governor PARTIAL cutoffs (where the compiled result must still be a
+sound subset).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database
+from repro.engine import (
+    KernelCache,
+    compile_kernel,
+    naive_fixpoint,
+    seminaive_fixpoint,
+)
+from repro.engine.stats import EvaluationStats
+from repro.errors import UnsafeRuleError
+from repro.lang import Atom, Literal, Variable, parse_rule
+from repro.obs.metrics import metrics_registry
+from repro.resilience import (
+    EvaluationSession,
+    EvaluationStatus,
+    FaultPlan,
+    ResourceGovernor,
+    RetryPolicy,
+)
+from repro.workloads.suites import SUITES
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestKernelUnits:
+    def test_simple_join(self):
+        db = Database.from_facts({"A": [(1, 2), (2, 3)]})
+        rule = parse_rule("G(x, z) :- A(x, y), A(y, z).")
+        kernel = compile_kernel(rule.head, rule.body, db)
+        assert kernel.run(db) == {Atom.of("G", 1, 3)}
+
+    def test_constants_in_body(self):
+        db = Database.from_facts({"A": [(1, 2), (3, 4)]})
+        rule = parse_rule("P(y) :- A(3, y).")
+        kernel = compile_kernel(rule.head, rule.body, db)
+        assert kernel.run(db) == {Atom.of("P", 4)}
+
+    def test_repeated_variable_within_atom(self):
+        db = Database.from_facts({"A": [(1, 1), (1, 2)]})
+        rule = parse_rule("P(x) :- A(x, x).")
+        kernel = compile_kernel(rule.head, rule.body, db)
+        assert kernel.run(db) == {Atom.of("P", 1)}
+
+    def test_negated_literal(self):
+        db = Database.from_facts({"A": [(1,), (2,)], "B": [(2,)]})
+        body = [
+            Literal(Atom("A", (x,))),
+            Literal(Atom("B", (x,)), positive=False),
+        ]
+        kernel = compile_kernel(Atom("P", (x,)), body, db)
+        assert kernel.run(db) == {Atom.of("P", 1)}
+
+    def test_ground_fact_rule(self):
+        rule = parse_rule("A(1, 2).")
+        kernel = compile_kernel(rule.head, rule.body, Database())
+        assert kernel.run(Database()) == {Atom.of("A", 1, 2)}
+
+    def test_witness_cutoff_collapses_existential_tail(self):
+        # P(x) :- A(x, y), B(y, z): once A binds the head variable x,
+        # the ten z-witnesses in B must yield one firing, not ten.
+        db = Database.from_facts(
+            {"A": [(1, 2)], "B": [(2, i) for i in range(10)]}
+        )
+        rule = parse_rule("P(x) :- A(x, y), B(y, z).")
+        kernel = compile_kernel(rule.head, rule.body, db)
+        stats = EvaluationStats()
+        assert kernel.run(db, stats=stats) == {Atom.of("P", 1)}
+        assert stats.rule_firings == 1
+        assert kernel.witness_depth == 1
+
+    def test_unsafe_rule_rejected(self):
+        body = [Literal(Atom("A", (x,)))]
+        with pytest.raises(UnsafeRuleError):
+            compile_kernel(Atom("P", (x, z)), body, Database())
+
+    def test_delta_required_when_compiled_with_delta_position(self):
+        db = Database.from_facts({"A": [(1, 2)]})
+        rule = parse_rule("G(x, y) :- A(x, y).")
+        kernel = compile_kernel(rule.head, rule.body, db, delta_position=0)
+        with pytest.raises(ValueError):
+            kernel.run(db)
+
+    def test_delta_position_must_be_positive_literal(self):
+        body = [
+            Literal(Atom("A", (x,))),
+            Literal(Atom("B", (x,)), positive=False),
+        ]
+        with pytest.raises(ValueError):
+            compile_kernel(Atom("P", (x,)), body, Database(), delta_position=1)
+
+    def test_kernel_cache_reuses_compiled_variants(self):
+        db = Database.from_facts({"A": [(1, 2)]})
+        rule = parse_rule("G(x, z) :- A(x, y), A(y, z).")
+        cache = KernelCache([rule], db)
+        first = cache.kernel(0, 0)
+        assert cache.kernel(0, 0) is first
+        assert cache.kernel(0, 1) is not first
+        assert len(cache) == 2
+
+
+class TestDeltaSplitting:
+    def test_splitting_reads_snapshot_before_delta_after(self):
+        # Body A(x,y), A(y,z), delta pinned at 1: position 0 must read
+        # the snapshot only, so a join needing the delta fact at
+        # position 0 yields nothing.
+        full = Database.from_facts({"A": [(1, 2), (2, 3)]})
+        snapshot = Database.from_facts({"A": [(1, 2)]})
+        delta = Database.from_facts({"A": [(2, 3)]})
+        rule = parse_rule("G(x, z) :- A(x, y), A(y, z).")
+        k1 = compile_kernel(rule.head, rule.body, full, delta_position=1)
+        assert k1.run(full, delta=delta, before=snapshot) == {Atom.of("G", 1, 3)}
+        k0 = compile_kernel(rule.head, rule.body, full, delta_position=0)
+        # Delta at 0 is (2,3); position 1 reads full, but (3,?) has no
+        # continuation, so nothing derives.
+        assert k0.run(full, delta=delta, before=snapshot) == set()
+
+    def test_seminaive_firings_at_most_naive_on_redundant_atoms(self):
+        workload = SUITES["tc+2atoms/chain"]()
+        edb = workload.edb(12)
+        naive = naive_fixpoint(workload.program, edb)
+        semi = seminaive_fixpoint(workload.program, edb)
+        assert semi.database == naive.database
+        assert semi.stats.rule_firings <= naive.stats.rule_firings
+        assert semi.stats.duplicates_avoided > 0
+
+    def test_reference_path_unchanged_and_equal(self):
+        workload = SUITES["tc+2atoms/chain"]()
+        edb = workload.edb(10)
+        compiled = seminaive_fixpoint(workload.program, edb)
+        reference = seminaive_fixpoint(workload.program, edb, use_compiled=False)
+        assert compiled.database == reference.database
+
+
+@pytest.mark.parametrize("suite", sorted(SUITES))
+class TestDifferentialFixpoints:
+    """Compiled kernels == match_body reference, on every bench workload."""
+
+    def test_all_paths_agree(self, suite):
+        workload = SUITES[suite]()
+        edb = workload.edb(8)
+        program = workload.program
+        reference = naive_fixpoint(program, edb, use_compiled=False).database
+        assert naive_fixpoint(program, edb).database == reference
+        assert seminaive_fixpoint(program, edb).database == reference
+        assert (
+            seminaive_fixpoint(program, edb, use_compiled=False).database
+            == reference
+        )
+
+
+@pytest.mark.parametrize("suite", ("tc+2atoms/chain", "same-generation"))
+@pytest.mark.parametrize("seed", (1, 2))
+class TestDifferentialUnderFaults:
+    def test_compiled_path_survives_faults_and_agrees(self, suite, seed):
+        workload = SUITES[suite]()
+        edb = workload.edb(8)
+        clean = seminaive_fixpoint(workload.program, edb).database
+        plan = FaultPlan.seeded(
+            seed=seed,
+            operations=("candidates", "add", "contains"),
+            faults_per_operation=3,
+            horizon=400,
+        )
+        session = EvaluationSession(
+            workload.program,
+            edb,
+            engine="seminaive",
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=8),
+        )
+        result = session.run()
+        assert result.status is EvaluationStatus.COMPLETE
+        assert set(result.database.atoms()) == set(clean.atoms())
+
+
+class TestGovernedCompiledRuns:
+    def test_partial_is_sound_subset(self):
+        workload = SUITES["tc+2atoms/chain"]()
+        edb = workload.edb(12)
+        clean = set(seminaive_fixpoint(workload.program, edb).database.atoms())
+        governor = ResourceGovernor(max_facts=15)
+        result = seminaive_fixpoint(workload.program, edb, governor=governor)
+        assert result.status in (EvaluationStatus.PARTIAL, EvaluationStatus.COMPLETE)
+        assert set(result.database.atoms()) <= clean
+
+    def test_partial_under_faults_still_subset(self):
+        workload = SUITES["tc+2atoms/chain"]()
+        edb = workload.edb(12)
+        clean = set(seminaive_fixpoint(workload.program, edb).database.atoms())
+        plan = FaultPlan.seeded(seed=5, faults_per_operation=2, horizon=200)
+        governor = ResourceGovernor(max_facts=20)
+        session = EvaluationSession(
+            workload.program,
+            edb,
+            engine="seminaive",
+            governor=governor,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=6),
+        )
+        result = session.run()
+        assert set(result.database.atoms()) <= clean
+
+
+class TestMetricsExport:
+    def test_counters_flow_through_registry(self):
+        registry = metrics_registry()
+        kernels_before = registry.counter("compile.kernels_built")
+        composite_before = registry.counter("index.composite_built")
+        avoided_before = registry.counter("delta.duplicate_derivations_avoided")
+        engine_avoided_before = registry.counter(
+            "delta.duplicate_derivations_avoided.seminaive"
+        )
+
+        workload = SUITES["tc+2atoms/chain"]()
+        result = seminaive_fixpoint(workload.program, workload.edb(12))
+        assert result.stats.duplicates_avoided > 0
+
+        # The triangle rule probes E with two bound positions, which is
+        # what builds a composite index.
+        triangle = parse_rule("T(x) :- E(x, y), E(y, z), E(z, x).")
+        from repro.lang.programs import Program
+
+        edges = Database.from_facts({"E": [(1, 2), (2, 3), (3, 1), (1, 4)]})
+        tri = naive_fixpoint(Program.of(triangle), edges)
+        assert set(tri.database.atoms_for("T")) == {
+            Atom.of("T", 1),
+            Atom.of("T", 2),
+            Atom.of("T", 3),
+        }
+
+        assert registry.counter("compile.kernels_built") > kernels_before
+        assert registry.counter("index.composite_built") > composite_before
+        assert (
+            registry.counter("delta.duplicate_derivations_avoided")
+            >= avoided_before + result.stats.duplicates_avoided
+        )
+        assert (
+            registry.counter("delta.duplicate_derivations_avoided.seminaive")
+            >= engine_avoided_before + result.stats.duplicates_avoided
+        )

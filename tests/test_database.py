@@ -157,6 +157,56 @@ class TestCandidates:
         assert self.db.probe_count() > before
 
 
+class TestCompositeCandidates:
+    def setup_method(self):
+        self.db = Database.from_facts(
+            {"A": [(1, 2, 3), (1, 2, 4), (1, 5, 3), (2, 2, 3)]}
+        )
+
+    def test_multi_bound_exact_match(self):
+        rows = set(self.db.candidates("A", {0: Constant(1), 1: Constant(2)}))
+        assert rows == {
+            (Constant(1), Constant(2), Constant(3)),
+            (Constant(1), Constant(2), Constant(4)),
+        }
+
+    def test_composite_index_built_lazily_per_position_set(self):
+        list(self.db.candidates("A", {0: Constant(1), 1: Constant(2)}))
+        list(self.db.candidates("A", {0: Constant(1), 2: Constant(3)}))
+        index = self.db._indexes["A"]
+        assert index.composite_positions() == {(0, 1), (0, 2)}
+
+    def test_composite_maintained_after_add_and_discard(self):
+        bound = {0: Constant(1), 1: Constant(2)}
+        assert len(list(self.db.candidates("A", bound))) == 2
+        self.db.add_fact("A", 1, 2, 9)
+        assert len(list(self.db.candidates("A", bound))) == 3
+        self.db.discard(Atom.of("A", 1, 2, 3))
+        assert len(list(self.db.candidates("A", bound))) == 2
+
+    def test_empty_composite_bucket(self):
+        assert list(self.db.candidates("A", {0: Constant(9), 1: Constant(2)})) == []
+
+    def test_fallback_past_cap_with_early_exit(self, monkeypatch):
+        from repro.data import database as database_module
+
+        monkeypatch.setattr(database_module, "_COMPOSITE_CAP", 0)
+        bound = {0: Constant(1), 1: Constant(2)}
+        rows = list(self.db.candidates("A", bound))
+        assert len(rows) == 2
+        assert self.db._indexes["A"].composite_count() == 0
+        # The early-exit fix: an empty bucket at any bound position
+        # returns () immediately, even when other positions match.
+        assert list(self.db.candidates("A", {0: Constant(9), 1: Constant(2)})) == []
+        assert list(self.db.candidates("A", {0: Constant(1), 1: Constant(9)})) == []
+
+    def test_empty_like_is_plain_and_empty(self):
+        fresh = self.db.empty_like()
+        assert isinstance(fresh, Database)
+        assert len(fresh) == 0
+        assert len(self.db) == 4
+
+
 class TestPredicateIndex:
     def test_build_and_bucket(self):
         index = PredicateIndex(2)
@@ -180,6 +230,22 @@ class TestPredicateIndex:
         before = index.probes
         assert index.bucket_size(0, Constant(1)) == 1
         assert index.probes == before
+
+    def test_composite_build_probe_and_maintain(self):
+        index = PredicateIndex(3)
+        rows = [
+            (Constant(1), Constant(2), Constant(3)),
+            (Constant(1), Constant(2), Constant(4)),
+        ]
+        index.build_composite((0, 1), rows)
+        hit = index.composite_bucket((0, 1), (Constant(1), Constant(2)))
+        assert hit == set(rows)
+        assert index.composite_bucket((0, 2), (Constant(1), Constant(3))) is None
+        index.insert((Constant(1), Constant(2), Constant(9)))
+        index.remove(rows[0])
+        hit = index.composite_bucket((0, 1), (Constant(1), Constant(2)))
+        assert hit == {rows[1], (Constant(1), Constant(2), Constant(9))}
+        assert index.composite_count() == 1
 
 
 class TestRelations:

@@ -43,6 +43,36 @@ class TestPlanOrder:
         body = literals(Atom("A", (x, y)), Atom("B", (y, z)), Atom("C", (z, x)))
         assert sorted(plan_order(body, db)) == [0, 1, 2]
 
+    def test_tie_break_smaller_relation_wins(self):
+        # Equal boundness: the atom over the smaller relation leads.
+        db = Database.from_facts(
+            {"Big": [(i, i + 1) for i in range(10)], "Small": [(0, 1)]}
+        )
+        body = literals(Atom("Big", (x, y)), Atom("Small", (x, y)))
+        assert plan_order(body, db)[0] == 1
+        # Swapped body order: still the smaller relation first.
+        body = literals(Atom("Small", (x, y)), Atom("Big", (x, y)))
+        assert plan_order(body, db)[0] == 0
+
+    def test_prefer_vars_pull_head_binding_atoms_early(self):
+        # Same sizes and boundness; the atom binding a preferred (head)
+        # variable wins the tie-break against one binding none.
+        db = Database.from_facts({"A": [(1, 2)], "B": [(3, 4)]})
+        head_var = Variable("h")
+        body = literals(Atom("A", (x, y)), Atom("B", (head_var, z)))
+        order = plan_order(body, db, prefer_vars=frozenset({head_var}))
+        assert order[0] == 1
+
+    def test_first_pins_the_delta_literal(self):
+        # first= puts the pinned literal up front even when every other
+        # signal (boundness, size) says otherwise.
+        db = Database.from_facts(
+            {"A": [(1, 2)], "B": [(i, i + 1) for i in range(20)]}
+        )
+        body = literals(Atom("A", (x, y)), Atom("B", (y, z)))
+        assert plan_order(body, db, first=1) == [1, 0]
+        assert plan_order(body, db, first=0) == [0, 1]
+
 
 class TestMatchBody:
     def test_single_atom(self):

@@ -83,6 +83,7 @@ class TestToDict:
             "rule_firings": 2,
             "subgoal_attempts": 3,
             "facts_derived": 4,
+            "duplicates_avoided": 0,
             "elapsed_s": 0.5,
         }
 
