@@ -1,0 +1,101 @@
+"""Abstract interpretation over Datalog programs.
+
+A generic monotone dataflow framework (:mod:`.framework`) -- SCC-ordered
+fixpoint over the predicate dependence graph, with widening for
+infinite-height domains -- plus four concrete domains:
+
+* :mod:`.sorts` -- constant/sort propagation per predicate position;
+  proves predicates empty and rules dead, each dead-rule claim
+  certifiable by the paper's Section VI uniform-containment check;
+* :mod:`.groundness` -- binding/adornment analysis for a query mode;
+  the demand computation behind :func:`repro.engine.magic.magic_transform`,
+  runnable statically to validate sideways information passing;
+* :mod:`.cardinality` -- fact-count intervals with widening; supplies
+  static join-order hints to :func:`repro.engine.joins.plan_order` when
+  no database statistics exist;
+* :mod:`.recursion` -- linear/nonlinear/mutual classification per SCC;
+  steers :func:`repro.core.boundedness.uniform_boundedness` candidate
+  depths and the ``linear-recursion`` lint note.
+
+:mod:`.report` runs everything over one shared
+:class:`~repro.analysis.absint.framework.ProgramFacts` and renders the
+``repro-datalog analyze`` output.
+"""
+
+from __future__ import annotations
+
+from .cardinality import (
+    CAP,
+    CardinalityAnalysis,
+    CardinalityDomain,
+    DEFAULT_EDB_SIZE,
+    Interval,
+    analyze_cardinality,
+    cardinality_hints,
+)
+from .framework import (
+    AbstractDomain,
+    FixpointResult,
+    ProgramFacts,
+    analyze,
+)
+from .groundness import BindingAnalysis, BindingIssue, binding_analysis
+from .recursion import (
+    LINEAR,
+    NONLINEAR,
+    NONLINEAR_MAX_DEPTH,
+    NONRECURSIVE,
+    RecursionAnalysis,
+    SccInfo,
+    classify_recursion,
+)
+from .report import (
+    ABSINT_LINT_RULES,
+    ANALYZE_SCHEMA_VERSION,
+    AnalysisReport,
+    analyze_program,
+    render_analysis_json,
+    render_analysis_text,
+)
+from .sorts import (
+    SortAnalysis,
+    SortDomain,
+    SortVector,
+    analyze_sorts,
+    certify_dead_rule,
+)
+
+__all__ = [
+    "ABSINT_LINT_RULES",
+    "ANALYZE_SCHEMA_VERSION",
+    "AbstractDomain",
+    "AnalysisReport",
+    "BindingAnalysis",
+    "BindingIssue",
+    "CAP",
+    "CardinalityAnalysis",
+    "CardinalityDomain",
+    "DEFAULT_EDB_SIZE",
+    "FixpointResult",
+    "Interval",
+    "LINEAR",
+    "NONLINEAR",
+    "NONLINEAR_MAX_DEPTH",
+    "NONRECURSIVE",
+    "ProgramFacts",
+    "RecursionAnalysis",
+    "SccInfo",
+    "SortAnalysis",
+    "SortDomain",
+    "SortVector",
+    "analyze",
+    "analyze_cardinality",
+    "analyze_program",
+    "analyze_sorts",
+    "binding_analysis",
+    "cardinality_hints",
+    "certify_dead_rule",
+    "classify_recursion",
+    "render_analysis_json",
+    "render_analysis_text",
+]

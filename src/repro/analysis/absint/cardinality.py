@@ -1,0 +1,225 @@
+"""Cardinality intervals: how many facts can each predicate hold?
+
+The abstract value of a predicate is an :class:`Interval` ``[lo, hi]``
+of possible fact counts, with ``hi = None`` meaning unbounded.  The
+lattice is ordered by interval inclusion; its height is infinite (upper
+bounds can grow without limit round after round), which makes this the
+one domain in the package that genuinely needs the framework's
+widening: a recursive SCC whose upper bound is still growing after
+``WIDEN_AFTER`` rounds is widened straight to ∞.
+
+The transfer function bounds a rule's output by the product of its
+positive body atoms' upper bounds -- the cartesian-product bound; join
+over a predicate's rules *sums* upper bounds (each rule contributes its
+own derivations).  The summing join is deliberately non-idempotent: it
+models "one more round derives more facts", which is exactly the signal
+widening converts into ∞ for recursive predicates.  The results are
+therefore *hints*, not sound bounds, and are consumed only where a hint
+is wanted: :func:`cardinality_hints` feeds
+:func:`repro.engine.joins.plan_order` a static join-order key for
+predicates on which the database has **no** statistics (count 0), the
+exact situation where ``costs.py`` is blind today.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ...lang.programs import Program
+from ...lang.rules import Rule
+from .framework import AbstractDomain, FixpointResult, ProgramFacts, analyze
+
+#: Upper bounds beyond this are treated as unbounded.  Far above any
+#: realistic workload; exists so products cannot overflow into numbers
+#: whose only information content is "huge".
+CAP = 10**12
+
+#: Fallback per-EDB-relation size when the caller supplies no counts.
+DEFAULT_EDB_SIZE = 1000
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A fact-count range ``[lo, hi]``; ``hi=None`` is unbounded."""
+
+    lo: int = 0
+    hi: Optional[int] = 0
+
+    @classmethod
+    def empty(cls) -> "Interval":
+        return cls(0, 0)
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        return cls(0, None)
+
+    @classmethod
+    def exactly(cls, n: int) -> "Interval":
+        return cls(n, n)
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi is not None
+
+    def describe(self) -> str:
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+
+def _add_hi(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None or b is None:
+        return None
+    total = a + b
+    return None if total > CAP else total
+
+
+def _mul_hi(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    product = a * b
+    return None if product > CAP else product
+
+
+class CardinalityDomain(AbstractDomain[Interval]):
+    """Interval analysis over fact counts (see module docstring)."""
+
+    name = "cardinality"
+
+    def __init__(
+        self,
+        edb_counts: Mapping[str, int] | None = None,
+        default_edb: int = DEFAULT_EDB_SIZE,
+    ):
+        self.edb_counts = dict(edb_counts or {})
+        self.default_edb = default_edb
+
+    def bottom(self, predicate: str, arity: int) -> Interval:
+        return Interval.empty()
+
+    def edb_value(self, predicate: str, arity: int) -> Interval:
+        return Interval.exactly(self.edb_counts.get(predicate, self.default_edb))
+
+    def join(self, old: Interval, new: Interval) -> Interval:
+        # Sum of upper bounds, not max: each rule (and each extra
+        # round) contributes its own derivations.  [0, 0] is the
+        # identity, so non-contributing rules cost nothing.
+        if old == Interval.empty():
+            return new
+        if new == Interval.empty():
+            return old
+        return Interval(max(old.lo, new.lo), _add_hi(old.hi, new.hi))
+
+    def widen(self, old: Interval, new: Interval) -> Interval:
+        if old.hi is not None and new.hi is not None and new.hi > old.hi:
+            return Interval(new.lo, None)  # still growing: jump to ∞
+        return self.join(old, new)
+
+    def transfer(
+        self, rule: Rule, state: Mapping[str, Interval], facts: ProgramFacts
+    ) -> Interval | None:
+        if not rule.body:
+            return Interval.exactly(1)  # a fact is exactly one tuple
+        hi: Optional[int] = 1
+        for literal in rule.body:
+            if not literal.positive:
+                continue  # negation filters; it never multiplies
+            value = state.get(literal.predicate, Interval.unbounded())
+            if value.hi == 0:
+                return None  # empty body atom: the rule derives nothing
+            hi = _mul_hi(hi, value.hi)
+        return Interval(0, hi)
+
+
+
+@dataclass
+class CardinalityAnalysis:
+    """The interval fixpoint plus the derived planner hints."""
+
+    program: Program
+    result: FixpointResult[Interval]
+    hints: dict[str, int]
+
+    @property
+    def values(self) -> dict[str, Interval]:
+        return self.result.values
+
+    def to_dict(self) -> dict:
+        return {
+            "values": {
+                pred: self.values[pred].describe() for pred in sorted(self.values)
+            },
+            "hints": {pred: self.hints[pred] for pred in sorted(self.hints)},
+        }
+
+
+def analyze_cardinality(
+    program: Program,
+    facts: ProgramFacts | None = None,
+    edb_counts: Mapping[str, int] | None = None,
+    default_edb: int = DEFAULT_EDB_SIZE,
+) -> CardinalityAnalysis:
+    """Run the interval fixpoint and derive per-predicate planner hints.
+
+    Hints map every predicate to a single estimated fact count usable
+    as a join-order key: a bounded predicate's upper bound, and for
+    predicates widened to ∞ the domain-size bound ``d**arity`` (capped)
+    with ``d`` the total assumed EDB volume -- no relation can exceed
+    the number of distinct tuples over the active domain.
+    """
+    if facts is None:
+        facts = ProgramFacts(program)
+    domain = CardinalityDomain(edb_counts=edb_counts, default_edb=default_edb)
+    result = analyze(program, domain, facts)
+    arities = program.arities
+    total_edb = sum(
+        domain.edb_counts.get(pred, domain.default_edb)
+        for pred in program.edb_predicates
+    )
+    domain_size = max(total_edb, 1)
+    hints: dict[str, int] = {}
+    for pred, value in result.values.items():
+        if value.hi is not None:
+            hints[pred] = value.hi
+        else:
+            hints[pred] = min(domain_size ** arities.get(pred, 1), CAP)
+    return CardinalityAnalysis(program=program, result=result, hints=hints)
+
+
+def cardinality_hints(
+    program: Program,
+    db=None,
+    default_edb: int = DEFAULT_EDB_SIZE,
+    facts: ProgramFacts | None = None,
+) -> dict[str, int]:
+    """Static per-predicate size estimates for join planning.
+
+    With a *db*, its actual counts seed the EDB values (so hints agree
+    with reality where reality is known); otherwise every EDB relation
+    is assumed to hold *default_edb* facts.  The interesting output is
+    the IDB estimates, available before a single fact is derived.
+    """
+    edb_counts: dict[str, int] | None = None
+    if db is not None:
+        edb_counts = {
+            pred: db.count(pred)
+            for pred in program.edb_predicates
+            if db.count(pred) > 0
+        }
+    analysis = analyze_cardinality(
+        program, facts=facts, edb_counts=edb_counts, default_edb=default_edb
+    )
+    return analysis.hints
+
+
+__all__ = [
+    "CAP",
+    "CardinalityAnalysis",
+    "CardinalityDomain",
+    "DEFAULT_EDB_SIZE",
+    "Interval",
+    "analyze_cardinality",
+    "cardinality_hints",
+]

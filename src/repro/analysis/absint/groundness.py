@@ -1,0 +1,196 @@
+"""Binding/adornment (groundness) analysis for a query mode.
+
+Given a query atom, which boundness patterns (*adornments*) does each
+intensional predicate get asked under, and does the chosen sideways
+information passing actually deliver bindings to every subgoal?  The
+abstract value of a predicate is its *demanded adornment set* -- an
+element of the powerset lattice over ``{b, f}^arity``, finite, so the
+demand-driven worklist below is an ordinary least-fixpoint computation:
+start from the query's adornment, and for every demanded
+``(predicate, adornment)`` pair push bindings through each defining
+rule's body (in SIPS order) to discover the adornments of its IDB
+subgoals.
+
+This is exactly the adornment propagation
+:func:`repro.engine.magic.magic_transform` performs -- here computed
+*without* generating a single magic rule, so the linter and the
+``analyze`` verb can judge a query mode statically, and ``magic.py``
+itself now consumes this analysis instead of interleaving discovery
+with rule generation.
+
+The validation half reports :class:`BindingIssue`\\ s:
+
+* ``unbound-subgoal`` -- a subgoal is demanded all-free although its
+  caller had bound arguments: the SIPS failed to pass any binding
+  sideways, so magic evaluation of that subgoal degenerates to the full
+  bottom-up fixpoint (often a body-order or SIPS-choice smell);
+* ``free-query`` -- the query itself binds nothing, so the rewriting
+  can restrict nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...lang.atoms import Atom
+from ...lang.programs import Program
+from ...lang.terms import Variable
+from ...engine.magic import Adornment, _apply_sips
+from .framework import ProgramFacts
+
+#: The analysis name under which metrics are recorded.
+DOMAIN_NAME = "groundness"
+
+
+@dataclass(frozen=True)
+class BindingIssue:
+    """One finding of the SIPS validation (see module docstring)."""
+
+    kind: str  # "unbound-subgoal" | "free-query"
+    predicate: str
+    adornment: str
+    rule_index: int | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "predicate": self.predicate,
+            "adornment": self.adornment,
+            "rule_index": self.rule_index,
+            "message": self.message,
+        }
+
+
+@dataclass
+class BindingAnalysis:
+    """Demanded adornments per predicate, plus SIPS validation issues."""
+
+    program: Program
+    query: Atom
+    sips: str
+    query_adornment: Adornment
+    #: IDB predicate -> every adornment it is demanded under.
+    adornments: dict[str, frozenset[Adornment]]
+    #: Demanded pairs in discovery order (deterministic); drives magic.
+    demand: tuple[tuple[str, Adornment], ...]
+    issues: list[BindingIssue] = field(default_factory=list)
+
+    def adornments_of(self, predicate: str) -> frozenset[Adornment]:
+        return self.adornments.get(predicate, frozenset())
+
+    def to_dict(self) -> dict:
+        return {
+            "query": str(self.query),
+            "sips": self.sips,
+            "query_adornment": self.query_adornment.suffix,
+            "adornments": {
+                pred: sorted(a.suffix for a in adorns)
+                for pred, adorns in sorted(self.adornments.items())
+            },
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+
+def binding_analysis(
+    program: Program,
+    query: Atom,
+    sips: str = "left-to-right",
+    facts: ProgramFacts | None = None,
+) -> BindingAnalysis:
+    """Compute the demanded-adornment fixpoint for *query* over *program*.
+
+    Mirrors the propagation of ``magic_transform`` exactly (same SIPS,
+    same ``Adornment.for_atom`` boundness rule) but produces judgments
+    instead of rules.  Callers wanting the full magic preconditions
+    (positivity, reserved prefixes) should validate first;
+    the analysis itself only requires the query predicate to exist.
+    """
+    from ...obs.metrics import metrics_registry
+
+    if facts is None:
+        facts = ProgramFacts(program)
+    idb = program.idb_predicates
+    query_adornment = Adornment.for_atom(query, frozenset())
+
+    pending: list[tuple[str, Adornment]] = [(query.predicate, query_adornment)]
+    seen: set[tuple[str, Adornment]] = set()
+    demand: list[tuple[str, Adornment]] = []
+    issues: list[BindingIssue] = []
+    flagged: set[tuple[str, str, int]] = set()
+    iterations = 0
+
+    while pending:
+        pred, adornment = pending.pop()
+        if (pred, adornment) in seen:
+            continue
+        seen.add((pred, adornment))
+        demand.append((pred, adornment))
+        iterations += 1
+        for rule_index, rule in facts.rules_by_head.get(pred, ()):
+            ordered = _apply_sips(rule, adornment, sips)
+            bound: set[Variable] = set()
+            for pos in adornment.bound_positions:
+                term = ordered.head.args[pos]
+                if isinstance(term, Variable):
+                    bound.add(term)
+            for literal in ordered.body:
+                atom = literal.atom
+                if atom.predicate in idb:
+                    sub = Adornment.for_atom(atom, frozenset(bound))
+                    pending.append((atom.predicate, sub))
+                    if (
+                        adornment.bound_positions
+                        and atom.args
+                        and not sub.bound_positions
+                    ):
+                        key = (atom.predicate, sub.suffix, rule_index)
+                        if key not in flagged:
+                            flagged.add(key)
+                            issues.append(
+                                BindingIssue(
+                                    kind="unbound-subgoal",
+                                    predicate=atom.predicate,
+                                    adornment=sub.suffix,
+                                    rule_index=rule_index,
+                                    message=(
+                                        f"subgoal {atom} in rule {rule_index} "
+                                        f"receives no bindings although its "
+                                        f"caller {pred}_{adornment.suffix} has "
+                                        "bound arguments; magic evaluation of "
+                                        "this subgoal is unrestricted"
+                                    ),
+                                )
+                            )
+                bound.update(atom.variables())
+
+    if not query_adornment.bound_positions and query.args:
+        issues.append(
+            BindingIssue(
+                kind="free-query",
+                predicate=query.predicate,
+                adornment=query_adornment.suffix,
+                rule_index=None,
+                message=(
+                    f"query {query} binds no argument; magic-sets rewriting "
+                    "cannot restrict the computation"
+                ),
+            )
+        )
+
+    adornments: dict[str, set[Adornment]] = {}
+    for pred, adornment in demand:
+        adornments.setdefault(pred, set()).add(adornment)
+    metrics_registry().record_analysis(DOMAIN_NAME, iterations, 0)
+    return BindingAnalysis(
+        program=program,
+        query=query,
+        sips=sips,
+        query_adornment=query_adornment,
+        adornments={p: frozenset(a) for p, a in adornments.items()},
+        demand=tuple(demand),
+        issues=issues,
+    )
+
+
+__all__ = ["BindingAnalysis", "BindingIssue", "binding_analysis", "DOMAIN_NAME"]

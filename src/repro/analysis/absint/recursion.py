@@ -1,0 +1,166 @@
+"""Recursion-structure classification per SCC.
+
+Classifies each strongly connected component of the dependence graph as
+**nonrecursive**, **linear** (every rule of the SCC uses at most one
+in-SCC body atom -- transitive closure, same-generation) or
+**nonlinear** (some rule joins two or more in-SCC atoms -- the doubling
+formulation of closure), and marks SCCs of size greater than one as
+**mutually recursive**.  The classification is the simplest abstract
+domain in the package -- each SCC's value is one of three constants,
+computed in a single pass -- but it steers two consumers:
+
+* :func:`repro.core.boundedness.uniform_boundedness` takes its
+  candidate unrolling depths from :meth:`RecursionAnalysis.candidate_depths`:
+  linear recursion unrolls additively (rule count grows by a constant
+  per round), so the full depth budget is spent; nonlinear recursion
+  multiplies the rule set each round, so deep unrollings mostly abort
+  on the ``max_rules`` guard -- the search caps its depth at
+  :data:`NONLINEAR_MAX_DEPTH` and spends the budget where it can pay
+  off;
+* the ``linear-recursion`` and ``mutual-recursion`` lint notes, which
+  surface where specialised linear-recursion strategies apply and where
+  evaluation must iterate several predicates together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...lang.programs import Program
+from .framework import ProgramFacts
+
+#: Nonrecursive SCC / rule-free predicate.
+NONRECURSIVE = "nonrecursive"
+#: Every rule of the SCC has at most one in-SCC body atom.
+LINEAR = "linear"
+#: Some rule joins two or more in-SCC body atoms.
+NONLINEAR = "nonlinear"
+
+#: Depth cap for boundedness search on nonlinear recursion: each
+#: unrolling round multiplies the rule set, so depths beyond this
+#: almost always trip the ``max_rules`` guard instead of proving
+#: anything.
+NONLINEAR_MAX_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class SccInfo:
+    """Classification of one dependence-graph SCC."""
+
+    predicates: frozenset[str]
+    kind: str  # NONRECURSIVE | LINEAR | NONLINEAR
+    #: More than one predicate in the component.
+    mutual: bool
+    #: Program indexes of the rules with at least one in-SCC body atom.
+    recursive_rule_indexes: tuple[int, ...] = ()
+
+    @property
+    def recursive(self) -> bool:
+        return self.kind != NONRECURSIVE
+
+    def to_dict(self) -> dict:
+        return {
+            "predicates": sorted(self.predicates),
+            "kind": self.kind,
+            "mutual": self.mutual,
+            "recursive_rules": list(self.recursive_rule_indexes),
+        }
+
+
+@dataclass
+class RecursionAnalysis:
+    """Per-SCC classification in dependence (topological) order."""
+
+    program: Program
+    sccs: tuple[SccInfo, ...]
+
+    @property
+    def recursive_sccs(self) -> tuple[SccInfo, ...]:
+        return tuple(scc for scc in self.sccs if scc.recursive)
+
+    @property
+    def linear(self) -> bool:
+        """Whole-program linearity: no SCC is nonlinear."""
+        return all(scc.kind != NONLINEAR for scc in self.sccs)
+
+    def kind_of(self, predicate: str) -> str:
+        for scc in self.sccs:
+            if predicate in scc.predicates:
+                return scc.kind
+        return NONRECURSIVE
+
+    def candidate_depths(self, max_depth: int) -> tuple[int, ...]:
+        """Unrolling depths worth testing for uniform boundedness.
+
+        Empty for a nonrecursive program (depth 0 is trivially enough).
+        Otherwise ``1..max_depth``, capped at
+        :data:`NONLINEAR_MAX_DEPTH` when any SCC is nonlinear (see
+        module docstring).  Depth 1 always comes first: vacuous
+        recursion proves there, and proofs only get more expensive with
+        depth.
+        """
+        if not self.recursive_sccs:
+            return ()
+        effective = max_depth
+        if any(scc.kind == NONLINEAR for scc in self.sccs):
+            effective = min(max_depth, NONLINEAR_MAX_DEPTH)
+        return tuple(range(1, effective + 1))
+
+    def to_dict(self) -> dict:
+        return {
+            "linear": self.linear,
+            "sccs": [scc.to_dict() for scc in self.sccs if scc.recursive],
+        }
+
+
+def classify_recursion(
+    program: Program, facts: ProgramFacts | None = None
+) -> RecursionAnalysis:
+    """Classify every SCC of *program*'s dependence graph."""
+    from ...obs.metrics import metrics_registry
+
+    if facts is None:
+        facts = ProgramFacts(program)
+    sccs: list[SccInfo] = []
+    for component in facts.scc_order:
+        rules = [
+            (index, rule)
+            for pred in sorted(component)
+            for index, rule in facts.rules_by_head.get(pred, ())
+        ]
+        if not facts.is_recursive_scc(component):
+            sccs.append(
+                SccInfo(component, NONRECURSIVE, mutual=False)
+            )
+            continue
+        recursive_indexes: list[int] = []
+        kind = LINEAR
+        for index, rule in rules:
+            in_scc = sum(
+                1 for literal in rule.body if literal.predicate in component
+            )
+            if in_scc:
+                recursive_indexes.append(index)
+            if in_scc > 1:
+                kind = NONLINEAR
+        sccs.append(
+            SccInfo(
+                component,
+                kind,
+                mutual=len(component) > 1,
+                recursive_rule_indexes=tuple(sorted(recursive_indexes)),
+            )
+        )
+    metrics_registry().record_analysis("recursion", len(sccs), 0)
+    return RecursionAnalysis(program=program, sccs=tuple(sccs))
+
+
+__all__ = [
+    "LINEAR",
+    "NONLINEAR",
+    "NONLINEAR_MAX_DEPTH",
+    "NONRECURSIVE",
+    "RecursionAnalysis",
+    "SccInfo",
+    "classify_recursion",
+]

@@ -1,0 +1,194 @@
+"""One-call whole-program analysis report for the ``analyze`` CLI verb.
+
+:func:`analyze_program` runs every abstract domain of the package over a
+single shared :class:`~repro.analysis.absint.framework.ProgramFacts`
+(sorts, cardinality, recursion, and -- when a query atom is supplied --
+groundness), plus the abstract-interpretation lint passes, and bundles
+the results into an :class:`AnalysisReport` renderable as text or as a
+versioned JSON document.
+
+The JSON schema is versioned independently of the lint report's
+(:data:`ANALYZE_SCHEMA_VERSION`); every mapping in the payload is sorted
+by key so CI diffs of ``analyze --json`` output are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from ...lang.atoms import Atom
+from ...lang.programs import Program
+from ...lang.rules import Rule
+from ..lint import Diagnostic, LintConfig, Linter, SEVERITIES
+from ..lint_report import diagnostic_payloads, severity_counts
+from .cardinality import DEFAULT_EDB_SIZE, CardinalityAnalysis, analyze_cardinality
+from .framework import ProgramFacts
+from .groundness import BindingAnalysis, binding_analysis
+from .recursion import RecursionAnalysis, classify_recursion
+from .sorts import SortAnalysis, analyze_sorts
+
+#: Bumped when the ``analyze --json`` shape changes incompatibly.
+ANALYZE_SCHEMA_VERSION = 1
+
+#: The lint passes built on this package; ``analyze`` reports exactly
+#: these (the structural passes stay with the ``lint`` verb).
+ABSINT_LINT_RULES: frozenset[str] = frozenset(
+    {
+        "empty-predicate",
+        "dead-rule",
+        "linear-recursion",
+        "mutual-recursion",
+        "unbound-subgoal",
+        "containment-budget",
+    }
+)
+
+
+@dataclass
+class AnalysisReport:
+    """Every domain's fixpoint over one program, plus lint findings."""
+
+    program: Program
+    sorts: SortAnalysis
+    cardinality: CardinalityAnalysis
+    recursion: RecursionAnalysis
+    #: Present only when a query atom was supplied.
+    binding: BindingAnalysis | None
+    diagnostics: list[Diagnostic]
+
+    def to_dict(self, filename: str = "<program>") -> dict:
+        program = self.program
+        return {
+            "version": ANALYZE_SCHEMA_VERSION,
+            "filename": filename,
+            "predicates": {
+                "edb": sorted(program.edb_predicates),
+                "idb": sorted(program.idb_predicates),
+            },
+            "sorts": self.sorts.to_dict(),
+            "cardinality": self.cardinality.to_dict(),
+            "recursion": self.recursion.to_dict(),
+            "binding": self.binding.to_dict() if self.binding else None,
+            "diagnostics": diagnostic_payloads(self.diagnostics),
+            "counts": severity_counts(self.diagnostics),
+        }
+
+
+def analyze_program(
+    program: Program,
+    spans: Mapping[Rule, object] | None = None,
+    query: Atom | None = None,
+    sips: str = "left-to-right",
+    config: LintConfig | None = None,
+    edb_counts: Mapping[str, int] | None = None,
+    default_edb: int = DEFAULT_EDB_SIZE,
+) -> AnalysisReport:
+    """Run every abstract domain (and its lint passes) over *program*.
+
+    One :class:`ProgramFacts` feeds all domains, so the dependence graph
+    and SCC condensation are computed exactly once.  *config* defaults
+    to the absint lint subset (:data:`ABSINT_LINT_RULES`); a caller
+    passing its own config controls selection (and the containment
+    budget behind dead-rule certification) fully.
+    """
+    facts = ProgramFacts(program)
+    sorts = analyze_sorts(program, facts)
+    cardinality = analyze_cardinality(
+        program, facts, edb_counts=edb_counts, default_edb=default_edb
+    )
+    recursion = classify_recursion(program, facts)
+    binding = (
+        binding_analysis(program, query, sips=sips, facts=facts)
+        if query is not None
+        else None
+    )
+    if config is None:
+        config = LintConfig(select=ABSINT_LINT_RULES)
+    diagnostics = Linter(config=config).run(program, spans)
+    return AnalysisReport(
+        program=program,
+        sorts=sorts,
+        cardinality=cardinality,
+        recursion=recursion,
+        binding=binding,
+        diagnostics=diagnostics,
+    )
+
+
+def render_analysis_json(report: AnalysisReport, filename: str = "<program>") -> str:
+    """The machine-readable report as a JSON string (stable key order)."""
+    return json.dumps(report.to_dict(filename), indent=2, sort_keys=False)
+
+
+def render_analysis_text(report: AnalysisReport, filename: str = "<program>") -> str:
+    """The human-readable report, one section per domain."""
+    program = report.program
+    lines: list[str] = [f"{filename}: {len(program)} rule(s)"]
+
+    lines.append("")
+    lines.append("sorts (derivable values per position):")
+    for pred in sorted(report.sorts.values):
+        lines.append(f"  {pred}: {report.sorts.values[pred].describe()}")
+    if report.sorts.empty_predicates:
+        lines.append(
+            "  provably empty: " + ", ".join(sorted(report.sorts.empty_predicates))
+        )
+    for index, reason in sorted(report.sorts.dead_rules.items()):
+        lines.append(f"  dead rule[{index}]: {reason}")
+
+    lines.append("")
+    lines.append("cardinality (fact-count intervals and planner hints):")
+    for pred in sorted(report.cardinality.values):
+        interval = report.cardinality.values[pred]
+        hint = report.cardinality.hints.get(pred)
+        lines.append(f"  {pred}: {interval.describe()} hint={hint}")
+
+    lines.append("")
+    recursion = report.recursion
+    if not recursion.recursive_sccs:
+        lines.append("recursion: none (program is nonrecursive)")
+    else:
+        lines.append("recursion (per recursive SCC):")
+        for scc in recursion.recursive_sccs:
+            preds = ", ".join(sorted(scc.predicates))
+            mutual = ", mutual" if scc.mutual else ""
+            rules = ", ".join(f"rule[{i}]" for i in scc.recursive_rule_indexes)
+            lines.append(f"  {{{preds}}}: {scc.kind}{mutual} ({rules})")
+
+    if report.binding is not None:
+        binding = report.binding
+        lines.append("")
+        lines.append(
+            f"binding for query {binding.query} "
+            f"(adornment {binding.query_adornment.suffix}, sips {binding.sips}):"
+        )
+        for pred in sorted(binding.adornments):
+            suffixes = ", ".join(sorted(a.suffix for a in binding.adornments[pred]))
+            lines.append(f"  {pred}: {suffixes}")
+        for issue in binding.issues:
+            lines.append(f"  {issue.kind}: {issue.message}")
+
+    lines.append("")
+    if not report.diagnostics:
+        lines.append("findings: none")
+    else:
+        counts = severity_counts(report.diagnostics)
+        summary = ", ".join(
+            f"{counts[s]} {s}" for s in SEVERITIES if counts[s]
+        )
+        lines.append(f"findings ({summary}):")
+        for diagnostic in report.diagnostics:
+            lines.append(f"  {diagnostic}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ABSINT_LINT_RULES",
+    "ANALYZE_SCHEMA_VERSION",
+    "AnalysisReport",
+    "analyze_program",
+    "render_analysis_json",
+    "render_analysis_text",
+]

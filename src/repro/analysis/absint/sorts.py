@@ -1,0 +1,294 @@
+"""Constant/sort propagation: which values can reach each position?
+
+The abstract value of a predicate is either **empty** (no fact of the
+predicate is derivable from any database) or a vector of per-position
+*sorts*: a position's sort is ``None`` (⊤ -- any value, the only sound
+answer for extensional data) or a finite set of ground terms of size at
+most :data:`MAX_SORT_SIZE` (beyond which the set widens to ⊤).
+
+The lattice per position is thus  ∅ ⊑ {c} ⊑ {c, d} ⊑ ... ⊑ ⊤, of
+finite height; the per-predicate lattice is the product plus an
+``EMPTY`` bottom element below all vectors.
+
+The transfer function for a rule *meets* (intersects) the sorts that
+flow into each variable from the body positions where it occurs, and is
+**unsatisfiable** -- the rule is *dead* -- when
+
+* some body predicate is provably empty,
+* a constant argument falls outside the body predicate's position sort,
+  or
+* a variable's meet is the empty set (the joined relations are
+  provably value-disjoint at the shared positions).
+
+An intensional predicate all of whose rules are dead is provably empty,
+which feeds back into the fixpoint (deadness propagates up the
+dependence graph).
+
+Soundness note: deadness here is relative to the *closed-world* reading
+of intensional predicates (their facts come only from their rules).
+Under the paper's Section VI **uniform** semantics -- where IDB facts
+may also be given as input -- a dead rule may still fire, so dead-rule
+findings are only promoted to error severity when the §VI
+uniform-containment certificate (``P ⊑u P − rule``) passes; see
+:func:`certify_dead_rule` and the ``dead-rule`` lint pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ...lang.programs import Program
+from ...lang.rules import Rule
+from ...lang.terms import Variable
+from .framework import AbstractDomain, FixpointResult, ProgramFacts, analyze
+
+#: A position set larger than this widens to ⊤ (any value).  Keeps the
+#: lattice height -- and every transfer -- small on fact-heavy programs.
+MAX_SORT_SIZE = 16
+
+#: ⊤ for one position: any value may appear.
+ANY = None
+
+#: Sort of one position: a finite set of ground terms, or ``ANY``.
+Sort = Optional[frozenset]
+
+
+@dataclass(frozen=True)
+class SortVector:
+    """Abstract value of one predicate.
+
+    ``empty=True`` is the bottom element (no derivable facts); the
+    ``positions`` tuple is meaningful only when ``empty`` is false.
+    """
+
+    empty: bool
+    positions: tuple[Sort, ...] = ()
+
+    @classmethod
+    def none(cls, arity: int) -> "SortVector":
+        """Bottom: no fact derivable (yet)."""
+        return cls(empty=True, positions=(frozenset(),) * arity)
+
+    @classmethod
+    def top(cls, arity: int) -> "SortVector":
+        """⊤: anything may be stored (the sound value for EDB data)."""
+        return cls(empty=False, positions=(ANY,) * arity)
+
+    def sort(self, position: int) -> Sort:
+        return self.positions[position]
+
+    def describe(self) -> str:
+        if self.empty:
+            return "empty"
+        parts = []
+        for sort in self.positions:
+            if sort is ANY:
+                parts.append("*")
+            else:
+                parts.append("{" + ", ".join(sorted(str(t) for t in sort)) + "}")
+        return "(" + ", ".join(parts) + ")"
+
+
+def _join_sorts(a: Sort, b: Sort) -> Sort:
+    if a is ANY or b is ANY:
+        return ANY
+    union = a | b
+    if len(union) > MAX_SORT_SIZE:
+        return ANY
+    return union
+
+
+def _meet_sorts(a: Sort, b: Sort) -> Sort:
+    if a is ANY:
+        return b
+    if b is ANY:
+        return a
+    return a & b
+
+
+class SortDomain(AbstractDomain[SortVector]):
+    """Forward constant/sort propagation (see module docstring)."""
+
+    name = "sorts"
+
+    def bottom(self, predicate: str, arity: int) -> SortVector:
+        return SortVector.none(arity)
+
+    def edb_value(self, predicate: str, arity: int) -> SortVector:
+        return SortVector.top(arity)
+
+    def join(self, old: SortVector, new: SortVector) -> SortVector:
+        if old.empty:
+            return new
+        if new.empty:
+            return old
+        return SortVector(
+            empty=False,
+            positions=tuple(
+                _join_sorts(a, b) for a, b in zip(old.positions, new.positions)
+            ),
+        )
+
+    def transfer(
+        self, rule: Rule, state: Mapping[str, SortVector], facts: ProgramFacts
+    ) -> SortVector | None:
+        reason = dead_reason(rule, state)
+        if reason is not None:
+            return None
+        meets = _variable_meets(rule, state)
+        head_sorts: list[Sort] = []
+        for term in rule.head.args:
+            if isinstance(term, Variable):
+                head_sorts.append(meets.get(term, ANY))
+            else:
+                head_sorts.append(frozenset({term}))
+        return SortVector(empty=False, positions=tuple(head_sorts))
+
+
+def _variable_meets(
+    rule: Rule, state: Mapping[str, SortVector]
+) -> dict[Variable, Sort]:
+    """Meet, per variable, of the sorts flowing in from positive atoms."""
+    meets: dict[Variable, Sort] = {}
+    for literal in rule.body:
+        if not literal.positive:
+            continue  # a negated check constrains nothing upward
+        value = state.get(literal.predicate)
+        if value is None or value.empty:
+            continue  # caller rejects empty-bodied atoms via dead_reason
+        for position, term in enumerate(literal.atom.args):
+            if isinstance(term, Variable):
+                current = meets.get(term, ANY)
+                meets[term] = _meet_sorts(current, value.sort(position))
+    return meets
+
+
+def dead_reason(rule: Rule, state: Mapping[str, SortVector]) -> str | None:
+    """Why *rule* can never fire under *state*, or ``None`` if it can.
+
+    Checked in order of increasing subtlety so the reported reason is
+    the most direct one: an empty body predicate, then a constant
+    outside its position's sort, then a variable whose inflowing sorts
+    are disjoint.
+    """
+    for literal in rule.body:
+        if not literal.positive:
+            continue
+        value = state.get(literal.predicate)
+        if value is not None and value.empty:
+            return f"body predicate {literal.predicate} is provably empty"
+    for literal in rule.body:
+        if not literal.positive:
+            continue
+        value = state.get(literal.predicate)
+        if value is None or value.empty:
+            continue
+        for position, term in enumerate(literal.atom.args):
+            if isinstance(term, Variable):
+                continue
+            sort = value.sort(position)
+            if sort is not ANY and term not in sort:
+                return (
+                    f"constant {term} at position {position} of {literal.atom} "
+                    f"can never be derived there (derivable sort "
+                    f"{SortVector(False, (sort,)).describe()[1:-1]})"
+                )
+    meets = _variable_meets(rule, state)
+    for var in sorted(meets, key=lambda v: v.name):
+        sort = meets[var]
+        if sort is not ANY and not sort:
+            return (
+                f"variable {var.name} joins value-disjoint positions "
+                "(no constant can satisfy every occurrence)"
+            )
+    return None
+
+
+@dataclass
+class SortAnalysis:
+    """The sorts fixpoint plus its derived judgments."""
+
+    program: Program
+    result: FixpointResult[SortVector]
+    #: IDB predicates with no derivable facts on any database.
+    empty_predicates: frozenset[str] = frozenset()
+    #: rule index -> reason the rule can never fire.
+    dead_rules: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def values(self) -> dict[str, SortVector]:
+        return self.result.values
+
+    def to_dict(self) -> dict:
+        return {
+            "values": {
+                pred: self.values[pred].describe() for pred in sorted(self.values)
+            },
+            "empty_predicates": sorted(self.empty_predicates),
+            "dead_rules": {
+                str(index): reason for index, reason in sorted(self.dead_rules.items())
+            },
+        }
+
+
+def analyze_sorts(program: Program, facts: ProgramFacts | None = None) -> SortAnalysis:
+    """Run the sorts fixpoint and extract empty-predicate/dead-rule claims."""
+    if facts is None:
+        facts = ProgramFacts(program)
+    result = analyze(program, SortDomain(), facts)
+    dead: dict[int, str] = {}
+    for index, rule in enumerate(program.rules):
+        reason = dead_reason(rule, result.values)
+        if reason is not None:
+            dead[index] = reason
+    empty = frozenset(
+        pred
+        for pred in program.idb_predicates
+        if result.values[pred].empty
+    )
+    return SortAnalysis(
+        program=program, result=result, empty_predicates=empty, dead_rules=dead
+    )
+
+
+def certify_dead_rule(
+    program: Program,
+    rule: Rule,
+    engine: str = "seminaive",
+    budget=None,
+) -> bool:
+    """§VI certificate: is dropping *rule* uniformly sound?
+
+    ``True`` iff ``program ⊑u program − rule``, i.e. the rest of the
+    program derives everything the rule does even when intensional
+    facts are supplied as input.  A passing certificate upgrades a
+    dead-rule finding to error severity -- the claim is then backed by
+    the paper's decision procedure, not only by the closed-world
+    abstraction.
+
+    A :class:`~repro.core.minimize.ContainmentBudget` *budget* is
+    drawn from only when a containment test actually runs; an exhausted
+    budget means no certificate (the finding stays a warning).
+    """
+    from ...core.containment import uniformly_contains
+
+    reduced = program.without_rule(rule)
+    if not len(reduced):
+        return False
+    if budget is not None and not budget.take():
+        return False
+    return uniformly_contains(container=reduced, contained=program, engine=engine)
+
+
+__all__ = [
+    "ANY",
+    "MAX_SORT_SIZE",
+    "Sort",
+    "SortAnalysis",
+    "SortDomain",
+    "SortVector",
+    "analyze_sorts",
+    "certify_dead_rule",
+    "dead_reason",
+]

@@ -86,12 +86,36 @@ class Diagnostic:
             raise ValueError(f"unknown severity {self.severity!r}; use one of {SEVERITIES}")
 
     def to_dict(self) -> dict:
-        """A JSON-ready rendering (keys always present, ``None`` when absent)."""
+        """A JSON-ready rendering (keys always present, ``None`` when absent).
+
+        ``rule_ref`` carries the rule index together with the rule's
+        full source extent; CI tooling diffing reports should key on it
+        (or on the stable ``id`` that
+        :func:`repro.analysis.lint_report.diagnostic_payloads` adds)
+        rather than on raw line numbers, which move with every edit
+        above the rule.
+        """
+        rule_ref = None
+        if self.rule_index is not None or self.span is not None:
+            rule_ref = {
+                "index": self.rule_index,
+                "span": (
+                    {
+                        "line": self.span.line,
+                        "column": self.span.column,
+                        "end_line": self.span.end_line,
+                        "end_column": self.span.end_column,
+                    }
+                    if self.span
+                    else None
+                ),
+            }
         return {
             "rule": self.rule_id,
             "severity": self.severity,
             "message": self.message,
             "rule_index": self.rule_index,
+            "rule_ref": rule_ref,
             "line": self.span.line if self.span else None,
             "column": self.span.column if self.span else None,
             "fix": self.fix.to_dict() if self.fix else None,
@@ -146,6 +170,39 @@ class LintContext:
         self.spans: Mapping[Rule, SourceSpan] = spans or {}
         self.containment_budget = ContainmentBudget(config.max_containment_checks)
         self._index: dict[Rule, int] = {r: i for i, r in enumerate(program.rules)}
+        self._facts = None
+        self._sorts = None
+        self._recursion = None
+
+    @property
+    def facts(self):
+        """Shared :class:`~repro.analysis.absint.framework.ProgramFacts`.
+
+        Built on first use and reused by every pass of the run, so the
+        dependence graph and its SCCs are computed once per program
+        rather than once per rule (or once per lint pass).
+        """
+        if self._facts is None:
+            from .absint.framework import ProgramFacts
+
+            self._facts = ProgramFacts(self.program)
+        return self._facts
+
+    def sorts(self):
+        """The sort-propagation analysis, run once and shared."""
+        if self._sorts is None:
+            from .absint.sorts import analyze_sorts
+
+            self._sorts = analyze_sorts(self.program, self.facts)
+        return self._sorts
+
+    def recursion(self):
+        """The recursion classification, run once and shared."""
+        if self._recursion is None:
+            from .absint.recursion import classify_recursion
+
+            self._recursion = classify_recursion(self.program, self.facts)
+        return self._recursion
 
     def index_of(self, rule: Rule) -> int | None:
         return self._index.get(rule)
@@ -201,6 +258,7 @@ def register(cls: type[LintRule]) -> type[LintRule]:
 
 def _ensure_builtin_rules() -> None:
     from . import lint_rules  # noqa: F401  (import populates the registry)
+    from . import lint_absint  # noqa: F401  (abstract-interpretation passes)
 
 
 def registered_rules() -> dict[str, LintRule]:

@@ -1,0 +1,205 @@
+"""Lint passes built on the abstract-interpretation framework.
+
+Unlike the structural passes of :mod:`repro.analysis.lint_rules`, these
+consume whole-program fixpoints from :mod:`repro.analysis.absint` via
+the shared accessors on :class:`~repro.analysis.lint.LintContext`
+(``context.sorts()``, ``context.recursion()``, ``context.facts``), so
+one analysis run feeds every pass.
+
+The ``dead-rule`` pass implements the certify-before-report soundness
+gate: sort propagation proves deadness only under the closed-world
+reading of IDB predicates, so a finding is reported at **warning** by
+default and upgraded to **error** only when the paper's Section VI
+uniform-containment check certifies that dropping the rule preserves
+the program's meaning even when IDB facts arrive as input.  The
+certificates draw from the run's shared containment budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .lint import Diagnostic, Fix, LintContext, LintRule, register
+
+
+@register
+class EmptyPredicateLint(LintRule):
+    rule_id = "empty-predicate"
+    severity = "warning"
+    description = (
+        "intensional predicate provably derives no facts on any database"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        sorts = context.sorts()
+        for pred in sorted(sorts.empty_predicates):
+            rules = context.facts.rules_by_head.get(pred, ())
+            anchor = rules[0][1] if rules else None
+            yield context.diagnostic(
+                self.rule_id,
+                self.severity,
+                f"predicate {pred} can never derive a fact "
+                "(every defining rule is dead); queries against it are "
+                "always empty",
+                rule=anchor,
+            )
+
+
+@register
+class DeadRuleLint(LintRule):
+    rule_id = "dead-rule"
+    severity = "warning"
+    description = (
+        "rule body is unsatisfiable under sort propagation; "
+        "error severity when certified by uniform containment"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        sorts = context.sorts()
+        if not sorts.dead_rules:
+            return
+        from .absint.sorts import certify_dead_rule
+
+        for index, reason in sorted(sorts.dead_rules.items()):
+            rule = context.program.rules[index]
+            certified = certify_dead_rule(
+                context.program,
+                rule,
+                engine=context.config.engine,
+                budget=context.containment_budget,
+            )
+            if certified:
+                severity = "error"
+                suffix = (
+                    "; removal is certified sound by the uniform-containment "
+                    "check (§VI)"
+                )
+            else:
+                severity = self.severity
+                suffix = (
+                    "; sound under the closed-world reading of IDB predicates"
+                )
+            yield context.diagnostic(
+                self.rule_id,
+                severity,
+                f"rule can never fire: {reason}{suffix}",
+                rule=rule,
+                fix=Fix("delete the dead rule"),
+            )
+
+
+@register
+class LinearRecursionLint(LintRule):
+    rule_id = "linear-recursion"
+    severity = "info"
+    description = (
+        "recursive component is linear; specialised linear-recursion "
+        "strategies apply"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        from .absint.recursion import LINEAR
+
+        for scc in context.recursion().recursive_sccs:
+            if scc.kind != LINEAR:
+                continue
+            preds = ", ".join(sorted(scc.predicates))
+            anchor = None
+            if scc.recursive_rule_indexes:
+                anchor = context.program.rules[scc.recursive_rule_indexes[0]]
+            yield context.diagnostic(
+                self.rule_id,
+                self.severity,
+                f"recursion over {{{preds}}} is linear (each rule uses at "
+                "most one recursive subgoal); magic-sets and semi-naive "
+                "evaluation specialise well here",
+                rule=anchor,
+            )
+
+
+@register
+class MutualRecursionLint(LintRule):
+    rule_id = "mutual-recursion"
+    severity = "info"
+    description = "predicates are mutually recursive (SCC of size > 1)"
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        for scc in context.recursion().recursive_sccs:
+            if not scc.mutual:
+                continue
+            preds = ", ".join(sorted(scc.predicates))
+            anchor = None
+            if scc.recursive_rule_indexes:
+                anchor = context.program.rules[scc.recursive_rule_indexes[0]]
+            yield context.diagnostic(
+                self.rule_id,
+                self.severity,
+                f"predicates {{{preds}}} are mutually recursive and must be "
+                "evaluated as one fixpoint stratum",
+                rule=anchor,
+            )
+
+
+@register
+class UnboundSubgoalLint(LintRule):
+    rule_id = "unbound-subgoal"
+    severity = "info"
+    description = (
+        "sideways information passing drops all bindings before some "
+        "recursive subgoal"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        """Probe each IDB predicate under a fully-bound query mode.
+
+        If even an all-bound call leaves some subgoal adorned all-free,
+        no query mode can restrict that subgoal -- goal-directed
+        (magic-sets) evaluation of it degenerates to the full fixpoint.
+        """
+        from ..lang.atoms import Atom
+        from ..lang.terms import Constant
+        from .absint.groundness import binding_analysis
+
+        program = context.program
+        arities = program.arities
+        probed = (
+            sorted(context.config.exported)
+            if context.config.exported is not None
+            else sorted(program.idb_predicates)
+        )
+        seen: set[tuple[str, str, int | None]] = set()
+        for pred in probed:
+            arity = arities.get(pred, 0)
+            if not arity:
+                continue
+            probe = Atom(pred, tuple(Constant(i) for i in range(arity)))
+            analysis = binding_analysis(
+                program, probe, facts=context.facts
+            )
+            for issue in analysis.issues:
+                if issue.kind != "unbound-subgoal":
+                    continue
+                key = (issue.predicate, issue.adornment, issue.rule_index)
+                if key in seen:
+                    continue
+                seen.add(key)
+                anchor = (
+                    program.rules[issue.rule_index]
+                    if issue.rule_index is not None
+                    else None
+                )
+                yield context.diagnostic(
+                    self.rule_id,
+                    self.severity,
+                    f"{issue.message} (observed probing {probe})",
+                    rule=anchor,
+                )
+
+
+__all__ = [
+    "DeadRuleLint",
+    "EmptyPredicateLint",
+    "LinearRecursionLint",
+    "MutualRecursionLint",
+    "UnboundSubgoalLint",
+]

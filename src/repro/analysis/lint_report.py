@@ -7,8 +7,15 @@ Two formats, mirroring the conventions of mainstream linters:
   one-line summary;
 * **json** -- a single machine-readable object with a schema version,
   per-finding dictionaries (rule id, severity, message, rule index,
-  line/column, fix), and severity counts.  The output round-trips
-  through ``json.loads``.
+  ``rule_ref`` with the rule's full source extent, line/column, fix),
+  and severity counts.  The output round-trips through ``json.loads``.
+
+Each finding additionally carries a **stable identifier** (``id``):
+``<rule-id>@r<rule-index>`` for rule-anchored findings and
+``<rule-id>@program`` for program-level ones, with an ordinal suffix
+(``#2``, ``#3``, ...) disambiguating repeats.  Identifiers depend on
+the rule *index*, not on line numbers, so a CI diff of two reports
+stays quiet when unrelated edits move rules down the file.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ from typing import Iterable, Sequence
 
 from .lint import SEVERITIES, Diagnostic
 
-#: Bumped when the JSON shape changes incompatibly.
-JSON_SCHEMA_VERSION = 1
+#: Bumped when the JSON shape changes incompatibly.  2: added per-finding
+#: stable ``id`` and structured ``rule_ref`` (index + full source span).
+JSON_SCHEMA_VERSION = 2
 
 
 def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
@@ -28,6 +36,30 @@ def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
     for diagnostic in diagnostics:
         counts[diagnostic.severity] += 1
     return counts
+
+
+def stable_id(diagnostic: Diagnostic, ordinal: int = 1) -> str:
+    """The finding's line-move-tolerant identifier (see module docstring)."""
+    anchor = (
+        f"r{diagnostic.rule_index}"
+        if diagnostic.rule_index is not None
+        else "program"
+    )
+    base = f"{diagnostic.rule_id}@{anchor}"
+    return base if ordinal == 1 else f"{base}#{ordinal}"
+
+
+def diagnostic_payloads(diagnostics: Sequence[Diagnostic]) -> list[dict]:
+    """JSON-ready finding dicts, each with its stable ``id`` injected."""
+    ordinals: dict[str, int] = {}
+    payloads: list[dict] = []
+    for diagnostic in diagnostics:
+        base = stable_id(diagnostic)
+        ordinals[base] = ordinals.get(base, 0) + 1
+        payload = {"id": stable_id(diagnostic, ordinals[base])}
+        payload.update(diagnostic.to_dict())
+        payloads.append(payload)
+    return payloads
 
 
 def render_text(diagnostics: Sequence[Diagnostic], filename: str = "<program>") -> str:
@@ -63,10 +95,17 @@ def render_json(diagnostics: Sequence[Diagnostic], filename: str = "<program>") 
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "filename": filename,
-        "diagnostics": [diagnostic.to_dict() for diagnostic in diagnostics],
+        "diagnostics": diagnostic_payloads(diagnostics),
         "counts": severity_counts(diagnostics),
     }
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text", "severity_counts"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "diagnostic_payloads",
+    "render_json",
+    "render_text",
+    "severity_counts",
+    "stable_id",
+]

@@ -31,9 +31,7 @@ from typing import Iterator
 from ..lang.canonical import modulo_body_order
 from ..lang.pretty import format_rule
 from ..lang.rules import Rule
-from .dependence import DependenceGraph
 from .lint import Diagnostic, Fix, LintContext, LintRule, register
-from .relevance import relevant_predicates
 
 
 @register
@@ -67,16 +65,11 @@ class CartesianProductLint(LintRule):
 
     def check(self, context: LintContext) -> Iterator[Diagnostic]:
         for rule in context.program.rules:
-            # Only literals carrying variables can multiply cardinalities;
-            # ground guards contribute a factor of 0 or 1 and are exempt.
-            indexed = [
-                (i, lit.atom.variable_set())
-                for i, lit in enumerate(rule.body)
-                if lit.atom.variable_set()
-            ]
-            if len(indexed) < 2:
-                continue
-            components = _connected_components(indexed)
+            # The join-graph components come from the shared ProgramFacts
+            # (one memoised computation per rule, reused by the abstract
+            # domains); ground guards are exempt there -- they contribute
+            # a factor of 0 or 1, not a cross product.
+            components = context.facts.join_components(rule)
             if len(components) > 1:
                 groups = " x ".join(
                     "{" + ", ".join(str(rule.body[i].atom) for i in sorted(c)) + "}"
@@ -91,21 +84,6 @@ class CartesianProductLint(LintRule):
                 )
 
 
-def _connected_components(indexed) -> list[set[int]]:
-    """Group body-literal indexes by shared variables (union-find-lite)."""
-    components: list[tuple[set[int], set]] = []
-    for index, variables in indexed:
-        touching = [c for c in components if c[1] & variables]
-        merged_indexes = {index}
-        merged_vars = set(variables)
-        for component in touching:
-            merged_indexes |= component[0]
-            merged_vars |= component[1]
-            components.remove(component)
-        components.append((merged_indexes, merged_vars))
-    return [indexes for indexes, _vars in components]
-
-
 @register
 class SingletonVariableLint(LintRule):
     rule_id = "singleton-variable"
@@ -114,12 +92,7 @@ class SingletonVariableLint(LintRule):
 
     def check(self, context: LintContext) -> Iterator[Diagnostic]:
         for rule in context.program.rules:
-            counts: dict = {}
-            for var in rule.head.variables():
-                counts[var] = counts.get(var, 0) + 1
-            for literal in rule.body:
-                for var in literal.atom.variables():
-                    counts[var] = counts.get(var, 0) + 1
+            counts = context.facts.variable_occurrences(rule)
             singles = sorted(v.name for v, n in counts.items() if n == 1)
             if singles:
                 names = ", ".join(singles)
@@ -209,9 +182,9 @@ class UnusedIdbLint(LintRule):
             # intended output, so there is nothing sound to report.
             return
         program = context.program
-        relevant: set[str] = set()
-        for goal in sorted(exported):
-            relevant |= relevant_predicates(program, goal)
+        # One traversal of the shared dependence graph covers all goals
+        # (previously one full relevant_predicates graph build per goal).
+        relevant = context.facts.reachable_from(frozenset(exported))
         for pred in sorted(program.idb_predicates - relevant):
             rule = next(r for r in program.rules if r.head.predicate == pred)
             yield context.diagnostic(
@@ -234,7 +207,7 @@ class UnstratifiableLint(LintRule):
         program = context.program
         if program.is_positive:
             return
-        offenders = DependenceGraph(program).negative_cycle_predicates()
+        offenders = context.facts.dependence.negative_cycle_predicates()
         if not offenders:
             return
         names = ", ".join(sorted(offenders))

@@ -4,6 +4,7 @@ Subcommands::
 
     repro-datalog parse      PROGRAM            # validate + profile
     repro-datalog lint       PROGRAM            # static diagnostics
+    repro-datalog analyze    PROGRAM            # abstract-interpretation report
     repro-datalog eval       PROGRAM --edb F    # bottom-up evaluation
     repro-datalog minimize   PROGRAM            # Fig. 2 minimization
     repro-datalog optimize   PROGRAM            # + Section X/XI layer
@@ -180,6 +181,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_text(diagnostics, filename=args.program))
     if args.fail_on != "never" and any(
         severity_at_least(d.severity, args.fail_on) for d in diagnostics
+    ):
+        return 1
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import known_rule_ids, severity_at_least
+    from .analysis.absint.report import (
+        ABSINT_LINT_RULES,
+        analyze_program,
+        render_analysis_json,
+        render_analysis_text,
+    )
+    from .analysis.lint import LintConfig, lint_source
+    from .analysis.lint_report import render_json, render_text
+    from .errors import ArityError, ParseError, UnsafeRuleError
+    from .lang import parse_atom
+    from .lang.parser import parse_program_with_spans
+
+    select = (
+        frozenset(args.select.split(",")) if args.select else ABSINT_LINT_RULES
+    )
+    ignore = frozenset(args.ignore.split(",")) if args.ignore else frozenset()
+    unknown = (select | ignore) - known_rule_ids()
+    if unknown:
+        known = ", ".join(sorted(known_rule_ids()))
+        print(
+            f"error: unknown lint rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig(
+        select=select,
+        ignore=ignore,
+        max_containment_checks=args.max_containment_checks,
+    )
+    source = _read(args.program)
+    try:
+        parsed = parse_program_with_spans(source)
+    except (ParseError, ArityError, UnsafeRuleError):
+        # An unconstructible program gets the same construction
+        # diagnostics (and exit 1) the lint verb would produce.
+        diagnostics = lint_source(
+            source, LintConfig(select=frozenset({"syntax", "arity", "safety"}))
+        )
+        if args.format == "json":
+            print(render_json(diagnostics, filename=args.program))
+        else:
+            print(render_text(diagnostics, filename=args.program))
+        return 1
+    query = parse_atom(args.query) if args.query else None
+    report = analyze_program(
+        parsed.program,
+        parsed.spans,
+        query=query,
+        config=config,
+        default_edb=args.assume_edb,
+    )
+    if args.format == "json":
+        print(render_analysis_json(report, filename=args.program))
+    else:
+        print(render_analysis_text(report, filename=args.program))
+    if args.fail_on != "never" and any(
+        severity_at_least(d.severity, args.fail_on) for d in report.diagnostics
     ):
         return 1
     return 0
@@ -536,6 +602,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare an exported (output) predicate; enables the unused-idb rule",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="abstract-interpretation report: sorts, cardinality, recursion, binding",
+    )
+    p.add_argument("program")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--query",
+        metavar="ATOM",
+        help="query atom for binding/adornment analysis, e.g. 'T(\"a\", y)'",
+    )
+    p.add_argument(
+        "--assume-edb",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="assumed facts per EDB relation for cardinality (default 1000)",
+    )
+    p.add_argument(
+        "--select",
+        metavar="RULE_IDS",
+        help="comma-separated analysis lint rule ids to run "
+        "(default: the abstract-interpretation passes)",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="RULE_IDS",
+        help="comma-separated lint rule ids to skip",
+    )
+    p.add_argument(
+        "--max-containment-checks",
+        type=int,
+        default=64,
+        metavar="N",
+        help="budget for §VI dead-rule certification (default 64)",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "hint", "never"],
+        default="error",
+        help="exit 1 when a finding at/above this severity exists (default error)",
+    )
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("eval", help="bottom-up evaluation")
     p.add_argument("program")

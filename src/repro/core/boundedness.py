@@ -33,7 +33,7 @@ the search correctly reports ``UNKNOWN`` there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..engine.fixpoint import EngineName
 from ..lang.programs import Program
@@ -127,21 +127,30 @@ def uniform_boundedness(
     max_depth: int = 4,
     engine: EngineName = "seminaive",
     max_rules: int = 2_000,
+    depths: Sequence[int] | None = None,
 ) -> BoundednessReport:
     """Search for a depth at which *program* is uniformly bounded.
 
     ``PROVED`` means ``program ≡u report.nonrecursive`` -- recursion can
-    be eliminated entirely.  ``UNKNOWN`` means no depth up to
-    *max_depth* certifies boundedness (the program may be unbounded, or
-    bounded only at a greater depth; uniform boundedness of arbitrary
-    programs is undecidable).  A non-recursive input is trivially
-    ``PROVED`` at depth 0.
-    """
-    from ..analysis.dependence import DependenceGraph
+    be eliminated entirely.  ``UNKNOWN`` means no tested depth
+    certifies boundedness (the program may be unbounded, or bounded
+    only at a greater depth; uniform boundedness of arbitrary programs
+    is undecidable).  A non-recursive input is trivially ``PROVED`` at
+    depth 0.
 
-    if not DependenceGraph(program).is_recursive:
+    The depths tested default to the recursion classification's
+    :meth:`~repro.analysis.absint.recursion.RecursionAnalysis.candidate_depths`
+    (``1..max_depth``, capped for nonlinear recursion whose unrollings
+    explode); pass *depths* explicitly to override the schedule.
+    """
+    from ..analysis.absint.recursion import classify_recursion
+
+    classification = classify_recursion(program)
+    if not classification.recursive_sccs:
         return BoundednessReport(Verdict.PROVED, depth=0, nonrecursive=program)
-    for depth in range(1, max_depth + 1):
+    if depths is None:
+        depths = classification.candidate_depths(max_depth)
+    for depth in depths:
         try:
             candidate = unroll(program, depth, max_rules=max_rules)
         except ValueError:

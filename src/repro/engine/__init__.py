@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from .compile import JoinKernel, KernelCache, compile_kernel
 from .costs import (
+    DEFAULT_SELECTIVITY,
     JoinEstimate,
     PredicateStatistics,
     collect_statistics,
@@ -43,6 +44,7 @@ from .topdown import Call, TabledResult, tabled_answer_query, tabled_query
 __all__ = [
     "Adornment",
     "Call",
+    "DEFAULT_SELECTIVITY",
     "EngineName",
     "EngineSpec",
     "EvaluationOutcome",

@@ -393,6 +393,7 @@ def compile_kernel(
     db: Database,
     delta_position: int | None = None,
     order: Sequence[int] | None = None,
+    hints: Mapping[str, int] | None = None,
 ) -> JoinKernel:
     """Compile one rule variant into a :class:`JoinKernel`.
 
@@ -400,7 +401,10 @@ def compile_kernel(
     (delta-pinned when *delta_position* is given) against the relation
     sizes of *db* at compile time; re-planning per round never changes
     correctness, only tie-breaks, so the compiled order is kept for the
-    kernel's lifetime.
+    kernel's lifetime.  *hints* are static size estimates consulted for
+    predicates *db* holds no facts of (see ``plan_order``) -- kernels
+    are compiled against the *initial* database, where every IDB
+    relation is empty and the size tie-break is otherwise blind.
     """
     if delta_position is not None:
         if not (0 <= delta_position < len(body)):
@@ -409,7 +413,9 @@ def compile_kernel(
             raise ValueError("the delta-pinned body literal must be positive")
     head_vars = frozenset(head.variables())
     if order is None:
-        order = plan_order(body, db, prefer_vars=head_vars, first=delta_position)
+        order = plan_order(
+            body, db, prefer_vars=head_vars, first=delta_position, hints=hints
+        )
     order = tuple(order)
 
     slot_of: dict[Variable, int] = {}
@@ -516,6 +522,23 @@ def compile_kernel(
     )
 
 
+def cardinality_hint_provider(program, db: Database):
+    """A :class:`KernelCache` *hint_provider* backed by interval analysis.
+
+    Deferred import: the absint package reaches the engines through the
+    groundness/magic coupling, so importing it at module load would
+    cycle.  The provider is only ever called when a kernel actually
+    needs an estimate (see :meth:`KernelCache._hints_for`).
+    """
+
+    def provider() -> Mapping[str, int]:
+        from ..analysis.absint.cardinality import cardinality_hints
+
+        return cardinality_hints(program, db)
+
+    return provider
+
+
 class KernelCache:
     """Per-evaluation cache of compiled kernels.
 
@@ -523,22 +546,50 @@ class KernelCache:
     across every fixpoint round exactly like the old per-variant plan
     cache, but the cached object is the whole kernel, not just the
     order.
+
+    *hint_provider* supplies static per-predicate size estimates (a
+    ``() -> dict[str, int]``, typically closing over
+    :func:`repro.analysis.absint.cardinality.cardinality_hints`).  It is
+    called **lazily**, the first time a kernel's body references a
+    predicate the database holds no facts of -- programs whose bodies
+    are covered by real statistics never pay for the analysis.
     """
 
-    __slots__ = ("_rules", "_db", "_kernels")
+    __slots__ = ("_rules", "_db", "_kernels", "_hint_provider", "_hints")
 
-    def __init__(self, rules: Sequence, db: Database):
+    def __init__(self, rules: Sequence, db: Database, hint_provider=None):
         self._rules = rules
         self._db = db
         self._kernels: dict[tuple[int, int | None], JoinKernel] = {}
+        self._hint_provider = hint_provider
+        self._hints: Mapping[str, int] | None = None
+
+    def _hints_for(self, rule) -> Mapping[str, int] | None:
+        if self._hint_provider is None:
+            return None
+        if not any(
+            literal.positive and self._db.count(literal.predicate) == 0
+            for literal in rule.body
+        ):
+            return None  # real statistics cover every joined relation
+        if self._hints is None:
+            self._hints = self._hint_provider() or {}
+        return self._hints
 
     def kernel(self, rule_index: int, delta_position: int | None = None) -> JoinKernel:
         key = (rule_index, delta_position)
         kernel = self._kernels.get(key)
         if kernel is None:
             rule = self._rules[rule_index]
+            hints = self._hints_for(rule)
+            if hints:
+                metrics_registry().increment("compile.hinted_plans")
             kernel = compile_kernel(
-                rule.head, rule.body, self._db, delta_position=delta_position
+                rule.head,
+                rule.body,
+                self._db,
+                delta_position=delta_position,
+                hints=hints,
             )
             self._kernels[key] = kernel
         return kernel

@@ -23,6 +23,12 @@ from ..lang.atoms import Atom, Literal
 from ..lang.rules import Rule
 from ..lang.terms import Variable
 
+#: Selectivity assumed when the statistics carry no information -- an
+#: empty relation or a position with zero recorded distinct values.
+#: 1.0 is the conservative "filters nothing" answer: it never makes a
+#: rewrite look cheaper than the baseline on evidence that isn't there.
+DEFAULT_SELECTIVITY = 1.0
+
 
 @dataclass(frozen=True)
 class PredicateStatistics:
@@ -33,11 +39,19 @@ class PredicateStatistics:
     distinct: tuple[int, ...]  # distinct values per argument position
 
     def selectivity(self, position: int) -> float:
-        """Estimated fraction of rows matching one value at *position*."""
+        """Estimated fraction of rows matching one value at *position*.
+
+        An empty relation (or a position whose distinct count is zero)
+        supports no estimate at all; both return
+        :data:`DEFAULT_SELECTIVITY` rather than a division by zero or a
+        silent 0.0 that would collapse every downstream product.
+        Callers that care about emptiness test ``cardinality`` directly
+        (as :func:`estimate_rule` does before multiplying).
+        """
         if self.cardinality == 0:
-            return 0.0
+            return DEFAULT_SELECTIVITY
         d = self.distinct[position]
-        return 1.0 / d if d else 1.0
+        return 1.0 / d if d else DEFAULT_SELECTIVITY
 
 
 def collect_statistics(db: Database) -> dict[str, PredicateStatistics]:

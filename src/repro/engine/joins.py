@@ -33,6 +33,7 @@ def plan_order(
     initially_bound: frozenset[Variable] = frozenset(),
     prefer_vars: frozenset[Variable] = frozenset(),
     first: int | None = None,
+    hints: Mapping[str, int] | None = None,
 ) -> list[int]:
     """Choose an evaluation order over body literal indexes.
 
@@ -44,7 +45,22 @@ def plan_order(
     given, that (positive) literal leads the order unconditionally --
     semi-naive evaluation pins its delta subgoal there, since the delta
     relation is the most selective starting point.
+
+    *hints* maps predicates to **static** size estimates (from the
+    cardinality interval analysis,
+    :func:`repro.analysis.absint.cardinality.cardinality_hints`).  A
+    hint substitutes for ``db.count`` in the size tie-break only when
+    the database holds no facts of the predicate -- the situation of a
+    kernel compiled before any IDB fact exists, where every IDB
+    relation otherwise ties at size 0 and the tie-break degenerates to
+    body order.  Real statistics always win over estimates.
     """
+    def size(predicate: str) -> int:
+        count = db.count(predicate)
+        if count == 0 and hints:
+            return hints.get(predicate, 0)
+        return count
+
     remaining = set(range(len(literals)))
     bound: set[Variable] = set(initially_bound)
     order: list[int] = []
@@ -79,7 +95,7 @@ def plan_order(
             )
             # Prefer more bound positions, then binding head variables,
             # then smaller relations, then stable original order.
-            key = (-bound_positions, -new_preferred, db.count(atom.predicate), i)
+            key = (-bound_positions, -new_preferred, size(atom.predicate), i)
             if best_key is None or key < best_key:
                 best, best_key = i, key
         if best is None:

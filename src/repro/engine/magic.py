@@ -152,32 +152,43 @@ def magic_transform(
             f"query predicate {query.predicate!r} is not an IDB predicate of the program"
         )
 
-    query_adornment = Adornment.for_atom(query, frozenset())
+    # The adornment discovery is a static analysis in its own right
+    # (demanded-adornment fixpoint over the powerset lattice); it lives
+    # in analysis.absint.groundness so the linter and ``analyze`` verb
+    # can run it without rewriting, and this transform is driven by its
+    # demand set.  Imported lazily: groundness imports Adornment and
+    # _apply_sips from this module at load time.
+    from ..analysis.absint.groundness import binding_analysis
+
+    analysis = binding_analysis(program, query, sips=sips)
+    query_adornment = analysis.query_adornment
     seed_args = tuple(query.args[i] for i in query_adornment.bound_positions)
     seed = Atom(magic_name(query.predicate, query_adornment), seed_args)
 
     idb = program.idb_predicates
-    pending: list[tuple[str, Adornment]] = [(query.predicate, query_adornment)]
-    done: set[tuple[str, Adornment]] = set()
+    discovered: list[tuple[str, Adornment]] = []
     out_rules: list[Rule] = []
 
     with trace("magic.transform", sips=sips) as span:
-        while pending:
+        for pred, adornment in analysis.demand:
             if governor is not None:
                 # The adornment frontier is finite but can be exponential
                 # in arity; keep the deadline/cancellation responsive.
                 governor.tick()
-            pred, adornment = pending.pop()
-            if (pred, adornment) in done:
-                continue
-            done.add((pred, adornment))
             for rule in program.rules_for(pred):
                 ordered = _apply_sips(rule, adornment, sips)
                 out_rules.extend(
-                    _rewrite_rule(ordered, adornment, idb, pending)
+                    _rewrite_rule(ordered, adornment, idb, discovered)
+                )
+        demanded = set(analysis.demand)
+        for pair in discovered:
+            if pair not in demanded:
+                raise RuntimeError(
+                    f"binding analysis missed adornment {pair[0]}_{pair[1]}; "
+                    "groundness and magic rewriting disagree on demand"
                 )
         if span:
-            span.add("adornments", len(done))
+            span.add("adornments", len(demanded))
             span.add("rules_generated", len(out_rules))
 
     return MagicRewriting(

@@ -16,7 +16,7 @@ from ..errors import ResourceLimitExceeded, UnsafeRuleError
 from ..lang.programs import Program
 from ..obs.tracer import trace
 from ..resilience.governor import EvaluationStatus, ResourceGovernor
-from .compile import KernelCache
+from .compile import KernelCache, cardinality_hint_provider
 from .fixpoint import EvaluationResult
 from .joins import fire_rule
 from .stats import EvaluationStats
@@ -47,7 +47,15 @@ def naive_fixpoint(
     result = db.copy()
     status = EvaluationStatus.COMPLETE
     degradation = None
-    kernels = KernelCache(program.rules, result) if use_compiled else None
+    kernels = (
+        KernelCache(
+            program.rules,
+            result,
+            hint_provider=cardinality_hint_provider(program, result),
+        )
+        if use_compiled
+        else None
+    )
     with trace("naive.eval", rules=len(program.rules)) as root:
         root.watch(stats)
         try:

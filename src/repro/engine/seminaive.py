@@ -36,7 +36,7 @@ from ..lang.atoms import Atom
 from ..lang.programs import Program
 from ..obs.tracer import trace
 from ..resilience.governor import EvaluationStatus, ResourceGovernor
-from .compile import KernelCache
+from .compile import KernelCache, cardinality_hint_provider
 from .fixpoint import EvaluationResult
 from .joins import fire_rule, plan_order
 from .stats import EvaluationStats
@@ -70,7 +70,13 @@ def seminaive_fixpoint(
     degradation = None
     #: (rule, delta position) -> cached join order (reference path).
     plans: dict[tuple[int, int], list[int]] = {}
-    kernels = KernelCache(program.rules, full) if use_compiled else None
+    kernels = (
+        KernelCache(
+            program.rules, full, hint_provider=cardinality_hint_provider(program, full)
+        )
+        if use_compiled
+        else None
+    )
 
     with trace("seminaive.eval", rules=len(program.rules)) as root:
         root.watch(stats)

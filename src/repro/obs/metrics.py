@@ -114,6 +114,23 @@ class MetricsRegistry:
                 )
         self.observe("evaluation.elapsed_s", stats.elapsed)
 
+    def record_analysis(self, domain: str, iterations: int, widenings: int) -> None:
+        """Publish one abstract-interpretation fixpoint run.
+
+        Called by :func:`repro.analysis.absint.framework.analyze`;
+        *domain* is the abstract domain's name (``sorts``,
+        ``cardinality``, ...).  Per-domain counters sit alongside the
+        ``analysis.*`` totals so registry snapshots show which lattices
+        did the work.
+        """
+        self.increment("analysis.runs")
+        self.increment(f"analysis.{domain}.runs")
+        self.increment("analysis.fixpoint_iterations", iterations)
+        self.increment(f"analysis.{domain}.fixpoint_iterations", iterations)
+        if widenings:
+            self.increment("analysis.widenings", widenings)
+            self.increment(f"analysis.{domain}.widenings", widenings)
+
     # -- consumers -------------------------------------------------------------
     def counter(self, name: str) -> int | float:
         return self._counters.get(name, 0)

@@ -1,0 +1,135 @@
+"""Unit tests for the ``repro-datalog analyze`` verb."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+TC = """
+T(x, y) :- E(x, y).
+T(x, y) :- E(x, z), T(z, y).
+"""
+
+DEAD = """
+P(x) :- E(x).
+P(x) :- E(x), Q(x, 1).
+Q(y, 2) :- S(y).
+"""
+
+#: Every top-level key of the analyze JSON document, in schema order.
+SCHEMA_KEYS = (
+    "version",
+    "filename",
+    "predicates",
+    "sorts",
+    "cardinality",
+    "recursion",
+    "binding",
+    "diagnostics",
+    "counts",
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    def write(name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return write
+
+
+class TestText:
+    def test_sections_present(self, files, capsys):
+        assert main(["analyze", files("tc.dl", TC)]) == 0
+        out = capsys.readouterr().out
+        assert "sorts" in out
+        assert "cardinality" in out
+        assert "recursion" in out
+
+    def test_query_adds_binding_section(self, files, capsys):
+        code = main(["analyze", files("tc.dl", TC), "--query", 'T("a", y)'])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binding for query" in out
+        assert "bf" in out
+
+    def test_assume_edb_scales_cardinality(self, files, capsys):
+        assert main(["analyze", files("tc.dl", TC), "--assume-edb", "7"]) == 0
+        assert "[7, 7]" in capsys.readouterr().out
+
+
+class TestJson:
+    def test_schema_keys(self, files, capsys):
+        assert main(["analyze", files("tc.dl", TC), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert tuple(data) == SCHEMA_KEYS
+        assert data["version"] == 1
+        assert data["predicates"] == {"edb": ["E"], "idb": ["T"]}
+        assert data["binding"] is None
+
+    def test_diagnostics_carry_stable_ids(self, files, capsys):
+        main(["analyze", files("tc.dl", TC), "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        (finding,) = data["diagnostics"]
+        assert finding["id"] == "linear-recursion@r1"
+        assert finding["rule_ref"]["index"] == 1
+
+    def test_schema_stable_across_examples(self, capsys):
+        """Every shipped example yields the same top-level shape."""
+        for example in sorted(EXAMPLES_DIR.glob("*.dl")):
+            main(["analyze", str(example), "--format", "json"])
+            data = json.loads(capsys.readouterr().out)
+            assert tuple(data) == SCHEMA_KEYS, example.name
+            assert data["version"] == 1
+
+
+class TestFindingsAndExitCodes:
+    def test_certified_dead_rule_is_error_and_fails(self, files, capsys):
+        assert main(["analyze", files("dead.dl", DEAD)]) == 1
+        out = capsys.readouterr().out
+        assert "dead-rule" in out
+        assert "§VI" in out
+
+    def test_fail_on_never(self, files):
+        assert main(["analyze", files("dead.dl", DEAD), "--fail-on", "never"]) == 0
+
+    def test_info_findings_do_not_fail_by_default(self, files, capsys):
+        # Linear recursion is an info note; default --fail-on is error.
+        assert main(["analyze", files("tc.dl", TC)]) == 0
+        assert "linear-recursion" in capsys.readouterr().out
+
+    def test_ignore_suppresses(self, files, capsys):
+        code = main(
+            [
+                "analyze",
+                files("dead.dl", DEAD),
+                "--ignore",
+                "dead-rule,empty-predicate",
+            ]
+        )
+        assert code == 0
+        assert "dead-rule" not in capsys.readouterr().out
+
+    def test_unknown_rule_id_is_usage_error(self, files, capsys):
+        assert main(["analyze", files("tc.dl", TC), "--select", "nope"]) == 2
+        assert "unknown lint rule id" in capsys.readouterr().err
+
+    def test_parse_error_reports_diagnostic_and_exits_1(self, files, capsys):
+        assert main(["analyze", files("bad.dl", "P(x :- Q(x).")]) == 1
+        assert "[syntax]" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self):
+        assert main(["analyze", "/does/not/exist.dl"]) == 2
+
+    def test_shipped_examples_are_analyze_clean(self):
+        """The CI gate: every example passes analyze at --fail-on error."""
+        for example in sorted(EXAMPLES_DIR.glob("*.dl")):
+            assert main(["analyze", str(example)]) == 0, example.name

@@ -135,3 +135,55 @@ class TestUniformBoundedness:
         )
         report = uniform_boundedness(program, max_depth=3)
         assert report.verdict is Verdict.UNKNOWN
+
+    def test_unknown_report_is_falsy_and_bare(self):
+        program = parse_program(
+            """
+            P(x, y) :- E(x, y).
+            P(x, y) :- P(y, x).
+            """
+        )
+        report = uniform_boundedness(program, max_depth=2)
+        assert not report
+        assert report.depth is None
+        assert report.nonrecursive is None
+
+    def test_mutual_recursion_stays_unknown(self):
+        # Even/odd-hop reachability: genuinely unbounded mutual
+        # recursion must not be claimed bounded at any tested depth.
+        program = parse_program(
+            """
+            Ev(x, y) :- E(x, z), Od(z, y).
+            Od(x, y) :- E(x, y).
+            Od(x, y) :- E(x, z), Ev(z, y).
+            """
+        )
+        report = uniform_boundedness(program, max_depth=3)
+        assert report.verdict is Verdict.UNKNOWN
+
+    def test_explicit_depths_override_schedule(self, vacuous_recursion):
+        # Depth 1 proves this program; a schedule skipping it must
+        # still prove at the first depth it does test.
+        report = uniform_boundedness(vacuous_recursion, depths=[2])
+        assert report.verdict is Verdict.PROVED
+        assert report.depth == 2
+        # An empty schedule tests nothing and must stay UNKNOWN.
+        assert (
+            uniform_boundedness(vacuous_recursion, depths=[]).verdict
+            is Verdict.UNKNOWN
+        )
+
+    def test_nonlinear_depth_schedule_is_capped(self, tc):
+        from repro.analysis.absint.recursion import (
+            NONLINEAR_MAX_DEPTH,
+            classify_recursion,
+        )
+
+        classification = classify_recursion(tc)
+        assert classification.candidate_depths(10) == tuple(
+            range(1, NONLINEAR_MAX_DEPTH + 1)
+        )
+        # The capped schedule keeps the search inside the max_rules
+        # guard even when the caller asks for a deep search.
+        report = uniform_boundedness(tc, max_depth=10)
+        assert report.verdict is Verdict.UNKNOWN

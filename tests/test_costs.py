@@ -6,6 +6,8 @@ import pytest
 
 from repro import Database, parse_program, parse_rule
 from repro.engine.costs import (
+    DEFAULT_SELECTIVITY,
+    PredicateStatistics,
     collect_statistics,
     estimate_guard_benefit,
     estimate_rule,
@@ -34,6 +36,17 @@ class TestStatistics:
     def test_empty_relation_handled(self):
         stats = collect_statistics(Database())
         assert stats == {}
+
+    def test_empty_relation_selectivity_is_default(self):
+        stats = PredicateStatistics("A", cardinality=0, distinct=(0, 0))
+        assert stats.selectivity(0) == DEFAULT_SELECTIVITY
+        assert stats.selectivity(1) == DEFAULT_SELECTIVITY
+
+    def test_zero_distinct_selectivity_is_default(self):
+        # Degenerate hand-built statistics: rows exist but a position
+        # records no distinct values.  Must not divide by zero.
+        stats = PredicateStatistics("A", cardinality=5, distinct=(0,))
+        assert stats.selectivity(0) == DEFAULT_SELECTIVITY
 
 
 class TestEstimateRule:

@@ -52,6 +52,7 @@ class TestDiagnostic:
             "severity",
             "message",
             "rule_index",
+            "rule_ref",
             "line",
             "column",
             "fix",
@@ -323,15 +324,18 @@ class TestReporters:
     def test_json_round_trips_with_required_keys(self):
         diags = lint_source(REDUNDANT_ATOM)
         data = json.loads(render_json(diags, "p.dl"))
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert data["filename"] == "p.dl"
         assert len(data["diagnostics"]) == len(diags)
         for entry in data["diagnostics"]:
             assert "rule" in entry and "severity" in entry and "rule_index" in entry
+            assert "id" in entry and "rule_ref" in entry
 
     def test_json_counts(self):
         data = json.loads(render_json(lint_source(REDUNDANT_ATOM), "p.dl"))
-        assert data["counts"]["warning"] == 1
+        # redundant-atom, plus dead-rule and empty-predicate: the fixture's
+        # G has no base case, so sort propagation proves it empty.
+        assert data["counts"]["warning"] == 3
 
 
 class TestScanRedundancy:
