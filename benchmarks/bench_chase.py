@@ -12,9 +12,16 @@ from __future__ import annotations
 import pytest
 
 from repro import Database, paper, parse_program, parse_tgd
-from repro.core.chase import ChaseBudget, Verdict, chase, check_model_containment
+from repro.core.chase import (
+    ChaseBudget,
+    Verdict,
+    chase,
+    check_model_containment,
+    termination_certificate,
+)
 from repro.core.tgds import satisfies_all
 from repro.workloads import chain
+from repro.workloads.suites import load
 
 
 @pytest.mark.parametrize("facts", [10, 40])
@@ -63,6 +70,44 @@ def test_q4_unknown_verdict_on_budget(benchmark):
         lambda: check_model_containment(p1, [tgd], p2, budget=budget)
     )
     assert report.verdict is Verdict.UNKNOWN
+
+
+@pytest.mark.parametrize("suite", ["de-copy", "de-fusion", "de-chain"])
+def test_q4_data_exchange_suite_saturates(benchmark, suite):
+    """The Grahne-Onet shapes are all certified terminating, so the
+    certificate-widened chase reaches genuine saturation."""
+    workload = load(suite)
+    tgds = list(workload.tgds)
+    certificate = termination_certificate(tgds, workload.program)
+    assert certificate is not None and certificate.guarantees_termination
+    edb = workload.edb(20)
+    outcome = benchmark(
+        lambda: chase(edb, workload.program, tgds, certificate=certificate)
+    )
+    assert outcome.saturated
+    assert satisfies_all(outcome.database, tgds)
+    benchmark.extra_info["classification"] = certificate.classification
+    benchmark.extra_info["nulls_created"] = outcome.nulls_created
+
+
+def test_q4_certificate_upgrades_unknown_to_disproved(benchmark):
+    """Differential: under a tiny budget the uncertified chase stops at
+    UNKNOWN, while the weak-acyclicity certificate widens the budget to
+    saturation and the same containment question becomes DISPROVED."""
+    p1 = parse_program("G(x, y) :- B(x, y).")
+    p2 = parse_program("G(x, y) :- A(x, y).")
+    levels = ["A", "H", "K", "L", "M", "N", "O"]
+    tgds = [
+        parse_tgd(f"{src}(x, y) -> {dst}(x, v) & {dst}(v, y)")
+        for src, dst in zip(levels, levels[1:])
+    ]
+    budget = ChaseBudget(max_rounds=5, max_nulls=20)
+    blind = check_model_containment(p1, tgds, p2, budget=budget, use_certificate=False)
+    assert blind.verdict is Verdict.UNKNOWN
+    report = benchmark(
+        lambda: check_model_containment(p1, tgds, p2, budget=budget)
+    )
+    assert report.verdict is Verdict.DISPROVED
 
 
 def test_q4_target_short_circuit_beats_saturation(benchmark):

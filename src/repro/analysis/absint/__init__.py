@@ -2,7 +2,7 @@
 
 A generic monotone dataflow framework (:mod:`.framework`) -- SCC-ordered
 fixpoint over the predicate dependence graph, with widening for
-infinite-height domains -- plus four concrete domains:
+infinite-height domains -- plus five concrete domains:
 
 * :mod:`.sorts` -- constant/sort propagation per predicate position;
   proves predicates empty and rules dead, each dead-rule claim
@@ -15,7 +15,12 @@ infinite-height domains -- plus four concrete domains:
   no database statistics exist;
 * :mod:`.recursion` -- linear/nonlinear/mutual classification per SCC;
   steers :func:`repro.core.boundedness.uniform_boundedness` candidate
-  depths and the ``linear-recursion`` lint note.
+  depths and the ``linear-recursion`` lint note;
+* :mod:`.termination` -- chase-termination certificates over a program
+  + tgd set (full-only / weakly acyclic / jointly acyclic / sticky /
+  weakly sticky); :func:`repro.core.chase.certified_budget` consumes
+  the certificate to widen chase budgets soundly, upgrading
+  budget-induced ``UNKNOWN`` verdicts to ``DISPROVED``.
 
 :mod:`.report` runs everything over one shared
 :class:`~repro.analysis.absint.framework.ProgramFacts` and renders the
@@ -64,12 +69,39 @@ from .sorts import (
     analyze_sorts,
     certify_dead_rule,
 )
+from .termination import (
+    DECIDABLE_CLASSES,
+    FULL_ONLY,
+    JOINTLY_ACYCLIC,
+    PositionEdge,
+    PositionGraph,
+    STICKY,
+    TERMINATING_CLASSES,
+    TerminationAnalysis,
+    TerminationCertificate,
+    UNKNOWN_CLASS,
+    WEAKLY_ACYCLIC,
+    WEAKLY_STICKY,
+    classify_termination,
+)
 
 __all__ = [
     "ABSINT_LINT_RULES",
     "ANALYZE_SCHEMA_VERSION",
     "AbstractDomain",
     "AnalysisReport",
+    "DECIDABLE_CLASSES",
+    "FULL_ONLY",
+    "JOINTLY_ACYCLIC",
+    "PositionEdge",
+    "PositionGraph",
+    "STICKY",
+    "TERMINATING_CLASSES",
+    "TerminationAnalysis",
+    "TerminationCertificate",
+    "UNKNOWN_CLASS",
+    "WEAKLY_ACYCLIC",
+    "WEAKLY_STICKY",
     "BindingAnalysis",
     "BindingIssue",
     "CAP",
@@ -96,6 +128,7 @@ __all__ = [
     "cardinality_hints",
     "certify_dead_rule",
     "classify_recursion",
+    "classify_termination",
     "render_analysis_json",
     "render_analysis_text",
 ]

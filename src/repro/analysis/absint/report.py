@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass
 from typing import Mapping
 
+from ...core.tgds import Tgd
 from ...lang.atoms import Atom
 from ...lang.programs import Program
 from ...lang.rules import Rule
@@ -28,9 +29,17 @@ from .framework import ProgramFacts
 from .groundness import BindingAnalysis, binding_analysis
 from .recursion import RecursionAnalysis, classify_recursion
 from .sorts import SortAnalysis, analyze_sorts
+from .termination import TerminationAnalysis, classify_termination
 
 #: Bumped when the ``analyze --json`` shape changes incompatibly.
-ANALYZE_SCHEMA_VERSION = 1
+#: Version history:
+#:
+#: 1. initial shape (sorts/cardinality/recursion/binding/diagnostics);
+#: 2. adds the always-present ``termination`` block (chase-termination
+#:    certificate: classification, position graph, evidence).  Existing
+#:    version-1 keys are unchanged, so version-1 consumers that ignore
+#:    unknown keys keep working.
+ANALYZE_SCHEMA_VERSION = 2
 
 #: The lint passes built on this package; ``analyze`` reports exactly
 #: these (the structural passes stay with the ``lint`` verb).
@@ -42,6 +51,8 @@ ABSINT_LINT_RULES: frozenset[str] = frozenset(
         "mutual-recursion",
         "unbound-subgoal",
         "containment-budget",
+        "weakly-acyclic-certified",
+        "nonterminating-chase-risk",
     }
 )
 
@@ -56,6 +67,9 @@ class AnalysisReport:
     recursion: RecursionAnalysis
     #: Present only when a query atom was supplied.
     binding: BindingAnalysis | None
+    #: Always present; classifies the program alone (full-only) when no
+    #: tgds were supplied.
+    termination: TerminationAnalysis
     diagnostics: list[Diagnostic]
 
     def to_dict(self, filename: str = "<program>") -> dict:
@@ -71,6 +85,7 @@ class AnalysisReport:
             "cardinality": self.cardinality.to_dict(),
             "recursion": self.recursion.to_dict(),
             "binding": self.binding.to_dict() if self.binding else None,
+            "termination": self.termination.to_dict(),
             "diagnostics": diagnostic_payloads(self.diagnostics),
             "counts": severity_counts(self.diagnostics),
         }
@@ -84,6 +99,7 @@ def analyze_program(
     config: LintConfig | None = None,
     edb_counts: Mapping[str, int] | None = None,
     default_edb: int = DEFAULT_EDB_SIZE,
+    tgds: tuple[Tgd, ...] = (),
 ) -> AnalysisReport:
     """Run every abstract domain (and its lint passes) over *program*.
 
@@ -91,7 +107,9 @@ def analyze_program(
     and SCC condensation are computed exactly once.  *config* defaults
     to the absint lint subset (:data:`ABSINT_LINT_RULES`); a caller
     passing its own config controls selection (and the containment
-    budget behind dead-rule certification) fully.
+    budget behind dead-rule certification) fully.  *tgds* feed the
+    termination domain (and the chase-termination lint rules, which stay
+    silent without tgds).
     """
     facts = ProgramFacts(program)
     sorts = analyze_sorts(program, facts)
@@ -104,8 +122,9 @@ def analyze_program(
         if query is not None
         else None
     )
+    termination = classify_termination(tgds, program)
     if config is None:
-        config = LintConfig(select=ABSINT_LINT_RULES)
+        config = LintConfig(select=ABSINT_LINT_RULES, tgds=tuple(tgds))
     diagnostics = Linter(config=config).run(program, spans)
     return AnalysisReport(
         program=program,
@@ -113,6 +132,7 @@ def analyze_program(
         cardinality=cardinality,
         recursion=recursion,
         binding=binding,
+        termination=termination,
         diagnostics=diagnostics,
     )
 
@@ -169,6 +189,32 @@ def render_analysis_text(report: AnalysisReport, filename: str = "<program>") ->
             lines.append(f"  {pred}: {suffixes}")
         for issue in binding.issues:
             lines.append(f"  {issue.kind}: {issue.message}")
+
+    lines.append("")
+    certificate = report.termination.certificate
+    if report.termination.tgds:
+        lines.append(
+            f"termination ({len(report.termination.tgds)} tgd(s) + program rules):"
+        )
+    else:
+        lines.append("termination (program rules only, no tgds supplied):")
+    lines.append(f"  {certificate.describe()}")
+    lines.append(
+        "  chase terminates: "
+        + ("yes" if certificate.guarantees_termination else "not certified")
+        + "; query answering decidable: "
+        + ("yes" if certificate.guarantees_decidability else "not certified")
+    )
+    if certificate.special_cycle:
+        lines.append("  special-edge cycle:")
+        for edge in certificate.special_cycle:
+            lines.append(f"    {edge.describe()}")
+    for violation in certificate.sticky_violations:
+        if not violation.finite_rank_occurrences:
+            lines.append(
+                f"  marked variable {violation.variable} joins at "
+                f"{', '.join(violation.occurrences)} in {violation.origin}"
+            )
 
     lines.append("")
     if not report.diagnostics:

@@ -147,6 +147,10 @@ class LintConfig:
     #: every terminal predicate is presumed an output).
     exported: frozenset[str] | None = None
     max_tgd_candidates_per_rule: int = 3
+    #: Tgds constraining the program; feed the chase-termination lint
+    #: rules (``weakly-acyclic-certified``, ``nonterminating-chase-risk``),
+    #: which stay silent when no tgds are supplied.
+    tgds: tuple = ()
 
     def enables(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -173,6 +177,7 @@ class LintContext:
         self._facts = None
         self._sorts = None
         self._recursion = None
+        self._termination = None
 
     @property
     def facts(self):
@@ -203,6 +208,20 @@ class LintContext:
 
             self._recursion = classify_recursion(self.program, self.facts)
         return self._recursion
+
+    def termination(self):
+        """The chase-termination classification, run once and shared.
+
+        Classifies ``config.tgds`` together with the program's rules;
+        with no tgds configured the result is trivially ``full-only``.
+        """
+        if self._termination is None:
+            from .absint.termination import classify_termination
+
+            self._termination = classify_termination(
+                self.config.tgds, self.program
+            )
+        return self._termination
 
     def index_of(self, rule: Rule) -> int | None:
         return self._index.get(rule)

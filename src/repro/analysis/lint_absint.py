@@ -196,10 +196,72 @@ class UnboundSubgoalLint(LintRule):
                 )
 
 
+@register
+class WeaklyAcyclicCertifiedLint(LintRule):
+    rule_id = "weakly-acyclic-certified"
+    severity = "info"
+    description = (
+        "the configured tgd set is certified terminating "
+        "(full-only / weakly acyclic / jointly acyclic)"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        if not context.config.tgds:
+            return
+        certificate = context.termination().certificate
+        if not certificate.guarantees_termination:
+            return
+        yield context.diagnostic(
+            self.rule_id,
+            self.severity,
+            f"chase termination certified -- {certificate.describe()}; "
+            "containment-under-constraints proofs will widen their budget "
+            "to the certified bound and can answer DISPROVED honestly",
+        )
+
+
+@register
+class NonterminatingChaseRiskLint(LintRule):
+    rule_id = "nonterminating-chase-risk"
+    severity = "warning"
+    description = (
+        "no syntactic certificate bounds the chase for the configured "
+        "tgd set; containment proofs may return UNKNOWN"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        if not context.config.tgds:
+            return
+        certificate = context.termination().certificate
+        if certificate.guarantees_termination:
+            return
+        if certificate.guarantees_decidability:
+            # Sticky classes: answering is decidable, but the chase
+            # itself may diverge -- worth a softer note.
+            yield context.diagnostic(
+                self.rule_id,
+                "info",
+                f"chase may not terminate ({certificate.describe()}); "
+                "query answering stays decidable, but saturation-based "
+                "DISPROVED verdicts are out of reach and budget-bound "
+                "UNKNOWNs are expected",
+            )
+            return
+        yield context.diagnostic(
+            self.rule_id,
+            self.severity,
+            f"chase termination not certified -- {certificate.describe()}; "
+            "containment-under-constraints proofs can exhaust their budget "
+            "and return UNKNOWN",
+        )
+
+
 __all__ = [
     "DeadRuleLint",
     "EmptyPredicateLint",
     "LinearRecursionLint",
     "MutualRecursionLint",
+    "NonterminatingChaseRiskLint",
     "UnboundSubgoalLint",
+    "WeaklyAcyclicCertifiedLint",
 ]

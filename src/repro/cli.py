@@ -200,23 +200,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from .lang import parse_atom
     from .lang.parser import parse_program_with_spans
 
+    # ``termination`` selects the chase-termination lint pair in one
+    # word; the termination JSON/text block itself is always present.
+    termination_alias = frozenset(
+        {"weakly-acyclic-certified", "nonterminating-chase-risk"}
+    )
     select = (
         frozenset(args.select.split(",")) if args.select else ABSINT_LINT_RULES
     )
     ignore = frozenset(args.ignore.split(",")) if args.ignore else frozenset()
+    if "termination" in select:
+        select = (select - {"termination"}) | termination_alias
+    if "termination" in ignore:
+        ignore = (ignore - {"termination"}) | termination_alias
     unknown = (select | ignore) - known_rule_ids()
     if unknown:
-        known = ", ".join(sorted(known_rule_ids()))
+        known = ", ".join(sorted(known_rule_ids() | {"termination"}))
         print(
             f"error: unknown lint rule id(s): {', '.join(sorted(unknown))} "
             f"(known: {known})",
             file=sys.stderr,
         )
         return 2
+    tgds = tuple(_load_tgds(args.tgds)) if args.tgds else ()
     config = LintConfig(
         select=select,
         ignore=ignore,
         max_containment_checks=args.max_containment_checks,
+        tgds=tgds,
     )
     source = _read(args.program)
     try:
@@ -239,6 +250,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         query=query,
         config=config,
         default_edb=args.assume_edb,
+        tgds=tgds,
     )
     if args.format == "json":
         print(render_analysis_json(report, filename=args.program))
@@ -282,6 +294,8 @@ def _cmd_minimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    import json
+
     program = _load_program(args.program)
     governor = _governor_from_args(args)
     report = optimize(
@@ -290,9 +304,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         budget=_chase_budget_from_args(args),
         governor=governor,
     )
-    print(format_program(report.optimized))
-    print()
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_program(report.optimized))
+        print()
+        print(report.summary())
     if report.degradation is not None:
         print(report.degradation.summary(), file=sys.stderr)
         return EXIT_PARTIAL
@@ -329,16 +346,27 @@ def _cmd_contains(args: argparse.Namespace) -> int:
 
 
 def _cmd_preserves(args: argparse.Namespace) -> int:
+    from .core.chase import termination_certificate
+
     program = _load_program(args.program)
     tgds = _load_tgds(args.tgds)
-    report = preserves_nonrecursively(program, tgds, budget=_chase_budget_from_args(args))
+    certificate = termination_certificate(tgds, program)
+    report = preserves_nonrecursively(
+        program,
+        tgds,
+        budget=_chase_budget_from_args(args),
+        certificate=certificate,
+    )
     if args.verbose:
         from .core.transcripts import render_preservation
 
         print(render_preservation(report))
         print()
+    print(f"termination certificate: {certificate.describe()}")
     print(f"non-recursive preservation: {report.verdict.value}")
     print(f"combinations examined: {report.combinations_examined}")
+    if report.exhausted:
+        print(f"chase budget exhausted: {report.exhausted}")
     return 0 if report.verdict.value == "proved" else 1
 
 
@@ -353,6 +381,8 @@ def _cmd_prove(args: argparse.Namespace) -> int:
         p1, p2, tgds, budget=_chase_budget_from_args(args)
     )
     if args.verbose:
+        if proof.certificate is not None:
+            print(f"termination certificate: {proof.certificate.describe()}")
         print(render_equivalence_proof(proof))
     else:
         print(proof.explain())
@@ -605,7 +635,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="abstract-interpretation report: sorts, cardinality, recursion, binding",
+        help="abstract-interpretation report: sorts, cardinality, recursion, "
+        "binding, chase termination",
     )
     p.add_argument("program")
     p.add_argument("--format", choices=["text", "json"], default="text")
@@ -613,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--query",
         metavar="ATOM",
         help="query atom for binding/adornment analysis, e.g. 'T(\"a\", y)'",
+    )
+    p.add_argument(
+        "--tgds",
+        metavar="FILE",
+        help="file of tgds (one per line) for the chase-termination domain; "
+        "also enables the weakly-acyclic-certified / "
+        "nonterminating-chase-risk findings (--select termination)",
     )
     p.add_argument(
         "--assume-edb",
@@ -666,6 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument(
         "--uniform-only", action="store_true", help="skip the Section X/XI layer"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report (removals, certificates, budget "
+        "exhaustion) as machine-readable JSON",
     )
     _add_governor_flags(p, with_on_limit=False)
     _add_chase_flags(p)

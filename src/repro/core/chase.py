@@ -16,6 +16,15 @@ head, if derivable, appears in finite time, but a negative answer can
 only be certified when the chase saturates.  All entry points therefore
 take a :class:`ChaseBudget` and return three-valued
 :class:`Verdict` outcomes instead of looping forever.
+
+When the static analysis in
+:mod:`repro.analysis.absint.termination` certifies that every chase
+sequence terminates (full-only, weakly acyclic, or jointly acyclic tgd
+sets), :func:`certified_budget` widens the caller's budget to the
+certificate's sound value bound, so the chase reaches genuine
+saturation and a budget-induced ``UNKNOWN`` upgrades to ``DISPROVED``.
+Sticky-only certificates guarantee decidable *answering*, not a finite
+chase, so they never widen a budget.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from ..lang.atoms import Atom
 from ..lang.freeze import freeze_rule
 from ..lang.programs import Program
 from ..lang.rules import Rule
-from ..lang.terms import NullFactory
+from ..lang.terms import NullFactory, Variable
 from ..obs.metrics import metrics_registry
 from ..obs.tracer import trace
 from .tgds import Tgd
@@ -62,14 +71,93 @@ class ChaseBudget:
 
     def check(self, rounds: int, nulls: NullFactory, db: Database) -> None:
         if rounds > self.max_rounds:
-            raise BudgetExceededError(f"chase exceeded {self.max_rounds} rounds")
+            raise BudgetExceededError(
+                f"chase exceeded {self.max_rounds} rounds", limit="rounds"
+            )
         if nulls.issued > self.max_nulls:
-            raise BudgetExceededError(f"chase created more than {self.max_nulls} nulls")
+            raise BudgetExceededError(
+                f"chase created more than {self.max_nulls} nulls", limit="nulls"
+            )
         if len(db) > self.max_atoms:
-            raise BudgetExceededError(f"chase database exceeded {self.max_atoms} atoms")
+            raise BudgetExceededError(
+                f"chase database exceeded {self.max_atoms} atoms", limit="atoms"
+            )
 
 
 DEFAULT_BUDGET = ChaseBudget()
+
+#: Absolute ceilings for certificate-widened budgets.  A termination
+#: certificate is a mathematical guarantee, but its value bound can be
+#: astronomically larger than anything worth materializing; capping
+#: keeps a certified run bounded in wall-clock terms.  The cap is sound:
+#: it can only leave a verdict at ``UNKNOWN``, never flip one.
+CERTIFIED_MAX_ROUNDS = 10_000
+CERTIFIED_MAX_NULLS = 100_000
+CERTIFIED_MAX_ATOMS = 2_000_000
+
+
+def certified_budget(
+    base: ChaseBudget,
+    certificate,
+    db: Database | None = None,
+    program: Program | None = None,
+    tgds: list[Tgd] | None = None,
+) -> ChaseBudget:
+    """Widen *base* to the certificate's sound saturation bound.
+
+    For a terminating certificate
+    (:class:`~repro.analysis.absint.termination.TerminationCertificate`
+    with ``guarantees_termination``), computes the bound on distinct
+    values any chase sequence from *db* can create, converts it to
+    null/atom/round limits, and returns the **max** of those and *base*
+    (a certificate never shrinks a caller's budget).  Everything is
+    clamped at the ``CERTIFIED_MAX_*`` ceilings.  Non-terminating
+    certificates (sticky and below) return *base* unchanged: stickiness
+    promises decidable answering, not a finite chase, and pretending
+    otherwise would burn the budget without ever saturating.
+    """
+    if certificate is None or not certificate.guarantees_termination:
+        return base
+    tgds = tgds or []
+    constants: set = set()
+    if db is not None:
+        for atom in db.as_atom_set():
+            constants.update(atom.args)
+    for tgd in tgds:
+        for atom in tgd.lhs + tgd.rhs:
+            constants.update(t for t in atom.args if not isinstance(t, Variable))
+    if program is not None:
+        for rule in program.rules:
+            for atom in (rule.head, *rule.body_atoms()):
+                constants.update(t for t in atom.args if not isinstance(t, Variable))
+    initial_values = max(1, len(constants))
+    values = certificate.value_bound(initial_values)
+    if values is None:  # pragma: no cover - guarded by guarantees_termination
+        return base
+    arities: dict[str, int] = {}
+    sources = [a for t in tgds for a in t.lhs + t.rhs]
+    if program is not None:
+        for rule in program.rules:
+            sources.extend((rule.head, *rule.body_atoms()))
+    if db is not None:
+        sources.extend(db.as_atom_set())
+    for atom in sources:
+        arities[atom.predicate] = atom.arity
+    atom_bound = 0
+    for arity in arities.values():
+        atom_bound += min(values**max(1, arity), CERTIFIED_MAX_ATOMS)
+        if atom_bound >= CERTIFIED_MAX_ATOMS:
+            atom_bound = CERTIFIED_MAX_ATOMS
+            break
+    # Each round that fails to saturate adds at least one atom, plus the
+    # final confirming round and the program-saturation prologue.
+    round_bound = min(atom_bound + len(tgds) + 2, CERTIFIED_MAX_ROUNDS)
+    null_bound = min(values, CERTIFIED_MAX_NULLS)
+    return ChaseBudget(
+        max_rounds=max(base.max_rounds, round_bound),
+        max_nulls=max(base.max_nulls, null_bound),
+        max_atoms=max(base.max_atoms, atom_bound),
+    )
 
 
 @dataclass
@@ -78,7 +166,9 @@ class ChaseOutcome:
 
     ``saturated`` is ``True`` when a genuine fixpoint was reached;
     ``False`` means the budget ran out first (the database is then a
-    sound under-approximation of ``[P, T](d)``).
+    sound under-approximation of ``[P, T](d)``), and ``exhausted``
+    names the limit that tripped: ``"rounds"``, ``"nulls"``, or
+    ``"atoms"``.
     """
 
     database: Database
@@ -86,6 +176,7 @@ class ChaseOutcome:
     rounds: int = 0
     nulls_created: int = 0
     target_found: bool | None = None
+    exhausted: str | None = None
 
 
 def chase(
@@ -96,6 +187,7 @@ def chase(
     target: Atom | None = None,
     engine: EngineName = "seminaive",
     on_budget: str = "partial",
+    certificate=None,
 ) -> ChaseOutcome:
     """Compute ``[P, T](db)`` (the input is not mutated).
 
@@ -111,15 +203,23 @@ def chase(
             under-approximation); ``"raise"`` re-raises the
             :class:`~repro.errors.BudgetExceededError` for callers that
             must distinguish exhaustion from a mere non-answer.
+        certificate: optional
+            :class:`~repro.analysis.absint.termination.TerminationCertificate`
+            for ``(program, tgds)``.  A terminating certificate widens
+            *budget* via :func:`certified_budget` so saturation is
+            reached instead of tripping; other certificates are
+            ignored.
     """
     if on_budget not in ("partial", "raise"):
         raise ValueError(f"on_budget must be 'partial' or 'raise', got {on_budget!r}")
     program = program if program is not None else Program()
     tgds = tgds or []
+    budget = certified_budget(budget, certificate, db, program, tgds)
     current = db.copy()
     nulls = NullFactory()
     rounds = 0
     saturated = False
+    exhausted: str | None = None
     found = target is not None and target in current
     with trace("chase.run", tgds=len(tgds), rules=len(program)) as span:
         try:
@@ -145,27 +245,36 @@ def chase(
                 if len(current) == before and added == 0:
                     saturated = True
                     break
-        except BudgetExceededError:
+        except BudgetExceededError as exc:
             saturated = False
+            exhausted = exc.limit
             if on_budget == "raise":
-                metrics_registry().increment("chase.budget_exhausted")
+                registry = metrics_registry()
+                registry.increment("chase.budget_exhausted")
+                if exc.limit:
+                    registry.increment(f"chase.budget_exhausted.{exc.limit}")
                 raise
         if span:
             span.add("rounds", rounds)
             span.add("nulls_created", nulls.issued)
             span.add("atoms", len(current))
+            if exhausted:
+                span.add("exhausted", exhausted)
     registry = metrics_registry()
     registry.increment("chase.runs")
     registry.increment("chase.rounds", rounds)
     registry.increment("chase.nulls_created", nulls.issued)
     if not (saturated or found):
         registry.increment("chase.budget_exhausted")
+        if exhausted:
+            registry.increment(f"chase.budget_exhausted.{exhausted}")
     return ChaseOutcome(
         database=current,
         saturated=saturated or found,
         rounds=rounds,
         nulls_created=nulls.issued,
         target_found=found if target is not None else None,
+        exhausted=None if (saturated or found) else exhausted,
     )
 
 
@@ -179,6 +288,8 @@ class RuleChaseEvidence:
     chased_atoms: frozenset[Atom]
     rounds: int
     nulls_created: int
+    #: Which budget limit tripped when the verdict is ``UNKNOWN``.
+    exhausted: str | None = None
 
 
 @dataclass
@@ -192,6 +303,8 @@ class ModelContainmentReport:
 
     verdict: Verdict
     evidence: list[RuleChaseEvidence] = field(default_factory=list)
+    #: The termination certificate used to widen budgets, when computed.
+    certificate: object | None = None
 
     def __bool__(self) -> bool:
         return bool(self.verdict)
@@ -200,6 +313,27 @@ class ModelContainmentReport:
     def failing_rules(self) -> list[Rule]:
         return [e.rule for e in self.evidence if e.verdict is not Verdict.PROVED]
 
+    @property
+    def exhausted(self) -> str | None:
+        """The first budget limit that tripped across the evidence."""
+        for e in self.evidence:
+            if e.exhausted:
+                return e.exhausted
+        return None
+
+
+def termination_certificate(tgds: list[Tgd], program: Program | None = None):
+    """The termination certificate for ``(program, tgds)``.
+
+    Thin lazy-import wrapper around
+    :func:`repro.analysis.absint.termination.classify_termination`
+    (imported on demand: the analysis package imports widely and the
+    core must stay import-light).
+    """
+    from ..analysis.absint.termination import classify_termination
+
+    return classify_termination(tgds, program).certificate
+
 
 def rule_contained_under_constraints(
     rule: Rule,
@@ -207,12 +341,19 @@ def rule_contained_under_constraints(
     tgds: list[Tgd],
     budget: ChaseBudget = DEFAULT_BUDGET,
     engine: EngineName = "seminaive",
+    certificate=None,
 ) -> RuleChaseEvidence:
     """Theorem 1 for one rule: is ``hθ ∈ [program, T](bθ)``?"""
     frozen = freeze_rule(rule)
     canonical = Database(frozen.body)
     outcome = chase(
-        canonical, program, tgds, budget=budget, target=frozen.head, engine=engine
+        canonical,
+        program,
+        tgds,
+        budget=budget,
+        target=frozen.head,
+        engine=engine,
+        certificate=certificate,
     )
     if outcome.target_found:
         verdict = Verdict.PROVED
@@ -227,6 +368,7 @@ def rule_contained_under_constraints(
         chased_atoms=outcome.database.as_atom_set(),
         rounds=outcome.rounds,
         nulls_created=outcome.nulls_created,
+        exhausted=outcome.exhausted,
     )
 
 
@@ -236,15 +378,27 @@ def check_model_containment(
     p2: Program,
     budget: ChaseBudget = DEFAULT_BUDGET,
     engine: EngineName = "seminaive",
+    certificate=None,
+    use_certificate: bool = True,
 ) -> ModelContainmentReport:
     """Test ``SAT(T) ∩ M(p1) ⊆ M(p2)`` rule by rule (Section VIII).
 
     This is condition (1) of the Section X recipe.  Combined with
     "``p1`` preserves ``T``" it yields ``p2 ⊑u_SAT(T) p1`` by
     Corollary 1 of the appendix.
+
+    Unless *use_certificate* is disabled, the termination certificate
+    for ``(p1, tgds)`` is computed once (or taken from *certificate*)
+    and used to widen the per-rule chase budgets when it guarantees
+    termination -- the static-to-dynamic handshake that turns
+    budget-induced ``UNKNOWN`` verdicts into honest ``DISPROVED``.
     """
+    if certificate is None and use_certificate and tgds:
+        certificate = termination_certificate(tgds, p1)
     evidence = [
-        rule_contained_under_constraints(rule, p1, tgds, budget, engine)
+        rule_contained_under_constraints(
+            rule, p1, tgds, budget, engine, certificate=certificate
+        )
         for rule in p2.rules
     ]
     if all(e.verdict is Verdict.PROVED for e in evidence):
@@ -253,4 +407,6 @@ def check_model_containment(
         verdict = Verdict.DISPROVED
     else:
         verdict = Verdict.UNKNOWN
-    return ModelContainmentReport(verdict=verdict, evidence=evidence)
+    return ModelContainmentReport(
+        verdict=verdict, evidence=evidence, certificate=certificate
+    )

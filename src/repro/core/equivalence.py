@@ -59,6 +59,16 @@ class ContainmentProof:
     preliminary: Optional[PreservationReport]
 
     @property
+    def certificate(self):
+        """The termination certificate computed for condition (1)."""
+        return self.model_containment.certificate
+
+    @property
+    def exhausted(self) -> Optional[str]:
+        """Which chase budget limit tripped, when the verdict is open."""
+        return self.model_containment.exhausted
+
+    @property
     def verdict(self) -> Verdict:
         parts = [self.model_containment.verdict]
         if self.preservation is not None:
@@ -75,9 +85,13 @@ class ContainmentProof:
         return bool(self.verdict)
 
     def explain(self) -> str:
-        lines = [
-            f"(1) SAT(T) ∩ M(P1) ⊆ M(P2): {self.model_containment.verdict.value}",
-        ]
+        lines = []
+        if self.certificate is not None:
+            lines.append(f"termination certificate: {self.certificate.describe()}")
+        lines.append(
+            f"(1) SAT(T) ∩ M(P1) ⊆ M(P2): {self.model_containment.verdict.value}"
+            + (f" (budget exhausted: {self.exhausted})" if self.exhausted else "")
+        )
         if self.preservation is not None:
             lines.append(f"(2) P1 preserves T non-recursively: {self.preservation.verdict.value}")
         if self.preliminary is not None:
@@ -92,6 +106,14 @@ class EquivalenceProof:
 
     containment: ContainmentProof          # p2 ⊑ p1, via the recipe
     reverse_uniform: UniformContainmentReport  # p1 ⊑u p2, hence p1 ⊑ p2
+
+    @property
+    def certificate(self):
+        return self.containment.certificate
+
+    @property
+    def exhausted(self) -> Optional[str]:
+        return self.containment.exhausted
 
     @property
     def verdict(self) -> Verdict:
@@ -128,7 +150,9 @@ def prove_containment_with_constraints(
     preservation = None
     preliminary = None
     if model.verdict is Verdict.PROVED:
-        preservation = preserves_nonrecursively(p1, tgds, budget=budget)
+        preservation = preserves_nonrecursively(
+            p1, tgds, budget=budget, certificate=model.certificate
+        )
         if preservation.verdict is Verdict.PROVED:
             preliminary = preliminary_db_satisfies(p1, tgds)
     return ContainmentProof(

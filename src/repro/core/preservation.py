@@ -46,7 +46,7 @@ from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.substitution import Substitution, match_atom
 from ..lang.terms import FrozenConstant, NullFactory, Variable
-from .chase import ChaseBudget, DEFAULT_BUDGET, Verdict
+from .chase import ChaseBudget, DEFAULT_BUDGET, Verdict, certified_budget
 from .tgds import Tgd
 
 #: Serial offset so freezing inside the procedure never collides with
@@ -73,6 +73,8 @@ class CombinationEvidence:
     verdict: Verdict
     rounds: int = 0
     counterexample: Optional[frozenset[Atom]] = None
+    #: Which budget limit tripped when the verdict is ``UNKNOWN``.
+    exhausted: Optional[str] = None
 
 
 @dataclass
@@ -85,6 +87,14 @@ class PreservationReport:
 
     def __bool__(self) -> bool:
         return bool(self.verdict)
+
+    @property
+    def exhausted(self) -> Optional[str]:
+        """The first budget limit that tripped across the evidence."""
+        for item in self.evidence:
+            if item.exhausted:
+                return item.exhausted
+        return None
 
     @property
     def counterexample(self) -> Optional[frozenset[Atom]]:
@@ -144,12 +154,18 @@ def _examine_combination(
         if not tgd.exhibits_violation(combined, theta):
             return CombinationEvidence(tgd, combination, Verdict.PROVED, rounds)
         rounds += 1
-        if (
-            rounds > budget.max_rounds
-            or nulls.issued > budget.max_nulls
-            or len(d) > budget.max_atoms
-        ):
-            return CombinationEvidence(tgd, combination, Verdict.UNKNOWN, rounds)
+        if rounds > budget.max_rounds:
+            return CombinationEvidence(
+                tgd, combination, Verdict.UNKNOWN, rounds, exhausted="rounds"
+            )
+        if nulls.issued > budget.max_nulls:
+            return CombinationEvidence(
+                tgd, combination, Verdict.UNKNOWN, rounds, exhausted="nulls"
+            )
+        if len(d) > budget.max_atoms:
+            return CombinationEvidence(
+                tgd, combination, Verdict.UNKNOWN, rounds, exhausted="atoms"
+            )
         added = 0
         for dependency in tgds:
             added += dependency.apply_all_once(d, nulls)
@@ -166,6 +182,7 @@ def preserves_nonrecursively(
     tgds: Sequence[Tgd],
     budget: ChaseBudget = DEFAULT_BUDGET,
     stop_at_violation: bool = True,
+    certificate=None,
 ) -> PreservationReport:
     """Fig. 3: does *program* preserve *tgds* non-recursively?
 
@@ -174,8 +191,13 @@ def preserves_nonrecursively(
     paper stresses: a program may preserve ``T`` without preserving it
     non-recursively, so ``DISPROVED`` here does not refute preservation
     itself.
+
+    A terminating termination *certificate* widens *budget* (see
+    :func:`~repro.core.chase.certified_budget`) so the per-combination
+    chase saturates rather than answering ``UNKNOWN``.
     """
     tgds = list(tgds)
+    budget = certified_budget(budget, certificate, None, program, tgds)
     idb = program.idb_predicates
     augmented_rules = program.with_trivial_rules().rules
     report = PreservationReport(verdict=Verdict.PROVED)

@@ -79,8 +79,16 @@ class BudgetExceededError(ReproError):
 
     Most public procedures catch this internally and report an
     ``UNKNOWN`` outcome instead; it escapes only from low-level drivers
-    invoked with ``on_budget='raise'``.
+    invoked with ``on_budget='raise'``.  ``limit`` names the limit that
+    tripped -- ``"rounds"``, ``"nulls"``, or ``"atoms"`` -- so callers
+    (and the ``chase.budget_exhausted.<limit>`` metric) can distinguish
+    a runaway chase from a merely large database.
     """
+
+    def __init__(self, message: str, limit: str | None = None):
+        super().__init__(message)
+        #: Which limit tripped: ``"rounds"``, ``"nulls"``, or ``"atoms"``.
+        self.limit = limit
 
 
 class ResourceLimitExceeded(ReproError):

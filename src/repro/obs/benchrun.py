@@ -14,10 +14,13 @@ Engine applicability per workload:
   a query atom;
 * ``incremental`` -- always: a maintenance scenario builds the
   materialized view on most of the EDB, inserts the held-out facts,
-  then deletes them again (insert + DRed delete round-trip).
+  then deletes them again (insert + DRed delete round-trip);
+* ``chase`` -- workloads that carry tgds: runs ``[P, T]`` saturation
+  under a termination-certificate-widened budget and reports chase
+  counters (rounds, nulls, saturation).
 
 ``--quick`` shrinks the suite/size matrix to seconds for CI smoke use
-while still covering all six engines.
+while still covering all seven engines.
 """
 
 from __future__ import annotations
@@ -34,8 +37,9 @@ from .metrics import metrics_registry
 from .schema import ALL_ENGINES, BENCH_SCHEMA, validate_bench_document
 
 #: The --quick matrix: small sizes, a suite subset that still exercises
-#: all six engines (magic-tc carries the query for the query engines).
-QUICK_SUITES = ("tc+2atoms/chain", "magic-tc", "same-generation")
+#: all seven engines (magic-tc carries the query for the query engines,
+#: de-fusion carries the tgds for the chase pseudo-engine).
+QUICK_SUITES = ("tc+2atoms/chain", "magic-tc", "same-generation", "de-fusion")
 QUICK_SIZES = (12,)
 
 #: The full matrix (every named suite).
@@ -83,6 +87,36 @@ def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int
     }
 
 
+def _run_chase(workload: Workload, edb: Database) -> dict[str, float | int]:
+    """Chase the EDB with the workload's tgds; returns flat counters.
+
+    The budget is widened through the workload's termination
+    certificate, so certified sets (de-copy, de-fusion, de-chain, the
+    guarded-tc family) bench genuine saturation rather than a budget
+    artifact.  All values are numeric per the bench schema (booleans
+    are reported as 0/1).
+    """
+    from ..core.chase import DEFAULT_BUDGET, chase, termination_certificate
+
+    tgds = list(workload.tgds)
+    certificate = termination_certificate(tgds, workload.program)
+    started = time.perf_counter()
+    outcome = chase(
+        edb, workload.program, tgds, budget=DEFAULT_BUDGET, certificate=certificate
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "rounds": outcome.rounds,
+        "nulls_created": outcome.nulls_created,
+        "atoms": len(outcome.database),
+        "saturated": int(outcome.saturated),
+        "certified_terminating": int(
+            certificate is not None and certificate.guarantees_termination
+        ),
+    }
+
+
 def run_workload(
     workload: Workload, size: int, engines: Iterable[str]
 ) -> list[dict[str, Any]]:
@@ -96,6 +130,12 @@ def run_workload(
     entries: list[dict[str, Any]] = []
     edb = workload.edb(size)
     for engine in engines:
+        if engine == "chase":
+            # Pseudo-engine outside the fixpoint registry: benches
+            # [P, T] saturation on tgd-carrying workloads only.
+            if workload.tgds:
+                entries.append(_entry(workload, size, engine, _run_chase(workload, edb)))
+            continue
         spec = get_engine(engine)
         if spec.kind == "fixpoint":
             result = spec.run(workload.program, edb)

@@ -44,7 +44,10 @@ from .metrics import METRICS_SCHEMA
 #: Version marker of the bench document format.
 BENCH_SCHEMA = "repro.bench/1"
 
-#: The engines a full (non-filtered) bench run must cover.
+#: The engines a full (non-filtered) bench run must cover.  ``chase``
+#: is a pseudo-engine: it benches ``[P, T]`` saturation on workloads
+#: that carry tgds (skipped for tgd-free workloads, like the query
+#: engines are for query-free ones).
 ALL_ENGINES = (
     "naive",
     "seminaive",
@@ -52,6 +55,7 @@ ALL_ENGINES = (
     "supplementary",
     "topdown",
     "incremental",
+    "chase",
 )
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")

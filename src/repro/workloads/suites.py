@@ -81,6 +81,58 @@ def guarded_tc_workload(k: int) -> Workload:
     )
 
 
+def de_copy_workload() -> Workload:
+    """Data-exchange copy mapping (Grahne--Onet): full tgds only.
+
+    The source edges are copied verbatim into the target relation, so
+    the tgd set is full-only and the chase terminates on any input
+    without inventing nulls.
+    """
+    return Workload(
+        name="de-copy",
+        program=programs.tc_nonlinear(),
+        edb=_tc_edb_chain,
+        description="data exchange: copy source edges into the target (full-only)",
+        tgds=(parse_tgd("A(x, y) -> T(x, y)"),),
+    )
+
+
+def de_fusion_workload() -> Workload:
+    """Data-exchange fusion mapping: one invented join value per edge.
+
+    Each source edge is split through a fresh null (``F(x, w)``,
+    ``F(w, y)``); the position graph has special edges but no cycle, so
+    the set is weakly acyclic (rank 1) and the certified chase saturates.
+    """
+    return Workload(
+        name="de-fusion",
+        program=programs.tc_nonlinear(),
+        edb=_tc_edb_chain,
+        description="data exchange: fuse edges through invented values (weakly acyclic)",
+        tgds=(parse_tgd("A(x, y) -> F(x, w) & F(w, y)"),),
+    )
+
+
+def de_chain_workload() -> Workload:
+    """Data-exchange existential chain: nulls beget nulls, boundedly.
+
+    Invented values cascade through three levels (``A -> H -> K -> L``)
+    but never feed back, so the set is weakly acyclic with rank 3 --
+    the deepest finite-rank shape in the suite.
+    """
+    return Workload(
+        name="de-chain",
+        program=programs.tc_nonlinear(),
+        edb=_tc_edb_chain,
+        description="data exchange: three-level existential chain (weakly acyclic, rank 3)",
+        tgds=(
+            parse_tgd("A(x, y) -> H(x, w)"),
+            parse_tgd("H(x, y) -> K(y, v)"),
+            parse_tgd("K(x, y) -> L(y, v)"),
+        ),
+    )
+
+
 def magic_tc_workload() -> Workload:
     """Q6: single-source reachability query over linear TC."""
     return Workload(
@@ -131,6 +183,9 @@ SUITES: dict[str, Callable[[], Workload]] = {
     "tc+3rules/random": lambda: tc_redundant_rules(3, "random"),
     "guarded-tc+1": lambda: guarded_tc_workload(1),
     "guarded-tc+2": lambda: guarded_tc_workload(2),
+    "de-copy": de_copy_workload,
+    "de-fusion": de_fusion_workload,
+    "de-chain": de_chain_workload,
     "magic-tc": magic_tc_workload,
     "same-generation": same_generation_workload,
     "andersen": andersen_workload,

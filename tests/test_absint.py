@@ -291,7 +291,7 @@ class TestMetrics:
         registry.reset()
         analyze_program(parse_program(TC), query=parse_atom('T("a", y)'))
         counters = registry.counters()
-        for domain in ("sorts", "cardinality", "recursion", "groundness"):
+        for domain in ("sorts", "cardinality", "recursion", "groundness", "termination"):
             assert counters[f"analysis.{domain}.runs"] >= 1, domain
 
 

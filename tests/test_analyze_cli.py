@@ -23,6 +23,7 @@ Q(y, 2) :- S(y).
 """
 
 #: Every top-level key of the analyze JSON document, in schema order.
+#: Version 2 added the always-present ``termination`` block.
 SCHEMA_KEYS = (
     "version",
     "filename",
@@ -31,6 +32,7 @@ SCHEMA_KEYS = (
     "cardinality",
     "recursion",
     "binding",
+    "termination",
     "diagnostics",
     "counts",
 )
@@ -71,9 +73,12 @@ class TestJson:
         assert main(["analyze", files("tc.dl", TC), "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert tuple(data) == SCHEMA_KEYS
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert data["predicates"] == {"edb": ["E"], "idb": ["T"]}
         assert data["binding"] is None
+        # Without tgds the program's rules alone are trivially full.
+        assert data["termination"]["classification"] == "full-only"
+        assert data["termination"]["terminating"] is True
 
     def test_diagnostics_carry_stable_ids(self, files, capsys):
         main(["analyze", files("tc.dl", TC), "--format", "json"])
@@ -88,7 +93,7 @@ class TestJson:
             main(["analyze", str(example), "--format", "json"])
             data = json.loads(capsys.readouterr().out)
             assert tuple(data) == SCHEMA_KEYS, example.name
-            assert data["version"] == 1
+            assert data["version"] == 2
 
 
 class TestFindingsAndExitCodes:

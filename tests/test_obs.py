@@ -261,4 +261,5 @@ class TestBenchSchema:
             "supplementary",
             "topdown",
             "incremental",
+            "chase",
         }
