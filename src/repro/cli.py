@@ -125,14 +125,25 @@ def _load_program(path: str) -> Program:
     return parse_program(_read(path))
 
 
-def _load_edb(path: str) -> Database:
+def _load_edb(path: str, backend: str = "rows") -> Database:
     facts_program = parse_program(_read(path))
-    db = Database()
+    db = Database(backend=backend)
     for rule in facts_program.rules:
         if not rule.is_fact:
             raise ReproError(f"EDB file {path} contains a non-fact rule: {rule}")
         db.add(rule.head)
     return db
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """The storage-backend selector shared by the EDB-loading verbs."""
+    p.add_argument(
+        "--backend",
+        choices=["rows", "columnar"],
+        default="rows",
+        help="storage backend for the EDB and evaluation "
+        "(columnar = interned-int columns; see docs/STORAGE.md)",
+    )
 
 
 def _load_tgds(path: str) -> list[Tgd]:
@@ -265,7 +276,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     program = _load_program(args.program)
-    edb = _load_edb(args.edb)
+    edb = _load_edb(args.edb, args.backend)
     governor = _governor_from_args(args)
     result = evaluate(
         program, edb, engine=args.engine, governor=governor, on_limit=args.on_limit
@@ -393,7 +404,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .lang import parse_atom
 
     program = _load_program(args.program)
-    edb = _load_edb(args.edb)
+    edb = _load_edb(args.edb, args.backend)
     query = parse_atom(args.query)
     governor = _governor_from_args(args)
     spec = get_engine(args.method)
@@ -466,7 +477,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"error: engine {args.engine!r} requires a query atom (--query)", file=sys.stderr)
         return 2
     program = _load_program(args.program)
-    edb = _load_edb(args.edb)
+    edb = _load_edb(args.edb, args.backend)
     query = parse_atom(args.query) if args.query else None
     if args.compare_minimized:
         comparison = profile_comparison(program, edb, engine=args.engine, query=query)
@@ -521,10 +532,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     suites = args.suite if args.suite else None
     sizes = args.size if args.size else None
+    backends = ("rows", "columnar") if args.backend == "both" else (args.backend,)
     progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
     try:
         document = run_bench(
-            suites=suites, sizes=sizes, quick=args.quick, date=args.date, progress=progress
+            suites=suites,
+            sizes=sizes,
+            quick=args.quick,
+            date=args.date,
+            progress=progress,
+            backends=backends,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -692,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=list(engine_names("fixpoint")), default="seminaive"
     )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    _add_backend_flag(p)
     _add_governor_flags(p)
     p.set_defaults(func=_cmd_eval)
 
@@ -755,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bottom-up engine under magic/supplementary (ignored by topdown)",
     )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    _add_backend_flag(p)
     _add_governor_flags(p)
     p.set_defaults(func=_cmd_query)
 
@@ -793,6 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-depth", type=int, default=2, help="span-tree depth in text output"
     )
+    _add_backend_flag(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
@@ -809,6 +829,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", metavar="FILE", help="output path (default BENCH_<date>.json)")
     p.add_argument("--date", metavar="ISO", help="override the document date stamp")
+    p.add_argument(
+        "--backend",
+        choices=["rows", "columnar", "both"],
+        default="rows",
+        help="storage backend(s) to measure; 'both' repeats every cell "
+        "per backend (entries carry a 'backend' field)",
+    )
     p.add_argument(
         "--compare",
         nargs="+",

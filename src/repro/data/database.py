@@ -45,7 +45,21 @@ class Database:
 
     __slots__ = ("_relations", "_arities", "_indexes", "_size", "_scans")
 
-    def __init__(self, atoms: Iterable[Atom] = ()):
+    def __new__(cls, atoms: Iterable[Atom] = (), backend: str | None = None):
+        # ``Database(backend="columnar")`` dispatches to the columnar
+        # subclass (see repro.data.columnar); subclasses constructed
+        # directly are never redirected.
+        if cls is Database and backend is not None and backend != "rows":
+            if backend == "columnar":
+                from .columnar import ColumnarDatabase
+
+                return super().__new__(ColumnarDatabase)
+            raise ValueError(
+                f"unknown storage backend {backend!r}; expected 'rows' or 'columnar'"
+            )
+        return super().__new__(cls)
+
+    def __init__(self, atoms: Iterable[Atom] = (), backend: str | None = None):
         self._relations: dict[str, set[tuple]] = {}
         self._arities: dict[str, int] = {}
         self._indexes: dict[str, PredicateIndex] = {}
@@ -53,6 +67,50 @@ class Database:
         self._scans = 0
         for atom in atoms:
             self.add(atom)
+
+    # -- backend contract ------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Storage backend name (``"rows"`` here; ``"columnar"`` in the
+        columnar subclass).  Part of the contract in ``docs/STORAGE.md``."""
+        return "rows"
+
+    def store_term(self, value):
+        """One ground value in this backend's storage representation.
+
+        Identity on the row backend; the columnar backend interns Terms
+        to dense ints (and passes already-encoded ints through).
+        """
+        return value
+
+    def store_row(self, row: tuple) -> tuple:
+        """A whole row in storage representation (identity here)."""
+        return row
+
+    def adapt_atom(self, atom: Atom) -> Atom:
+        """*atom* with its ground arguments in storage representation,
+        usable as a match pattern against rows of this database."""
+        return atom
+
+    def decode_row(self, row: tuple) -> tuple:
+        """A stored row decoded back to Terms (identity here)."""
+        return row
+
+    def symbol_cardinality(self) -> int:
+        """Distinct interned constants, or 0 when the backend does not
+        intern (the cost model falls back to per-relation statistics)."""
+        return 0
+
+    def approximate_bytes(self) -> int:
+        """Backend-honest memory estimate (see the resource governor).
+
+        Row backend: tuple header + per-slot pointer + an amortized
+        share of the Term objects, per stored row.
+        """
+        total = 0
+        for pred, rows in self._relations.items():
+            total += len(rows) * (56 + self._arities[pred] * 56)
+        return total
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -151,7 +209,13 @@ class Database:
         return sum(1 for atom in atoms if self.discard(atom))
 
     def update(self, other: "Database") -> int:
-        """Union-in another database; return the number of new atoms."""
+        """Union-in another database; return the number of new atoms.
+
+        Same-backend unions move raw rows; across backends the atoms are
+        decoded and re-encoded through :meth:`add`.
+        """
+        if other.backend != self.backend:
+            return sum(1 for atom in other.atoms() if self.add(atom))
         added = 0
         for pred, rows in other._relations.items():
             for row in rows:
@@ -177,6 +241,8 @@ class Database:
     def __eq__(self, other) -> bool:
         if not isinstance(other, Database):
             return NotImplemented
+        if other.backend != self.backend:
+            return self.as_atom_set() == other.as_atom_set()
         mine = {p: rows for p, rows in self._relations.items() if rows}
         theirs = {p: rows for p, rows in other._relations.items() if rows}
         return mine == theirs
@@ -217,7 +283,7 @@ class Database:
     def restrict_to(self, predicates: Iterable[str]) -> "Database":
         """A copy containing only the given predicates' facts."""
         wanted = set(predicates)
-        new = Database()
+        new = self.empty_like()
         for pred in wanted:
             for row in self._relations.get(pred, ()):
                 new._add_row(pred, row)
@@ -225,6 +291,8 @@ class Database:
 
     def difference(self, other: "Database") -> frozenset[Atom]:
         """Atoms in ``self`` but not in *other*."""
+        if other.backend != self.backend:
+            return frozenset(a for a in self.atoms() if a not in other)
         out: set[Atom] = set()
         for pred, rows in self._relations.items():
             other_rows = other._relations.get(pred, set())
@@ -234,6 +302,8 @@ class Database:
         return frozenset(out)
 
     def issubset(self, other: "Database") -> bool:
+        if other.backend != self.backend:
+            return all(a in other for a in self.atoms())
         for pred, rows in self._relations.items():
             if rows and not rows <= other._relations.get(pred, set()):
                 return False
@@ -265,7 +335,7 @@ class Database:
             self._indexes[predicate] = index
         if len(bound) == 1:
             ((pos, value),) = bound.items()
-            if pos not in index.built_positions():
+            if not index.has_position(pos):
                 index.build(pos, rows)
             return index.bucket(pos, value) or ()
         positions = tuple(sorted(bound))
@@ -291,7 +361,7 @@ class Database:
         best_pos = None
         best_size = None
         for pos in bound:
-            if pos not in index.built_positions():
+            if not index.has_position(pos):
                 index.build(pos, rows)
             size = index.bucket_size(pos, bound[pos])
             if not size:

@@ -55,6 +55,11 @@ class PredicateIndex:
     def built_positions(self) -> frozenset[int]:
         return frozenset(self._positions)
 
+    def has_position(self, position: int) -> bool:
+        """Is the single-position index for *position* built?  (Cheaper
+        than :meth:`built_positions` on the per-probe hot path.)"""
+        return position in self._positions
+
     def build(self, position: int, tuples: Iterable[tuple[Term, ...]]) -> None:
         """Build the index for *position* from the current tuples."""
         buckets: dict[Term, set[tuple[Term, ...]]] = {}

@@ -91,7 +91,8 @@ class _Step:
         "slot_bound",
         "binds",
         "self_checks",
-        "template",
+        "neg_base",
+        "neg_slots",
         "body_position",
         "prune",
     )
@@ -101,11 +102,12 @@ class _Step:
         predicate: str,
         positive: bool,
         source: int,
-        const_bound: dict[int, Term],
+        const_bound: dict[int, object],
         slot_bound: tuple[tuple[int, int], ...],
         binds: tuple[tuple[int, int], ...],
         self_checks: tuple[tuple[int, int], ...],
-        template: tuple | None,
+        neg_base: tuple | None,
+        neg_slots: tuple[tuple[int, int], ...],
         body_position: int,
         prune: tuple[int, ...] | None = None,
     ):
@@ -116,7 +118,14 @@ class _Step:
         self.slot_bound = slot_bound
         self.binds = binds
         self.self_checks = self_checks
-        self.template = template
+        #: Negated literal only: the ground-argument row with ``None``
+        #: at variable positions (*neg_base*), plus the ``(position,
+        #: slot)`` projections filling them (*neg_slots*).  Keeping
+        #: constants in a prefilled base row -- instead of a mixed
+        #: slot-or-Term template -- removes any ambiguity between slot
+        #: numbers and storage-encoded int constants (columnar backend).
+        self.neg_base = neg_base
+        self.neg_slots = neg_slots
         self.body_position = body_position
         #: For the Δ-pinned step only: the positions a snapshot witness
         #: must agree on (shared variables + constants).  Set when the
@@ -136,19 +145,22 @@ class JoinKernel:
 
     __slots__ = (
         "head_predicate",
-        "head_template",
+        "head_base",
+        "head_slots",
         "steps",
         "n_slots",
         "witness_depth",
         "delta_position",
         "order",
+        "suffix_reads",
         "_after_prefix",
     )
 
     def __init__(
         self,
         head_predicate: str,
-        head_template: tuple,
+        head_base: tuple,
+        head_slots: tuple[tuple[int, int], ...],
         steps: tuple[_Step, ...],
         n_slots: int,
         witness_depth: int,
@@ -156,7 +168,11 @@ class JoinKernel:
         order: tuple[int, ...],
     ):
         self.head_predicate = head_predicate
-        self.head_template = head_template
+        #: Head row with constants prefilled (``None`` at variable
+        #: positions) plus the ``(position, slot)`` projections; same
+        #: base/slots split as the negated-step templates.
+        self.head_base = head_base
+        self.head_slots = head_slots
         self.steps = steps
         self.n_slots = n_slots
         self.witness_depth = witness_depth
@@ -169,6 +185,21 @@ class JoinKernel:
             for d in range(witness_depth)
             if steps[d].positive and steps[d].source == SRC_AFTER
         )
+        #: The slots the post-cutoff suffix *reads* (probe bindings,
+        #: intra-atom self-checks, negated projections).  Two cutoff
+        #: states agreeing on these slots have identical suffix
+        #: satisfiability, so :meth:`run` memoizes ``exists`` per
+        #: distinct read-slot valuation -- the existential-suffix memo
+        #: that collapses the witness search on wide redundant bodies.
+        reads: set[int] = set()
+        for step in steps[witness_depth:]:
+            for _pos, slot in step.slot_bound:
+                reads.add(slot)
+            for _pos, slot in step.self_checks:
+                reads.add(slot)
+            for _pos, slot in step.neg_slots:
+                reads.add(slot)
+        self.suffix_reads = tuple(sorted(reads))
 
     def run(
         self,
@@ -209,14 +240,20 @@ class JoinKernel:
             else:
                 sources.append(db)
 
-        slots: list[Term | None] = [None] * self.n_slots
+        slots: list = [None] * self.n_slots
         rows_at: list[tuple | None] = [None] * len(steps)
         derived: set[Atom] = set()
-        head_template = self.head_template
+        head_base = self.head_base
+        head_slots = self.head_slots
         wd = self.witness_depth
         n = len(steps)
         counting = count_avoided and delta is not None and self._after_prefix
         avoided = 0
+        # Existential-suffix memo: suffix satisfiability keyed by the
+        # slots the suffix reads.  Sound because the sources are fixed
+        # for the whole run (engines update databases between runs).
+        suffix_reads = self.suffix_reads
+        suffix_memo: dict[tuple, bool] = {}
 
         def emit() -> None:
             nonlocal avoided
@@ -224,15 +261,13 @@ class JoinKernel:
                 stats.rule_firings += 1
             if governor is not None:
                 governor.tick()
-            derived.add(
-                Atom(
-                    self.head_predicate,
-                    tuple(
-                        slots[part] if type(part) is int else part
-                        for part in head_template
-                    ),
-                )
-            )
+            if head_slots:
+                parts = list(head_base)
+                for pos, slot in head_slots:
+                    parts[pos] = slots[slot]
+                derived.add(Atom(self.head_predicate, tuple(parts)))
+            else:
+                derived.add(Atom(self.head_predicate, head_base))
             if counting:
                 for d in self._after_prefix:
                     row = rows_at[d]
@@ -250,14 +285,12 @@ class JoinKernel:
             if stats is not None:
                 stats.subgoal_attempts += 1
             if not step.positive:
-                ground = Atom(
-                    step.predicate,
-                    tuple(
-                        slots[part] if type(part) is int else part
-                        for part in step.template
-                    ),
+                parts = list(step.neg_base)
+                for pos, slot in step.neg_slots:
+                    parts[pos] = slots[slot]
+                return Atom(step.predicate, tuple(parts)) not in db and exists(
+                    depth + 1
                 )
-                return ground not in db and exists(depth + 1)
             if step.slot_bound:
                 bound = dict(step.const_bound)
                 for pos, slot in step.slot_bound:
@@ -293,21 +326,24 @@ class JoinKernel:
         def search(depth: int) -> None:
             nonlocal avoided
             if depth == wd:
-                if exists(depth):
+                if wd == n:
+                    emit()
+                    return
+                key = tuple(slots[s] for s in suffix_reads)
+                hit = suffix_memo.get(key)
+                if hit is None:
+                    suffix_memo[key] = hit = exists(depth)
+                if hit:
                     emit()
                 return
             step = steps[depth]
             if stats is not None:
                 stats.subgoal_attempts += 1
             if not step.positive:
-                ground = Atom(
-                    step.predicate,
-                    tuple(
-                        slots[part] if type(part) is int else part
-                        for part in step.template
-                    ),
-                )
-                if ground not in db:
+                parts = list(step.neg_base)
+                for pos, slot in step.neg_slots:
+                    parts[pos] = slots[slot]
+                if Atom(step.predicate, tuple(parts)) not in db:
                     search(depth + 1)
                 return
             if step.slot_bound:
@@ -412,6 +448,10 @@ def compile_kernel(
         if not body[delta_position].positive:
             raise ValueError("the delta-pinned body literal must be positive")
     head_vars = frozenset(head.variables())
+    # Ground terms are compiled into *db*'s storage representation
+    # (identity on the row backend, interned ints on columnar), so the
+    # hot loop's equality checks and index probes never touch Terms.
+    store = db.store_term
     if order is None:
         order = plan_order(
             body, db, prefer_vars=head_vars, first=delta_position, hints=hints
@@ -446,14 +486,14 @@ def compile_kernel(
                 if source == SRC_DELTA
                 else None
             )
-            const_bound: dict[int, Term] = {}
+            const_bound: dict[int, object] = {}
             slot_bound: list[tuple[int, int]] = []
             binds: list[tuple[int, int]] = []
             self_checks: list[tuple[int, int]] = []
             fresh_here: set[Variable] = set()
             for pos, term in enumerate(atom.args):
                 if not isinstance(term, Variable):
-                    const_bound[pos] = term
+                    const_bound[pos] = store(term)
                 elif term in fresh_here:
                     # Repeated within this atom, first bound here: the
                     # index cannot enforce it, check per row.
@@ -474,6 +514,7 @@ def compile_kernel(
                     tuple(binds),
                     tuple(self_checks),
                     None,
+                    (),
                     body_index,
                     prune,
                 )
@@ -482,8 +523,13 @@ def compile_kernel(
         else:
             # plan_order schedules a negated literal only once fully
             # bound, so every variable already has a slot.
-            template = tuple(
-                slot_of[t] if isinstance(t, Variable) else t for t in atom.args
+            neg_base = tuple(
+                None if isinstance(t, Variable) else store(t) for t in atom.args
+            )
+            neg_slots = tuple(
+                (pos, slot_of[t])
+                for pos, t in enumerate(atom.args)
+                if isinstance(t, Variable)
             )
             steps.append(
                 _Step(
@@ -494,7 +540,8 @@ def compile_kernel(
                     (),
                     (),
                     (),
-                    template,
+                    neg_base,
+                    neg_slots,
                     body_index,
                 )
             )
@@ -507,13 +554,19 @@ def compile_kernel(
             f"head variables {missing} never bound by the body (unsafe rule)"
         )
 
-    head_template = tuple(
-        slot_of[t] if isinstance(t, Variable) else t for t in head.args
+    head_base = tuple(
+        None if isinstance(t, Variable) else store(t) for t in head.args
+    )
+    head_slots = tuple(
+        (pos, slot_of[t])
+        for pos, t in enumerate(head.args)
+        if isinstance(t, Variable)
     )
     metrics_registry().increment("compile.kernels_built")
     return JoinKernel(
         head.predicate,
-        head_template,
+        head_base,
+        head_slots,
         tuple(steps),
         len(slot_of),
         witness_depth,

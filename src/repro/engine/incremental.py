@@ -38,10 +38,11 @@ from ..data.database import Database
 from ..errors import GroundnessError, ResourceLimitExceeded, UnsafeRuleError
 from ..lang.atoms import Atom
 from ..lang.programs import Program
+from ..lang.terms import Variable
 from ..obs.tracer import trace
 from ..resilience.governor import ResourceGovernor
 from .compile import KernelCache
-from .joins import fire_rule, match_body
+from .joins import body_witness, delta_variant_positions, fire_rule, plan_order
 from .stats import EvaluationStats
 
 
@@ -83,6 +84,39 @@ class MaterializedView:
         self._kernels = (
             KernelCache(program.rules, self._materialized) if use_compiled else None
         )
+        # Join orders for goal-directed rederivation, cached per
+        # (head predicate, rule): the initially-bound set (the head
+        # variables) never varies, so the plan is stable across
+        # delete operations.
+        self._rederive_plans: dict[tuple[str, int], list[int]] = {}
+        # Per rule: body positions needing their own delta variant
+        # (symmetric redundant-atom positions collapse to the first).
+        self._variant_positions = [
+            () if rule.is_fact else delta_variant_positions(rule.head, rule.body)
+            for rule in program.rules
+        ]
+        # Per (rule, position): argument positions of the pinned literal
+        # holding a variable that occurs nowhere else in the rule.  Delta
+        # rows differing only there drive identical variant joins, so
+        # :meth:`_fire_variant` projects the delta down to one
+        # representative per distinct non-private prefix.
+        self._private_positions: dict[tuple[int, int], frozenset[int]] = {}
+        for rule_index, rule in enumerate(program.rules):
+            if rule.is_fact:
+                continue
+            counts: dict = {}
+            for atom in (rule.head, *(lit.atom for lit in rule.body)):
+                for term in atom.args:
+                    if isinstance(term, Variable):
+                        counts[term] = counts.get(term, 0) + 1
+            for position in self._variant_positions[rule_index]:
+                private = frozenset(
+                    pos
+                    for pos, term in enumerate(rule.body[position].atom.args)
+                    if isinstance(term, Variable) and counts[term] == 1
+                )
+                if private:
+                    self._private_positions[(rule_index, position)] = private
 
     # -- read access ---------------------------------------------------------
     @property
@@ -114,7 +148,7 @@ class MaterializedView:
                 governor = self.governor
                 if governor is not None:
                     governor.note(engine="incremental")
-                delta = Database()
+                delta = self._materialized.empty_like()
                 for atom in atoms:
                     if not atom.is_ground:
                         raise GroundnessError(f"cannot insert non-ground atom {atom}")
@@ -129,12 +163,12 @@ class MaterializedView:
                     rounds += 1
                     if governor is not None:
                         governor.checkpoint(self._materialized, round=rounds)
-                    new_delta = Database()
+                    new_delta = self._materialized.empty_like()
                     for rule_index, rule in enumerate(self.program.rules):
                         if rule.is_fact:
                             continue
-                        for position, literal in enumerate(rule.body):
-                            if delta.count(literal.predicate) == 0:
+                        for position in self._variant_positions[rule_index]:
+                            if delta.count(rule.body[position].predicate) == 0:
                                 continue
                             derived = self._fire_variant(
                                 rule_index, rule, position, delta, work, governor
@@ -172,7 +206,7 @@ class MaterializedView:
             with trace("incremental.delete") as span:
                 if self.governor is not None:
                     self.governor.note(engine="incremental")
-                seed = Database()
+                seed = self._materialized.empty_like()
                 for atom in atoms:
                     if self._base.discard(atom):
                         seed.add(atom)
@@ -216,6 +250,11 @@ class MaterializedView:
         governor: ResourceGovernor | None,
     ) -> set[Atom]:
         """One delta-variant against the materialized database."""
+        private = self._private_positions.get((rule_index, position))
+        if private is not None:
+            delta = self._project_delta(
+                delta, rule.body[position].predicate, private
+            )
         if self._kernels is not None:
             return self._kernels.kernel(rule_index, position).run(
                 self._materialized, delta=delta, stats=work, governor=governor
@@ -228,6 +267,30 @@ class MaterializedView:
             source_for={position: delta},
             governor=governor,
         )
+
+    @staticmethod
+    def _project_delta(
+        delta: Database, predicate: str, private: frozenset[int]
+    ) -> Database:
+        """One delta row per distinct value of the non-private positions.
+
+        The pinned literal's private variables bind values no other
+        subgoal (and not the head) reads, so delta rows that agree
+        everywhere else drive the exact same join and derive the exact
+        same heads -- keeping one representative is a sound projection
+        pushdown.  Returns *delta* itself when there is nothing to drop.
+        """
+        rows = delta.tuples(predicate)
+        keep: dict[tuple, tuple] = {}
+        for row in rows:
+            key = tuple(v for pos, v in enumerate(row) if pos not in private)
+            keep.setdefault(key, row)
+        if len(keep) == len(rows):
+            return delta
+        reduced = delta.empty_like()
+        for row in keep.values():
+            reduced._add_row(predicate, row)
+        return reduced
 
     # -- governed-transaction helpers ----------------------------------------
     def _snapshot(self):
@@ -248,12 +311,12 @@ class MaterializedView:
         while delta:
             if self.governor is not None:
                 self.governor.checkpoint(self._materialized)
-            new_delta = Database()
+            new_delta = self._materialized.empty_like()
             for rule_index, rule in enumerate(self.program.rules):
                 if rule.is_fact:
                     continue
-                for position, literal in enumerate(rule.body):
-                    if delta.count(literal.predicate) == 0:
+                for position in self._variant_positions[rule_index]:
+                    if delta.count(rule.body[position].predicate) == 0:
                         continue
                     derived = self._fire_variant(
                         rule_index, rule, position, delta, work, self.governor
@@ -269,31 +332,89 @@ class MaterializedView:
         return overdeleted
 
     def _rederive(self, overdeleted: Database, survivor: Database) -> Database:
-        """Over-deleted facts still derivable from the survivors."""
-        rederived = Database()
-        changed = True
+        """Over-deleted facts still derivable from the survivors.
+
+        Goal-directed: each over-deleted fact is unified with the heads
+        of its predicate's rules and the body is probed with the head
+        bindings pre-seeded -- a bound existence check, not a full join
+        of every rule body against the whole database.  Rederived facts
+        re-enter ``current``, and the pass loop repeats so facts whose
+        alternative derivations go through other over-deleted facts are
+        restored in dependency order.
+        """
+        rederived = self._materialized.empty_like()
         work = EvaluationStats()
         current = survivor.copy()
-        while changed:
+        # Fact rules are unconditionally derivable; restore them up front.
+        for rule in self.program.rules:
+            if rule.is_fact and rule.head in overdeleted and rule.head not in rederived:
+                rederived.add(rule.head)
+                current.add(rule.head)
+        pending = [
+            (pred, row)
+            for pred in sorted(overdeleted.predicates)
+            for row in overdeleted.tuples(pred)
+            if not rederived.contains_tuple(pred, row)
+        ]
+        changed = True
+        while changed and pending:
             if self.governor is not None:
                 self.governor.checkpoint(current)
             changed = False
-            for rule in self.program.rules:
-                if rule.is_fact:
-                    if rule.head in overdeleted and rule.head not in rederived:
-                        rederived.add(rule.head)
-                        current.add(rule.head)
-                        changed = True
-                    continue
-                # Collect first, apply after: the match iterates over
-                # `current`, which must not grow mid-scan.
-                found: list[Atom] = []
-                for bindings in match_body(current, rule.body, stats=work):
-                    fact = rule.head.substitute(bindings)
-                    if fact in overdeleted and fact not in rederived:
-                        found.append(fact)
-                for fact in found:
-                    if rederived.add(fact):
-                        current.add(fact)
-                        changed = True
+            still: list[tuple[str, tuple]] = []
+            for pred, row in pending:
+                if self._rederivable(pred, row, current, work):
+                    rederived._add_row(pred, row)
+                    current._add_row(pred, row)
+                    changed = True
+                else:
+                    still.append((pred, row))
+            pending = still
         return rederived
+
+    def _rederivable(
+        self, predicate: str, row: tuple, current: Database, work: EvaluationStats
+    ) -> bool:
+        """Does some rule derive *row* from *current*?
+
+        *row* is in ``current``'s storage representation (it came out of
+        a database sharing the same backend), so head constants are
+        compared through ``store_term`` and the seeded bindings probe
+        indexes directly.  With every head variable bound up front the
+        body walk is a pure existence check
+        (:func:`~repro.engine.joins.body_witness`) that stops at the
+        first witness.
+        """
+        store = current.store_term
+        for rule_index, rule in enumerate(self.program.rules_for(predicate)):
+            if rule.is_fact:
+                continue
+            bindings: dict = {}
+            consistent = True
+            for position, term in enumerate(rule.head.args):
+                value = row[position]
+                if isinstance(term, Variable):
+                    existing = bindings.get(term)
+                    if existing is None:
+                        bindings[term] = value
+                    elif existing != value:
+                        consistent = False
+                        break
+                elif store(term) != value:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            if self.governor is not None:
+                self.governor.tick()
+            bound_vars = frozenset(bindings)
+            plan_key = (predicate, rule_index)
+            order = self._rederive_plans.get(plan_key)
+            if order is None:
+                order = plan_order(
+                    rule.body, current, bound_vars, prefer_vars=bound_vars
+                )
+                self._rederive_plans[plan_key] = order
+            if body_witness(current, rule.body, bindings, order, stats=work):
+                return True
+        return False

@@ -109,6 +109,45 @@ def plan_order(
     return order
 
 
+def delta_variant_positions(head: Atom, literals: Sequence[Literal]) -> tuple[int, ...]:
+    """Body positions that need their own semi-naive delta variant.
+
+    Every positive literal gets a variant, except one identical to an
+    *earlier* positive literal up to renaming variables that occur
+    nowhere else in the rule (the paper's redundant-atom pattern,
+    ``G(x,s1), G(x,s2)``): swapping the two literals' private variables
+    is a rule automorphism fixing the head, so a body instantiation
+    with Δ pinned at the later literal maps to one with Δ pinned at the
+    earlier literal deriving the same head.  Dropping the later variant
+    leaves the per-round derived-head set unchanged (under both the
+    read-everything and the textbook snapshot disciplines) while
+    skipping its join entirely.
+    """
+    counts: dict[Variable, int] = {}
+    for atom in (head, *(literal.atom for literal in literals)):
+        for term in atom.args:
+            if isinstance(term, Variable):
+                counts[term] = counts.get(term, 0) + 1
+    seen: set[tuple] = set()
+    positions: list[int] = []
+    for index, literal in enumerate(literals):
+        if not literal.positive:
+            continue
+        atom = literal.atom
+        signature = (
+            atom.predicate,
+            tuple(
+                None if isinstance(term, Variable) and counts[term] == 1 else term
+                for term in atom.args
+            ),
+        )
+        if signature in seen:
+            continue
+        seen.add(signature)
+        positions.append(index)
+    return tuple(positions)
+
+
 def _bound_positions(atom: Atom, bindings: Mapping[Variable, Term]) -> dict[int, Term]:
     """Map argument positions that are ground under *bindings* to values."""
     out: dict[int, Term] = {}
@@ -172,24 +211,29 @@ def match_body(
         )
     bindings: dict[Variable, Term] = dict(initial) if initial else {}
 
-    def bind_row(atom: Atom, row: tuple) -> list[Variable] | None:
+    def bind_row(atom: Atom, row: tuple, guaranteed: Mapping[int, Term]) -> list[Variable] | None:
         """Extend *bindings* to match *atom* against *row*.
+
+        *guaranteed* is the bound-position map the row was probed with:
+        ``candidates`` guarantees those positions match, so they are
+        skipped here.  (Besides saving re-checks, this keeps the
+        reference path backend-agnostic -- on the columnar backend the
+        guaranteed positions hold Terms while rows hold interned ints.)
+        Every remaining position is an unbound-or-repeated variable;
+        values bound from rows stay in the backend's representation.
 
         Returns the newly bound variables (to undo later), or ``None``
         on mismatch (nothing left bound).
         """
         added: list[Variable] = []
         for pos, term in enumerate(atom.args):
-            if isinstance(term, Variable):
-                value = bindings.get(term)
-                if value is None:
-                    bindings[term] = row[pos]
-                    added.append(term)
-                elif value != row[pos]:
-                    for var in added:
-                        del bindings[var]
-                    return None
-            elif term != row[pos]:
+            if pos in guaranteed:
+                continue
+            value = bindings.get(term)
+            if value is None:
+                bindings[term] = row[pos]
+                added.append(term)
+            elif value != row[pos]:
                 for var in added:
                     del bindings[var]
                 return None
@@ -216,7 +260,7 @@ def match_body(
             return ground not in db and satisfiable(depth + 1)
         bound = _bound_positions(atom, bindings)
         for row in source.candidates(atom.predicate, bound):
-            added = bind_row(atom, row)
+            added = bind_row(atom, row, bound)
             if added is None:
                 continue
             if satisfiable(depth + 1):
@@ -246,7 +290,7 @@ def match_body(
             return
         bound = _bound_positions(atom, bindings)
         for row in source.candidates(atom.predicate, bound):
-            added = bind_row(atom, row)
+            added = bind_row(atom, row, bound)
             if added is None:
                 continue
             yield from search(depth + 1)
@@ -254,6 +298,62 @@ def match_body(
                 del bindings[var]
 
     yield from search(0)
+
+
+def body_witness(
+    db: Database,
+    literals: Sequence[Literal],
+    bindings: Mapping[Variable, Term],
+    order: Sequence[int],
+    stats: EvaluationStats | None = None,
+) -> bool:
+    """Does *some* completion of *bindings* satisfy the body in *db*?
+
+    The boolean twin of :func:`match_body` with the witness cutoff
+    engaged from depth 0: callers pass bindings that already determine
+    everything they care about (e.g. every head variable, as in DRed
+    rederivation) and only need to know whether a witness exists.
+    Skipping the generator machinery and the per-solution dict copies
+    makes this the cheapest probe the join layer offers.  *bindings* is
+    left unmodified; *order* is a precomputed :func:`plan_order` result.
+    """
+    scratch: dict[Variable, Term] = dict(bindings)
+
+    def satisfiable(depth: int) -> bool:
+        if depth == len(order):
+            return True
+        literal = literals[order[depth]]
+        atom = literal.atom
+        if stats is not None:
+            stats.subgoal_attempts += 1
+        if not literal.positive:
+            return atom.substitute(scratch) not in db and satisfiable(depth + 1)
+        bound = _bound_positions(atom, scratch)
+        args = atom.args
+        for row in db.candidates(atom.predicate, bound):
+            added = None
+            matched = True
+            for pos, term in enumerate(args):
+                if pos in bound:
+                    continue
+                value = scratch.get(term)
+                if value is None:
+                    scratch[term] = row[pos]
+                    if added is None:
+                        added = [term]
+                    else:
+                        added.append(term)
+                elif value != row[pos]:
+                    matched = False
+                    break
+            if matched and satisfiable(depth + 1):
+                return True
+            if added:
+                for var in added:
+                    del scratch[var]
+        return False
+
+    return satisfiable(0)
 
 
 def fire_rule(

@@ -109,10 +109,13 @@ class MagicRewriting:
         """
         from ..lang.substitution import match_atom
 
+        # Match in the backend's storage representation, decode at
+        # this output boundary: answers are always plain Term rows.
+        pattern = computed.adapt_atom(self.query_atom)
         out = Database()
         for row in computed.tuples(self.adorned_query_predicate):
-            if match_atom(self.query_atom, Atom(self.query_atom.predicate, row)) is not None:
-                out._add_row(self.query_atom.predicate, row)
+            if match_atom(pattern, Atom(self.query_atom.predicate, row)) is not None:
+                out._add_row(self.query_atom.predicate, computed.decode_row(row))
         return out
 
 
@@ -304,7 +307,7 @@ def answer_query(
             i: t for i, t in enumerate(query.args) if not isinstance(t, Variable)
         }
         for row in db.candidates(query.predicate, bound) if db.count(query.predicate) else ():
-            answers._add_row(query.predicate, row)
+            answers._add_row(query.predicate, db.decode_row(row))
         return answers, EvaluationResult(db.copy(), _empty_stats())
 
     with trace("magic.answer_query", query=str(query)) as span:

@@ -38,7 +38,7 @@ from ..obs.tracer import trace
 from ..resilience.governor import EvaluationStatus, ResourceGovernor
 from .compile import KernelCache, cardinality_hint_provider
 from .fixpoint import EvaluationResult
-from .joins import fire_rule, plan_order
+from .joins import delta_variant_positions, fire_rule, plan_order
 from .stats import EvaluationStats
 
 
@@ -70,6 +70,12 @@ def seminaive_fixpoint(
     degradation = None
     #: (rule, delta position) -> cached join order (reference path).
     plans: dict[tuple[int, int], list[int]] = {}
+    #: Per rule: the body positions that need their own delta variant
+    #: (symmetric redundant-atom positions collapse to the first).
+    variants = [
+        () if rule.is_fact else delta_variant_positions(rule.head, rule.body)
+        for rule in program.rules
+    ]
     kernels = (
         KernelCache(
             program.rules, full, hint_provider=cardinality_hint_provider(program, full)
@@ -105,7 +111,7 @@ def seminaive_fixpoint(
                     "seminaive.iteration", index=stats.iterations, delta=len(delta)
                 ) as iteration:
                     iteration.watch(stats)
-                    new_delta = Database()
+                    new_delta = full.empty_like()
                     for rule_index, rule in enumerate(program.rules):
                         if rule.is_fact:
                             continue
@@ -118,11 +124,12 @@ def seminaive_fixpoint(
                                 derived = _fire_rule_compiled(
                                     rule, kernels, rule_index, full, delta,
                                     snapshot, stats, governor,
+                                    variants[rule_index],
                                 )
                             else:
                                 derived = _fire_rule_seminaive(
                                     rule.head, rule, full, delta, stats, plans,
-                                    rule_index, governor,
+                                    rule_index, governor, variants[rule_index],
                                 )
                             for atom in derived:
                                 if atom not in full and atom not in new_delta:
@@ -152,6 +159,7 @@ def _fire_rule_seminaive(
     plans: dict[tuple[int, int], list[int]],
     rule_index: int,
     governor: ResourceGovernor | None = None,
+    positions: tuple[int, ...] | None = None,
 ) -> set[Atom]:
     """Union of the rule's delta-variants (reference path).
 
@@ -162,9 +170,10 @@ def _fire_rule_seminaive(
     derived: set[Atom] = set()
     body = rule.body
     head_vars = frozenset(head.variables())
-    for position, literal in enumerate(body):
-        if not literal.positive:
-            continue
+    if positions is None:
+        positions = delta_variant_positions(head, body)
+    for position in positions:
+        literal = body[position]
         if delta.count(literal.predicate) == 0:
             continue
         key = (rule_index, position)
@@ -197,12 +206,14 @@ def _fire_rule_compiled(
     snapshot: Database,
     stats: EvaluationStats,
     governor: ResourceGovernor | None,
+    positions: tuple[int, ...] | None = None,
 ) -> set[Atom]:
     """Union of the rule's delta-variants under the textbook discipline."""
     derived: set[Atom] = set()
-    for position, literal in enumerate(rule.body):
-        if not literal.positive:
-            continue
+    if positions is None:
+        positions = delta_variant_positions(rule.head, rule.body)
+    for position in positions:
+        literal = rule.body[position]
         if delta.count(literal.predicate) == 0:
             continue
         if position and not snapshot:

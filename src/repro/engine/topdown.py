@@ -52,13 +52,21 @@ class Call:
         return f"{self.predicate}({inner})"
 
 
-def _call_for(atom: Atom, bindings: dict[Variable, Term]) -> Call:
-    pattern: list[Optional[Term]] = []
+def _call_for(atom: Atom, bindings: dict[Variable, Term], db: Database) -> Call:
+    """The call induced by *atom* under *bindings*.
+
+    Patterns (like table rows and binding values) are kept in *db*'s
+    storage representation -- identity Terms on the row backend,
+    interned ints on columnar -- so all comparisons below stay
+    representation-consistent.
+    """
+    store = db.store_term
+    pattern: list = []
     for term in atom.args:
         if isinstance(term, Variable):
             pattern.append(bindings.get(term))
         else:
-            pattern.append(term)
+            pattern.append(store(term))
     return Call(atom.predicate, tuple(pattern))
 
 
@@ -114,7 +122,7 @@ def tabled_query(
     idb = program.idb_predicates
 
     tables: dict[Call, set[tuple]] = {}
-    root = _call_for(query, {})
+    root = _call_for(query, {}, db)
     _register(tables, root)
     status = EvaluationStatus.COMPLETE
     degradation = None
@@ -158,10 +166,11 @@ def tabled_query(
     # enforced here.
     from ..lang.substitution import match_atom
 
+    pattern = db.adapt_atom(query)
     answers = Database()
     for row in tables[root]:
-        if match_atom(query, Atom(query.predicate, row)) is not None:
-            answers._add_row(query.predicate, row)
+        if match_atom(pattern, Atom(query.predicate, row)) is not None:
+            answers._add_row(query.predicate, db.decode_row(row))
     stats.stop()
     return TabledResult(
         answers=answers,
@@ -245,7 +254,7 @@ def _solve_call(
                 elif existing != bound:
                     consistent = False
                     break
-            elif term != bound:
+            elif db.store_term(term) != bound:
                 consistent = False
                 break
         if not consistent:
@@ -272,7 +281,7 @@ def _solve_body(
     if depth == len(rule.body):
         head = rule.head.substitute(bindings)
         stats.rule_firings += 1
-        row = head.args
+        row = db.store_row(head.args)
         table = tables[call]
         if _matches_pattern(row, call.pattern) and row not in table:
             table.add(row)
@@ -289,7 +298,7 @@ def _solve_body(
         governor.tick()
     grew = False
     if atom.predicate in idb:
-        subcall = _call_for(atom, bindings)
+        subcall = _call_for(atom, bindings, db)
         _register(tables, subcall)
         rows = list(tables[subcall])
     else:
@@ -303,10 +312,13 @@ def _solve_body(
                 bound[position] = term
         rows = db.candidates(atom.predicate, bound)
 
+    # Compare in storage representation (constants encoded once here,
+    # not per row).
+    adapted_args = db.adapt_atom(atom).args
     for row in rows:
         added: list[Variable] = []
         ok = True
-        for position, term in enumerate(atom.args):
+        for position, term in enumerate(adapted_args):
             if isinstance(term, Variable):
                 value = bindings.get(term)
                 if value is None:

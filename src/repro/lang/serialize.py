@@ -131,7 +131,12 @@ def program_from_json(text: str) -> Program:
 def database_to_dict(db: "Database") -> dict[str, Any]:
     facts: dict[str, list[list[dict[str, Any]]]] = {}
     for pred in sorted(db.predicates):
-        rows = sorted(db.tuples(pred), key=lambda row: [str(t) for t in row])
+        # decode_row: serialization is an output boundary -- columnar
+        # databases hand back Terms here, the row backend is identity.
+        rows = sorted(
+            (db.decode_row(row) for row in db.tuples(pred)),
+            key=lambda row: [str(t) for t in row],
+        )
         facts[pred] = [[term_to_dict(t) for t in row] for row in rows]
     return {"format": FORMAT_VERSION, "facts": facts}
 

@@ -55,12 +55,17 @@ REGRESSION_THRESHOLD = 0.20
 
 
 def _entry(
-    workload: Workload, size: int, engine: str, stats: dict[str, float | int]
+    workload: Workload,
+    size: int,
+    engine: str,
+    stats: dict[str, float | int],
+    backend: str = "rows",
 ) -> dict[str, Any]:
     return {
         "workload": workload.name,
         "size": size,
         "engine": engine,
+        "backend": backend,
         "stats": stats,
     }
 
@@ -69,7 +74,9 @@ def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int
     """Insert + delete maintenance round-trip; returns flat counters."""
     atoms = sorted(edb.atoms(), key=lambda a: a.sort_key())
     holdout = atoms[-_INCREMENTAL_HOLDOUT:] if len(atoms) > _INCREMENTAL_HOLDOUT else atoms[-1:]
-    base = Database(a for a in atoms if a not in set(holdout))
+    base = edb.empty_like()
+    excluded = set(holdout)
+    base.add_all(a for a in atoms if a not in excluded)
     started = time.perf_counter()
     view = MaterializedView(workload.program, base)
     built = time.perf_counter()
@@ -118,7 +125,7 @@ def _run_chase(workload: Workload, edb: Database) -> dict[str, float | int]:
 
 
 def run_workload(
-    workload: Workload, size: int, engines: Iterable[str]
+    workload: Workload, size: int, engines: Iterable[str], backend: str = "rows"
 ) -> list[dict[str, Any]]:
     """Measure one workload at one size under the applicable *engines*.
 
@@ -126,30 +133,57 @@ def run_workload(
     (:func:`repro.engine.fixpoint.get_engine`), so every registered
     engine benches through the same seam the CLI and ``evaluate`` use
     -- an unknown name fails with the registry's truthful error.
+
+    The EDB is generated directly on *backend*.  A workload that
+    declares ``engines`` restricts the matrix to those; one that
+    declares ``memory_cap_bytes`` runs its fixpoint engines under a
+    memory-governed :class:`~repro.resilience.ResourceGovernor`, and a
+    tripped cap is reported honestly as ``stats.partial = 1`` (the
+    committed facts are a sound under-approximation).
     """
+    from ..resilience.governor import EvaluationStatus, ResourceGovernor
+
     entries: list[dict[str, Any]] = []
-    edb = workload.edb(size)
+    edb = workload.edb(size, backend=backend)
     for engine in engines:
+        if workload.engines is not None and engine not in workload.engines:
+            continue
         if engine == "chase":
             # Pseudo-engine outside the fixpoint registry: benches
             # [P, T] saturation on tgd-carrying workloads only.
             if workload.tgds:
-                entries.append(_entry(workload, size, engine, _run_chase(workload, edb)))
+                entries.append(
+                    _entry(workload, size, engine, _run_chase(workload, edb), backend)
+                )
             continue
         spec = get_engine(engine)
         if spec.kind == "fixpoint":
-            result = spec.run(workload.program, edb)
-            entries.append(_entry(workload, size, engine, result.stats.to_dict()))
+            governor = (
+                ResourceGovernor(max_memory_bytes=workload.memory_cap_bytes)
+                if workload.memory_cap_bytes is not None
+                else None
+            )
+            started = time.perf_counter()
+            result = spec.run(workload.program, edb, governor=governor)
+            elapsed = time.perf_counter() - started
+            stats = result.stats.to_dict()
+            if governor is not None:
+                # A governed run's own elapsed_s stops at the trip; the
+                # wall clock of the whole attempt is the honest figure.
+                stats["elapsed_s"] = elapsed
+            if result.status is EvaluationStatus.PARTIAL:
+                stats["partial"] = 1
+            entries.append(_entry(workload, size, engine, stats, backend))
         elif spec.kind == "query":
             if workload.query is None:
                 continue
             answers, result = spec.answer(workload.program, edb, workload.query)
             stats = result.stats.to_dict()
             stats["answers"] = len(answers)
-            entries.append(_entry(workload, size, engine, stats))
+            entries.append(_entry(workload, size, engine, stats, backend))
         elif spec.kind == "maintenance":
             entries.append(
-                _entry(workload, size, engine, _run_incremental(workload, edb))
+                _entry(workload, size, engine, _run_incremental(workload, edb), backend)
             )
         else:  # pragma: no cover - registry kinds are closed
             raise ValueError(f"engine {engine!r} has unknown kind {spec.kind!r}")
@@ -162,6 +196,7 @@ def run_bench(
     quick: bool = False,
     date: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backends: Iterable[str] = ("rows",),
 ) -> dict[str, Any]:
     """Run the bench matrix; return a schema-valid bench document.
 
@@ -172,9 +207,12 @@ def run_bench(
         quick: use the small CI matrix.
         date: ISO date stamped into the document (default: today).
         progress: optional callback receiving one line per measurement.
+        backends: storage backends to measure (each (workload, size,
+            engine) cell is repeated per backend and keyed by it).
     """
     suite_names = list(suites) if suites else list(QUICK_SUITES if quick else sorted(SUITES))
     size_list = [int(s) for s in (sizes if sizes else (QUICK_SIZES if quick else FULL_SIZES))]
+    backend_list = list(backends)
     unknown = [name for name in suite_names if name not in SUITES]
     if unknown:
         known = ", ".join(sorted(SUITES))
@@ -184,9 +222,10 @@ def run_bench(
     for name in suite_names:
         workload = SUITES[name]()
         for size in size_list:
-            if progress:
-                progress(f"bench {name} size={size}")
-            entries.extend(run_workload(workload, size, ALL_ENGINES))
+            for backend in backend_list:
+                if progress:
+                    progress(f"bench {name} size={size} backend={backend}")
+                entries.extend(run_workload(workload, size, ALL_ENGINES, backend))
 
     document = {
         "schema": BENCH_SCHEMA,
@@ -205,24 +244,31 @@ def run_bench(
 def diff_bench_documents(
     old: dict[str, Any], new: dict[str, Any]
 ) -> list[dict[str, Any]]:
-    """Compare two bench documents on their shared (workload, size, engine) keys.
+    """Compare two documents on shared (workload, size, engine, backend) keys.
 
     Returns one record per shared key with the old/new elapsed seconds
     and subgoal attempts, plus the relative time change.  Keys present
     in only one document are reported with ``status`` ``"added"`` /
-    ``"removed"``.
+    ``"removed"``.  Schema-v1 entries carry no backend and default to
+    ``"rows"``, so old trajectory files diff cleanly against new ones.
     """
 
     def keyed(doc: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
         return {
-            (e["workload"], e["size"], e["engine"]): e for e in doc.get("entries", [])
+            (e["workload"], e["size"], e["engine"], e.get("backend", "rows")): e
+            for e in doc.get("entries", [])
         }
 
     old_entries, new_entries = keyed(old), keyed(new)
     records: list[dict[str, Any]] = []
     for key in sorted(set(old_entries) | set(new_entries), key=str):
-        workload, size, engine = key
-        record: dict[str, Any] = {"workload": workload, "size": size, "engine": engine}
+        workload, size, engine, backend = key
+        record: dict[str, Any] = {
+            "workload": workload,
+            "size": size,
+            "engine": engine,
+            "backend": backend,
+        }
         if key not in old_entries:
             record["status"] = "added"
         elif key not in new_entries:
@@ -267,7 +313,8 @@ def regressions(
             if change > threshold:
                 flagged.append(
                     f"{record['workload']} size={record['size']} "
-                    f"{record['engine']}: {metric} {old} -> {new} "
+                    f"{record['engine']}[{record.get('backend', 'rows')}]: "
+                    f"{metric} {old} -> {new} "
                     f"({change * 100:+.1f}%)"
                 )
     return flagged
@@ -276,20 +323,22 @@ def regressions(
 def render_diff(records: list[dict[str, Any]]) -> str:
     """Text rendering of :func:`diff_bench_documents` output."""
     lines = [
-        f"{'workload':<24} {'size':>5} {'engine':<14} "
+        f"{'workload':<24} {'size':>8} {'engine':<14} {'backend':<9} "
         f"{'elapsed old':>12} {'elapsed new':>12} {'change':>8}"
     ]
     for record in records:
+        backend = record.get("backend", "rows")
         if record["status"] != "shared":
             lines.append(
-                f"{record['workload']:<24} {record['size']:>5} "
-                f"{record['engine']:<14} [{record['status']}]"
+                f"{record['workload']:<24} {record['size']:>8} "
+                f"{record['engine']:<14} {backend:<9} [{record['status']}]"
             )
             continue
         change = record.get("elapsed_change")
         change_text = f"{change * 100:+.1f}%" if change is not None else "n/a"
         lines.append(
-            f"{record['workload']:<24} {record['size']:>5} {record['engine']:<14} "
+            f"{record['workload']:<24} {record['size']:>8} {record['engine']:<14} "
+            f"{backend:<9} "
             f"{record['elapsed_s_old'] * 1000:>10.2f}ms "
             f"{record['elapsed_s_new'] * 1000:>10.2f}ms {change_text:>8}"
         )

@@ -12,7 +12,7 @@ drift.
 Document shape (version :data:`BENCH_SCHEMA`)::
 
     {
-      "schema": "repro.bench/1",
+      "schema": "repro.bench/2",
       "generated": "2026-08-05",            # ISO date of the run
       "quick": false,                        # --quick subset?
       "engines": ["incremental", ...],       # distinct engines, sorted
@@ -21,6 +21,7 @@ Document shape (version :data:`BENCH_SCHEMA`)::
           "workload": "tc+2atoms/chain",     # repro.workloads suite name
           "size": 32,                        # EDB generator parameter
           "engine": "seminaive",
+          "backend": "columnar",             # storage backend (v2; optional)
           "stats": {"elapsed_s": 0.0123, ...}   # numeric work counters
         }, ...
       ],
@@ -30,8 +31,14 @@ Document shape (version :data:`BENCH_SCHEMA`)::
 ``stats`` keys vary by engine (bottom-up engines report the
 EvaluationStats counters; ``incremental`` reports maintenance
 counters); ``elapsed_s`` is mandatory everywhere so that any two files
-can be compared time-wise on their shared (workload, size, engine)
-keys.
+can be compared time-wise on their shared (workload, size, engine,
+backend) keys.  A governed run that tripped its resource cap reports
+``stats.partial = 1`` (sound under-approximation; see the resource
+governor).
+
+Version history: ``repro.bench/1`` had no ``backend`` field -- v1
+documents remain valid (:func:`validate_bench_document` accepts both)
+and diff against v2 documents with backend defaulted to ``"rows"``.
 """
 
 from __future__ import annotations
@@ -41,8 +48,15 @@ from typing import Any
 
 from .metrics import METRICS_SCHEMA
 
-#: Version marker of the bench document format.
-BENCH_SCHEMA = "repro.bench/1"
+#: Version marker of the bench document format (what the runner emits).
+BENCH_SCHEMA = "repro.bench/2"
+
+#: Versions :func:`validate_bench_document` accepts (older documents in
+#: the trajectory stay valid and diffable).
+ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
+
+#: Storage backends a v2 entry may name.
+KNOWN_BACKENDS = ("rows", "columnar")
 
 #: The engines a full (non-filtered) bench run must cover.  ``chase``
 #: is a pseudo-engine: it benches ``[P, T]`` saturation on workloads
@@ -71,8 +85,8 @@ def validate_bench_document(doc: Any) -> list[str]:
     if not isinstance(doc, dict):
         return ["document: expected a JSON object"]
     schema = doc.get("schema")
-    if schema != BENCH_SCHEMA:
-        errors.append(f"schema: expected {BENCH_SCHEMA!r}, got {schema!r}")
+    if schema not in ACCEPTED_SCHEMAS:
+        errors.append(f"schema: expected one of {ACCEPTED_SCHEMAS}, got {schema!r}")
     generated = doc.get("generated")
     if not isinstance(generated, str) or not _DATE_RE.match(generated):
         errors.append(f"generated: expected an ISO date string, got {generated!r}")
@@ -103,9 +117,16 @@ def validate_bench_document(doc: Any) -> list[str]:
                 )
             else:
                 seen_engines.add(engine)
-            key = (workload, size, engine)
+            backend = entry.get("backend", "rows")
+            if backend not in KNOWN_BACKENDS:
+                errors.append(
+                    f"{at}.backend: {backend!r} is not one of {sorted(KNOWN_BACKENDS)}"
+                )
+            key = (workload, size, engine, backend)
             if key in seen_keys:
-                errors.append(f"{at}: duplicate (workload, size, engine) key {key}")
+                errors.append(
+                    f"{at}: duplicate (workload, size, engine, backend) key {key}"
+                )
             seen_keys.add(key)
             stats = entry.get("stats")
             if not isinstance(stats, dict):

@@ -48,6 +48,23 @@ def tc_linear() -> Program:
     )
 
 
+def reachability() -> Program:
+    """Single-source reachability: unary closure of ``A`` from ``S``.
+
+    The IDB stays linear in the number of reachable *nodes* (not node
+    pairs), which is what lets the million-fact storage workload
+    (``reach/random``) run to fixpoint -- the working set is dominated
+    by the EDB, so the backends' byte-per-fact footprints are what a
+    memory cap actually measures.
+    """
+    return parse_program(
+        """
+        R(x) :- S(x).
+        R(y) :- R(x), A(x, y).
+        """
+    )
+
+
 def same_generation() -> Program:
     """The classic same-generation program over ``Par`` (parent) edges."""
     return parse_program(
@@ -154,12 +171,12 @@ def andersen() -> Program:
     )
 
 
-def pointer_statements(statements: int, variables: int, seed: int):
+def pointer_statements(statements: int, variables: int, seed: int, backend: str = "rows"):
     """A random straight-line pointer program as an EDB for :func:`andersen`."""
     from ..data.database import Database
 
     rng = random.Random(seed)
-    db = Database()
+    db = Database(backend=backend)
     for _ in range(statements):
         kind = rng.random()
         p = f"v{rng.randrange(variables)}"

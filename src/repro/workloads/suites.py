@@ -21,28 +21,42 @@ from . import graphs, programs
 
 @dataclass(frozen=True)
 class Workload:
-    """A named (program, EDB generator) pairing for benchmarking."""
+    """A named (program, EDB generator) pairing for benchmarking.
+
+    ``edb`` takes the size parameter plus a ``backend`` keyword and
+    generates the extensional database directly on that storage
+    backend.  ``engines`` restricts the bench matrix to the named
+    engines (``None`` = every applicable engine); ``memory_cap_bytes``
+    runs the bench under a governed memory cap, so a backend whose
+    footprint exceeds the cap reports a honest ``PARTIAL`` instead of
+    silently thrashing -- the million-fact storage workload uses both.
+    """
 
     name: str
     program: Program
-    edb: Callable[[int], Database]
+    edb: Callable[..., Database]
     description: str
     tgds: tuple[Tgd, ...] = ()
     query: Optional[Atom] = None
     expected_minimal: Optional[Program] = None
+    engines: Optional[tuple[str, ...]] = None
+    memory_cap_bytes: Optional[int] = None
 
 
-def _tc_edb_chain(n: int) -> Database:
-    return graphs.chain(n)
+def _tc_edb_chain(n: int, backend: str = "rows") -> Database:
+    return graphs.chain(n, backend=backend)
 
 
-def _tc_edb_random(n: int) -> Database:
+def _tc_edb_random(n: int, backend: str = "rows") -> Database:
     # Edge count ~2n keeps the closure quadratic but tractable.
-    return graphs.random_graph(n, 2 * n, seed=7)
+    return graphs.random_graph(n, 2 * n, seed=7, backend=backend)
 
 
-def _ex19_edb(n: int) -> Database:
-    return graphs.merged(graphs.chain(n), graphs.unary_marks(range(n + 1)))
+def _ex19_edb(n: int, backend: str = "rows") -> Database:
+    return graphs.merged(
+        graphs.chain(n, backend=backend),
+        graphs.unary_marks(range(n + 1), backend=backend),
+    )
 
 
 def tc_redundant_atoms(k: int, base: str = "chain") -> Workload:
@@ -147,8 +161,10 @@ def magic_tc_workload() -> Workload:
 def andersen_workload() -> Workload:
     """Domain workload: Andersen points-to over random pointer programs."""
 
-    def edb(n: int) -> Database:
-        return programs.pointer_statements(statements=n, variables=max(4, n // 8), seed=23)
+    def edb(n: int, backend: str = "rows") -> Database:
+        return programs.pointer_statements(
+            statements=n, variables=max(4, n // 8), seed=23, backend=backend
+        )
 
     return Workload(
         name="andersen",
@@ -161,9 +177,9 @@ def andersen_workload() -> Workload:
 def same_generation_workload() -> Workload:
     """Domain workload: same-generation over a random tree + person marks."""
 
-    def edb(n: int) -> Database:
-        tree = graphs.random_tree(n, seed=11, predicate="Par")
-        people = graphs.unary_marks(range(n), predicate="Per")
+    def edb(n: int, backend: str = "rows") -> Database:
+        tree = graphs.random_tree(n, seed=11, predicate="Par", backend=backend)
+        people = graphs.unary_marks(range(n), predicate="Per", backend=backend)
         return graphs.merged(tree, people)
 
     return Workload(
@@ -171,6 +187,31 @@ def same_generation_workload() -> Workload:
         program=programs.same_generation(),
         edb=edb,
         description="same-generation over a random parent tree",
+    )
+
+
+def reach_workload() -> Workload:
+    """The million-fact storage workload: single-source reachability.
+
+    The IDB (reachable nodes) is tiny next to the EDB (random edges),
+    so evaluation cost is storage cost: at a million edges the
+    interned-int columnar backend fits comfortably under the 96 MB
+    governed cap while the row backend's per-tuple Term overhead blows
+    through it and degrades to ``PARTIAL``.  Restricted to the
+    semi-naive engine -- the point is the storage comparison, not an
+    engine matrix on a seven-figure EDB.
+    """
+
+    def edb(n: int, backend: str = "rows") -> Database:
+        return graphs.single_source(n, seed=5, backend=backend)
+
+    return Workload(
+        name="reach/random",
+        program=programs.reachability(),
+        edb=edb,
+        description="single-source reachability over a random million-edge EDB",
+        engines=("seminaive",),
+        memory_cap_bytes=96_000_000,
     )
 
 
@@ -189,6 +230,7 @@ SUITES: dict[str, Callable[[], Workload]] = {
     "magic-tc": magic_tc_workload,
     "same-generation": same_generation_workload,
     "andersen": andersen_workload,
+    "reach/random": reach_workload,
 }
 
 
