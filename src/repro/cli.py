@@ -6,6 +6,7 @@ Subcommands::
     repro-datalog lint       PROGRAM            # static diagnostics
     repro-datalog analyze    PROGRAM            # abstract-interpretation report
     repro-datalog eval       PROGRAM --edb F    # bottom-up evaluation
+    repro-datalog resume     CHECKPOINT         # continue an interrupted eval
     repro-datalog minimize   PROGRAM            # Fig. 2 minimization
     repro-datalog optimize   PROGRAM            # + Section X/XI layer
     repro-datalog contains   P1 P2              # uniform containment, both ways
@@ -274,21 +275,129 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_eval(args: argparse.Namespace) -> int:
-    program = _load_program(args.program)
-    edb = _load_edb(args.edb, args.backend)
-    governor = _governor_from_args(args)
-    result = evaluate(
-        program, edb, engine=args.engine, governor=governor, on_limit=args.on_limit
+def _add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
+    """Durable-checkpoint flags shared by ``eval`` and ``bench``."""
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write a durable checkpoint of the evaluation at round "
+        "boundaries; an interrupted run continues with 'resume PATH' "
+        "(see docs/STORAGE.md for the file format)",
     )
-    print(format_database(result.database))
-    if args.stats:
-        print()
-        print(result.stats.summary())
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in fixpoint rounds (default 1)",
+    )
+
+
+def _checkpointed_governor(args: argparse.Namespace, governor, program, engine: str):
+    """Wire a CheckpointManager into *governor* when --checkpoint is set.
+
+    Checkpoints ride the governor's round hook, so a limitless governor
+    is created if the user set no limits.  Returns (governor, manager).
+    """
+    if not getattr(args, "checkpoint", None):
+        return governor, None
+    from .resilience import CheckpointManager, ResourceGovernor
+
+    manager = CheckpointManager(
+        args.checkpoint, program=program, engine=engine, every=args.checkpoint_every
+    )
+    if governor is None:
+        governor = ResourceGovernor()
+    governor.on_round = manager.on_round
+    return governor, manager
+
+
+def _result_document(result, database=None) -> dict:
+    """The --json document shared by eval/query/resume.
+
+    ``degradation`` is present (non-null) exactly on PARTIAL runs, so
+    machine consumers see which limit tripped and where without parsing
+    stderr.
+    """
+    from .lang.serialize import database_to_dict
+
+    return {
+        "status": result.status.value,
+        "database": database_to_dict(database if database is not None else result.database),
+        "stats": result.stats.to_dict(),
+        "degradation": (
+            result.degradation.to_dict() if result.degradation is not None else None
+        ),
+    }
+
+
+def _emit_result(args: argparse.Namespace, result, database=None) -> int:
+    """Shared output tail of eval/resume: text or JSON, PARTIAL exit code."""
+    import json
+
+    if getattr(args, "json", False):
+        print(json.dumps(_result_document(result, database), indent=2))
+    else:
+        print(format_database(database if database is not None else result.database))
+        if args.stats:
+            print()
+            print(result.stats.summary())
     if result.is_partial:
         print(result.degradation.summary(), file=sys.stderr)
         return EXIT_PARTIAL
     return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    program = _load_program(args.program)
+    edb = _load_edb(args.edb, args.backend)
+    governor = _governor_from_args(args)
+    governor, _manager = _checkpointed_governor(args, governor, program, args.engine)
+    result = evaluate(
+        program, edb, engine=args.engine, governor=governor, on_limit=args.on_limit
+    )
+    return _emit_result(args, result)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .resilience import CheckpointManager, resume_evaluation
+
+    every = args.checkpoint_every
+    manager = CheckpointManager(args.checkpoint, every=every or 1)
+    checkpoint = manager.latest()
+    if checkpoint is None:
+        print(
+            f"error: no valid checkpoint generation at {args.checkpoint}",
+            file=sys.stderr,
+        )
+        return 2
+    program = _load_program(args.program) if args.program else None
+    governor = _governor_from_args(args)
+    if not args.no_checkpoint:
+        from .resilience import ResourceGovernor
+
+        manager.adopt(checkpoint, every=every)
+        if governor is None:
+            governor = ResourceGovernor()
+        governor.on_round = manager.on_round
+    if governor is not None:
+        state = checkpoint.governor_state or {}
+        governor.restore(facts=state.get("facts", 0), rounds=state.get("rounds", 0))
+    if not args.json:
+        print(
+            f"resuming {checkpoint.engine} evaluation from round "
+            f"{checkpoint.round} ({len(checkpoint.database)} facts, "
+            f"backend {checkpoint.backend})",
+            file=sys.stderr,
+        )
+    result = resume_evaluation(checkpoint, governor=governor, program=program)
+    if args.on_limit == "raise" and result.is_partial:
+        from .errors import ResourceLimitExceeded
+
+        raise ResourceLimitExceeded(
+            result.degradation.summary(), report=result.degradation
+        )
+    return _emit_result(args, result)
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -418,11 +527,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ResourceLimitExceeded(
             result.degradation.summary(), report=result.degradation
         )
-    for atom in sorted(answers.atoms(), key=lambda a: a.sort_key()):
-        print(atom)
-    if args.stats:
-        print()
-        print(result.stats.summary())
+    if args.json:
+        import json
+
+        print(json.dumps(_result_document(result, database=answers), indent=2))
+    else:
+        for atom in sorted(answers.atoms(), key=lambda a: a.sort_key()):
+            print(atom)
+        if args.stats:
+            print()
+            print(result.stats.summary())
     if result.is_partial:
         print(result.degradation.summary(), file=sys.stderr)
         return EXIT_PARTIAL
@@ -542,6 +656,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             date=args.date,
             progress=progress,
             backends=backends,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -709,9 +825,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=list(engine_names("fixpoint")), default="seminaive"
     )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result (database, stats, status, and on PARTIAL "
+        "the degradation report) as machine-readable JSON",
+    )
     _add_backend_flag(p)
     _add_governor_flags(p)
+    _add_checkpoint_flags(p)
     p.set_defaults(func=_cmd_eval)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted eval from its durable checkpoint "
+        "(falls back to the previous generation if the latest is corrupt)",
+    )
+    p.add_argument(
+        "checkpoint", help="checkpoint file written by eval --checkpoint"
+    )
+    p.add_argument(
+        "--program",
+        metavar="FILE",
+        help="verify the checkpoint against this program's fingerprint "
+        "before resuming (a mismatch aborts instead of computing the "
+        "wrong model)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="do not keep checkpointing the resumed run",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint cadence for the resumed run "
+        "(default: the cadence stored in the checkpoint)",
+    )
+    p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result (database, stats, status, degradation) as JSON",
+    )
+    _add_governor_flags(p)
+    p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser("minimize", help="minimize under uniform equivalence (Fig. 2)")
     p.add_argument("program")
@@ -773,6 +933,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bottom-up engine under magic/supplementary (ignored by topdown)",
     )
     p.add_argument("--stats", action="store_true", help="print join-work statistics")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the answers (plus stats, status, and on PARTIAL the "
+        "degradation report) as machine-readable JSON",
+    )
     _add_backend_flag(p)
     _add_governor_flags(p)
     p.set_defaults(func=_cmd_query)
@@ -849,6 +1015,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         metavar="FILE",
         help="validate an existing document against the schema and exit",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="write a durable checkpoint per fixpoint cell into DIR "
+        "(one file per workload/size/engine/backend; resumable with "
+        "the 'resume' verb)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in fixpoint rounds (default 1)",
     )
     p.add_argument("--quiet", action="store_true", help="suppress progress lines")
     p.set_defaults(func=_cmd_bench)

@@ -47,6 +47,7 @@ def seminaive_fixpoint(
     db: Database,
     governor: ResourceGovernor | None = None,
     use_compiled: bool = True,
+    resume_state=None,
 ) -> EvaluationResult:
     """Compute ``P(db)`` with differential iteration.
 
@@ -57,6 +58,17 @@ def seminaive_fixpoint(
 
     *use_compiled* selects the kernel path (default) or the
     ``fire_rule`` reference path; both compute the same fixpoint.
+
+    *resume_state* (a
+    :class:`~repro.resilience.checkpoint.ResumeState`-shaped object with
+    ``delta`` and ``round``) re-enters the loop mid-fixpoint: *db* is
+    taken as ``F_{k-1}`` verbatim (round 0 seeding is skipped -- fact
+    rules already fired before the checkpoint), the delta frontier is
+    the saved ``Δ_{k-1}``, and the pre-round snapshot is reconstructed
+    as ``F_{k-1} − Δ_{k-1}`` (the invariant ``full = snapshot ⊎ delta``
+    holds at every checkpoint site, so no third database is persisted).
+    Replaying round *k* on this exact state continues the original
+    fixpoint unchanged.
     """
     if not program.is_positive:
         raise UnsafeRuleError(
@@ -90,23 +102,34 @@ def seminaive_fixpoint(
             if governor is not None:
                 governor.note(engine="seminaive")
 
-            # Round 0: fire ground facts (empty bodies) and seed the delta with
-            # the whole input, so every rule sees the input as "new".
-            # The pre-round snapshot F_0 starts empty; the invariant
-            # full == snapshot ∪ delta holds at the top of every round.
-            delta = db.copy()
-            snapshot = full.empty_like()
-            stats.iterations += 1
-            for rule in program.rules:
-                if rule.is_fact:
-                    if full.add(rule.head):
-                        stats.facts_derived += 1
-                        delta.add(rule.head)
+            if resume_state is not None:
+                # Mid-fixpoint re-entry from a durable checkpoint: *db*
+                # is F_{k-1}, the saved delta is Δ_{k-1}; reconstruct
+                # snapshot = full − delta and rejoin at round k (the
+                # loop header re-increments iterations to it).
+                delta = resume_state.delta.copy()
+                snapshot = full.copy()
+                snapshot.discard_all(delta.atoms())
+                stats.iterations = resume_state.round - 1
+            else:
+                # Round 0: fire ground facts (empty bodies) and seed the
+                # delta with the whole input, so every rule sees the
+                # input as "new".  The pre-round snapshot F_0 starts
+                # empty; the invariant full == snapshot ∪ delta holds at
+                # the top of every round.
+                delta = db.copy()
+                snapshot = full.empty_like()
+                stats.iterations += 1
+                for rule in program.rules:
+                    if rule.is_fact:
+                        if full.add(rule.head):
+                            stats.facts_derived += 1
+                            delta.add(rule.head)
 
             while delta:
                 stats.iterations += 1
                 if governor is not None:
-                    governor.checkpoint(full, round=stats.iterations)
+                    governor.checkpoint(full, round=stats.iterations, delta=delta)
                 with trace(
                     "seminaive.iteration", index=stats.iterations, delta=len(delta)
                 ) as iteration:

@@ -118,3 +118,27 @@ class TransientStorageError(ReproError):
     :class:`~repro.resilience.EvaluationSession` retry loop treats it as
     retryable; any other exception is not.
     """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.resilience.checkpoint` when a snapshot fails
+    its checksum, cannot be parsed (torn/truncated write), carries an
+    unknown format version, or does not match the program it is being
+    resumed against (fingerprint mismatch).  Recovery code treats a
+    corrupt *latest* generation as skippable -- it falls back to the
+    previous generation -- and only raises when no valid generation
+    remains.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """An injected process-abort from the ``crash`` fault seam.
+
+    Deliberately **not** a :class:`TransientStorageError`: the retry
+    loop must not absorb it.  A simulated crash terminates the
+    evaluation exactly as ``SIGKILL`` would terminate the process --
+    whatever checkpoint generations are already durable are all that
+    recovery gets to work with.
+    """

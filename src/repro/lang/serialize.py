@@ -10,7 +10,22 @@ is deliberately simple and versioned:
 * a literal adds ``"neg": true`` when negated;
 * a rule is ``{"head": atom, "body": [literal, ...]}``;
 * a program is ``{"format": 1, "rules": [rule, ...]}``;
-* a database is ``{"format": 1, "facts": {pred: [[term, ...], ...]}}``.
+* a database is format **2** and carries its storage backend:
+
+  - ``{"format": 2, "backend": "rows",
+    "facts": {pred: [[term, ...], ...]}}`` for the row backend;
+  - ``{"format": 2, "backend": "columnar", "symbols": [term, ...],
+    "facts": {pred: [[i, ...], ...]}}`` for the columnar backend, where
+    each row is a list of indexes into ``symbols`` (a *local* dense
+    remap of the process-wide
+    :class:`~repro.data.columnar.SymbolTable`, assigned in row order so
+    the document is deterministic and independent of global intern
+    order).  Loading interns the symbols into the live table and stores
+    int rows directly, so a columnar database round-trips without
+    degrading to the row backend.
+
+  Format-1 database documents (no backend tag) are still read and
+  produce a row-backend database.
 
 Round-trip guarantees are covered by tests; unknown keys raise
 :class:`~repro.errors.ValidationError` so schema drift fails loudly.
@@ -31,6 +46,10 @@ from .rules import Rule
 from .terms import Constant, FrozenConstant, Null, Term, Variable
 
 FORMAT_VERSION = 1
+
+#: Database documents are versioned separately from programs: format 2
+#: added the ``backend`` tag and the columnar ``symbols`` section.
+DATABASE_FORMAT_VERSION = 2
 
 
 # -- terms ----------------------------------------------------------------------
@@ -129,6 +148,8 @@ def program_from_json(text: str) -> Program:
 
 # -- databases ----------------------------------------------------------------------
 def database_to_dict(db: "Database") -> dict[str, Any]:
+    if db.backend == "columnar":
+        return _columnar_to_dict(db)
     facts: dict[str, list[list[dict[str, Any]]]] = {}
     for pred in sorted(db.predicates):
         # decode_row: serialization is an output boundary -- columnar
@@ -138,14 +159,75 @@ def database_to_dict(db: "Database") -> dict[str, Any]:
             key=lambda row: [str(t) for t in row],
         )
         facts[pred] = [[term_to_dict(t) for t in row] for row in rows]
-    return {"format": FORMAT_VERSION, "facts": facts}
+    return {"format": DATABASE_FORMAT_VERSION, "backend": db.backend, "facts": facts}
+
+
+def _columnar_to_dict(db: "Database") -> dict[str, Any]:
+    """Columnar document: int rows over a local dense symbol list.
+
+    The local ids are assigned in (sorted) row order, so two databases
+    holding the same atoms serialize to the same document even when the
+    process-wide SymbolTable interned their constants in different
+    orders (e.g. an uninterrupted run vs. a resumed one).
+    """
+    symbols: list[dict[str, Any]] = []
+    local: dict[Any, int] = {}
+
+    def local_id(term) -> int:
+        ident = local.get(term)
+        if ident is None:
+            ident = len(symbols)
+            local[term] = ident
+            symbols.append(term_to_dict(term))
+        return ident
+
+    facts: dict[str, list[list[int]]] = {}
+    for pred in sorted(db.predicates):
+        rows = sorted(
+            (db.decode_row(row) for row in db.tuples(pred)),
+            key=lambda row: [str(t) for t in row],
+        )
+        facts[pred] = [[local_id(t) for t in row] for row in rows]
+    return {
+        "format": DATABASE_FORMAT_VERSION,
+        "backend": "columnar",
+        "symbols": symbols,
+        "facts": facts,
+    }
 
 
 def database_from_dict(data: dict[str, Any]) -> "Database":
     from ..data.database import Database
 
-    _check_format(data)
-    db = Database()
+    version = data.get("format")
+    if version == FORMAT_VERSION:
+        # Legacy format-1 database document: rows backend, no tag.
+        backend = "rows"
+    elif version == DATABASE_FORMAT_VERSION:
+        backend = data.get("backend", "rows")
+        if backend not in ("rows", "columnar"):
+            raise ValidationError(f"unknown database backend {backend!r}")
+    else:
+        raise ValidationError(
+            f"unsupported serialization format {version!r}; this build reads "
+            f"database formats {FORMAT_VERSION} and {DATABASE_FORMAT_VERSION}"
+        )
+    db = Database(backend=backend)
+    if backend == "columnar":
+        # Intern the local symbol list into the live process-wide table;
+        # rows then store straight through as already-encoded ints.
+        interned = [db.store_term(term_from_dict(t)) for t in data.get("symbols", [])]
+        for pred, rows in data.get("facts", {}).items():
+            for row in rows:
+                try:
+                    encoded = tuple(interned[i] for i in row)
+                except (IndexError, TypeError) as bad:
+                    raise ValidationError(
+                        f"columnar row {row!r} of {pred} references an unknown "
+                        f"symbol index"
+                    ) from bad
+                db._add_row(pred, encoded)
+        return db
     for pred, rows in data.get("facts", {}).items():
         for row in rows:
             db._add_row(pred, tuple(term_from_dict(t) for t in row))

@@ -124,8 +124,23 @@ def _run_chase(workload: Workload, edb: Database) -> dict[str, float | int]:
     }
 
 
+def _checkpoint_path(
+    checkpoint_dir: str, workload: Workload, size: int, engine: str, backend: str
+) -> str:
+    """One checkpoint file per bench cell (workload names may hold '/')."""
+    import os
+
+    slug = workload.name.replace("/", "_")
+    return os.path.join(checkpoint_dir, f"{slug}-{size}-{engine}-{backend}.ckpt.json")
+
+
 def run_workload(
-    workload: Workload, size: int, engines: Iterable[str], backend: str = "rows"
+    workload: Workload,
+    size: int,
+    engines: Iterable[str],
+    backend: str = "rows",
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> list[dict[str, Any]]:
     """Measure one workload at one size under the applicable *engines*.
 
@@ -140,6 +155,14 @@ def run_workload(
     memory-governed :class:`~repro.resilience.ResourceGovernor`, and a
     tripped cap is reported honestly as ``stats.partial = 1`` (the
     committed facts are a sound under-approximation).
+
+    With *checkpoint_dir*, every fixpoint cell writes durable round
+    checkpoints (one file per workload/size/engine/backend) through a
+    :class:`~repro.resilience.CheckpointManager`; an interrupted bench
+    can then be continued cell by cell with the ``resume`` verb, and
+    ``stats.checkpoints`` records how many snapshots each cell wrote
+    (checkpoint I/O is inside the measured wall clock, deliberately --
+    the figure is the honest cost of running durably).
     """
     from ..resilience.governor import EvaluationStatus, ResourceGovernor
 
@@ -163,6 +186,19 @@ def run_workload(
                 if workload.memory_cap_bytes is not None
                 else None
             )
+            manager = None
+            if checkpoint_dir is not None:
+                from ..resilience.checkpoint import CheckpointManager
+
+                manager = CheckpointManager(
+                    _checkpoint_path(checkpoint_dir, workload, size, engine, backend),
+                    program=workload.program,
+                    engine=engine,
+                    every=checkpoint_every,
+                )
+                if governor is None:
+                    governor = ResourceGovernor()
+                governor.on_round = manager.on_round
             started = time.perf_counter()
             result = spec.run(workload.program, edb, governor=governor)
             elapsed = time.perf_counter() - started
@@ -171,6 +207,8 @@ def run_workload(
                 # A governed run's own elapsed_s stops at the trip; the
                 # wall clock of the whole attempt is the honest figure.
                 stats["elapsed_s"] = elapsed
+            if manager is not None:
+                stats["checkpoints"] = manager.writes
             if result.status is EvaluationStatus.PARTIAL:
                 stats["partial"] = 1
             entries.append(_entry(workload, size, engine, stats, backend))
@@ -197,6 +235,8 @@ def run_bench(
     date: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     backends: Iterable[str] = ("rows",),
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> dict[str, Any]:
     """Run the bench matrix; return a schema-valid bench document.
 
@@ -209,6 +249,9 @@ def run_bench(
         progress: optional callback receiving one line per measurement.
         backends: storage backends to measure (each (workload, size,
             engine) cell is repeated per backend and keyed by it).
+        checkpoint_dir: when set, fixpoint cells write durable round
+            checkpoints into this directory (see :func:`run_workload`).
+        checkpoint_every: checkpoint cadence in rounds.
     """
     suite_names = list(suites) if suites else list(QUICK_SUITES if quick else sorted(SUITES))
     size_list = [int(s) for s in (sizes if sizes else (QUICK_SIZES if quick else FULL_SIZES))]
@@ -225,7 +268,16 @@ def run_bench(
             for backend in backend_list:
                 if progress:
                     progress(f"bench {name} size={size} backend={backend}")
-                entries.extend(run_workload(workload, size, ALL_ENGINES, backend))
+                entries.extend(
+                    run_workload(
+                        workload,
+                        size,
+                        ALL_ENGINES,
+                        backend,
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_every=checkpoint_every,
+                    )
+                )
 
     document = {
         "schema": BENCH_SCHEMA,

@@ -7,11 +7,22 @@ runs under a :class:`ResourceGovernor` and returns a ``PARTIAL``
 outcome -- a *sound under-approximation* of the minimal model, by
 monotonicity -- instead of hanging.  See the module docstrings of
 :mod:`~repro.resilience.governor`, :mod:`~repro.resilience.faults`,
-and :mod:`~repro.resilience.session` for the three layers.
+:mod:`~repro.resilience.checkpoint`, and
+:mod:`~repro.resilience.session` for the four layers.
 """
 
 from __future__ import annotations
 
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    Checkpoint,
+    CheckpointManager,
+    ResumeState,
+    corrupt_checkpoint,
+    load_checkpoint,
+    program_fingerprint,
+    resume_evaluation,
+)
 from .faults import FAULT_OPERATIONS, FaultPlan, FaultyDatabase, InjectedFault
 from .governor import (
     CancellationToken,
@@ -23,7 +34,10 @@ from .governor import (
 from .session import EvaluationSession, RetryPolicy, SessionResult
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
     "CancellationToken",
+    "Checkpoint",
+    "CheckpointManager",
     "DegradationReport",
     "EvaluationSession",
     "EvaluationStatus",
@@ -32,7 +46,11 @@ __all__ = [
     "FaultyDatabase",
     "InjectedFault",
     "ResourceGovernor",
+    "ResumeState",
     "RetryPolicy",
     "SessionResult",
-    "approximate_database_bytes",
+    "corrupt_checkpoint",
+    "load_checkpoint",
+    "program_fingerprint",
+    "resume_evaluation",
 ]

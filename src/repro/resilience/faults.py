@@ -29,11 +29,16 @@ from typing import Iterable, Mapping
 
 from ..data.columnar import ColumnarDatabase
 from ..data.database import Database
-from ..errors import TransientStorageError
+from ..errors import SimulatedCrash, TransientStorageError
 from ..obs.metrics import metrics_registry
 
-#: Operations the harness can intercept (the documented fault seams).
-FAULT_OPERATIONS = ("candidates", "add", "contains")
+#: Operations the harness can intercept.  The first three are the
+#: documented Database storage seams; ``crash`` is the process-abort
+#: seam advanced by the checkpoint writer's write stages (see
+#: :meth:`repro.resilience.checkpoint.CheckpointManager.write`) -- a
+#: fault scheduled there raises :class:`~repro.errors.SimulatedCrash`,
+#: which nothing retries, simulating SIGKILL mid-write.
+FAULT_OPERATIONS = ("candidates", "add", "contains", "crash")
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,15 @@ class FaultPlan:
         )
 
     @classmethod
+    def crash_at(cls, positions: Iterable[int]) -> "FaultPlan":
+        """Schedule :class:`~repro.errors.SimulatedCrash` at the given
+        crash-seam stages.  Each checkpoint write advances the ``crash``
+        counter by one per write stage (see
+        :meth:`~repro.resilience.checkpoint.CheckpointManager.write`),
+        so positions address an exact write and stage within it."""
+        return cls(InjectedFault("crash", at) for at in positions)
+
+    @classmethod
     def seeded(
         cls,
         seed: int,
@@ -148,6 +162,10 @@ class FaultPlan:
         if fault.latency_s > 0.0:
             time.sleep(fault.latency_s)
             return
+        if operation == "crash":
+            raise SimulatedCrash(
+                f"injected crash at {operation} seam stage #{count}"
+            )
         raise TransientStorageError(
             f"injected fault: {operation} call #{count} failed"
             + (" (persistent)" if fault.persistent else "")

@@ -70,6 +70,19 @@ class DegradationReport:
     elapsed_s: float = 0.0
     facts_seen: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form, embedded in ``eval``/``query --json`` output."""
+        return {
+            "limit": self.limit,
+            "detail": self.detail,
+            "engine": self.engine,
+            "stratum": self.stratum,
+            "rule_index": self.rule_index,
+            "round": self.round,
+            "elapsed_s": self.elapsed_s,
+            "facts_seen": self.facts_seen,
+        }
+
     def summary(self) -> str:
         where = []
         if self.engine is not None:
@@ -146,6 +159,13 @@ class ResourceGovernor:
         token: cooperative :class:`CancellationToken`.
         check_stride: how many :meth:`tick` calls between deadline
             checks; the default keeps the clock off the hot path.
+        on_round: optional round-boundary hook with signature
+            ``on_round(db, round, delta=None, governor=None)``, invoked
+            by :meth:`checkpoint` *before* limits are enforced (so the
+            trip round's state is still captured).  This is the seam
+            durable checkpoints hang off
+            (:meth:`repro.resilience.checkpoint.CheckpointManager.on_round`);
+            configuration, not state -- :meth:`reset` leaves it alone.
     """
 
     __slots__ = (
@@ -155,6 +175,7 @@ class ResourceGovernor:
         "max_memory_bytes",
         "token",
         "check_stride",
+        "on_round",
         "_started_at",
         "_ticks",
         "_facts",
@@ -173,6 +194,7 @@ class ResourceGovernor:
         max_memory_bytes: int | None = None,
         token: CancellationToken | None = None,
         check_stride: int = 64,
+        on_round: Any = None,
     ):
         self.deadline_s = deadline_s
         self.max_facts = max_facts
@@ -180,6 +202,7 @@ class ResourceGovernor:
         self.max_memory_bytes = max_memory_bytes
         self.token = token
         self.check_stride = max(1, check_stride)
+        self.on_round = on_round
         self.reset()
 
     # -- lifecycle -------------------------------------------------------------
@@ -193,6 +216,18 @@ class ResourceGovernor:
         self._stratum: int | None = None
         self._rule_index: int | None = None
         self._round: int | None = None
+
+    def restore(self, facts: int = 0, rounds: int = 0) -> None:
+        """Pre-credit counters from a checkpointed run being resumed.
+
+        ``max_facts`` / ``max_rounds`` then bound the *cumulative*
+        evaluation (pre-crash work included), not just the resumed
+        attempt.  The deadline clock is deliberately **not** restored:
+        a wall-clock budget is per attempt, matching the
+        :class:`~repro.resilience.session.EvaluationSession` contract.
+        """
+        self._facts = max(0, facts)
+        self._rounds = max(0, rounds)
 
     def elapsed(self) -> float:
         if self._started_at is None:
@@ -264,16 +299,38 @@ class ResourceGovernor:
             if self.max_facts is not None and self._facts > self.max_facts:
                 self._trip("max_facts", f"derived more than {self.max_facts} facts")
 
-    def checkpoint(self, db: Any = None, round: int | None = None) -> None:
+    @property
+    def facts_seen(self) -> int:
+        """Facts credited so far (for checkpoint capture)."""
+        return self._facts
+
+    @property
+    def rounds_seen(self) -> int:
+        """Round-boundary checks passed so far (for checkpoint capture)."""
+        return self._rounds
+
+    def checkpoint(
+        self, db: Any = None, round: int | None = None, delta: Any = None
+    ) -> None:
         """Round-boundary check: rounds, memory, deadline, cancellation.
 
         Engines call this once per fixpoint round / pass with the
         working database, so the (comparatively pricey) memory estimate
-        runs at round granularity only.
+        runs at round granularity only.  *delta* is the semi-naive
+        frontier in flight (``None`` on engines without one); it is not
+        inspected here, only forwarded to the :attr:`on_round` hook so
+        durable checkpoints can capture a resumable frontier.
+
+        The hook runs **before** limits are enforced: when this very
+        round boundary trips a limit, the state at the trip is already
+        durable and ``resume`` can continue from it.
         """
         if round is not None:
             self._round = round
             self._rounds += 1
+        if self.on_round is not None and db is not None:
+            self.on_round(db, round, delta=delta, governor=self)
+        if round is not None:
             if self.max_rounds is not None and self._rounds > self.max_rounds:
                 self._trip("max_rounds", f"exceeded {self.max_rounds} fixpoint rounds")
         if self.max_memory_bytes is not None and db is not None:

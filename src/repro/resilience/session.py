@@ -15,13 +15,21 @@ composes the three resilience mechanisms:
 * the engine registry (:mod:`repro.engine.fixpoint`), so one session
   class drives every engine, bottom-up or goal-directed.
 
-Every attempt restarts from a pristine copy of the input database --
-a faulted attempt may have died mid-copy, and Datalog evaluation is
-cheap to restart relative to reasoning about resumable state.  Because
-the fault plan's counters are shared across attempts, a one-shot
-(transient) fault consumed in attempt *n* does not re-fire in attempt
-*n + 1*, while a persistent fault keeps firing until retries are
-exhausted and then surfaces as the typed error.
+Without a checkpoint manager, every attempt restarts from a pristine
+copy of the input database -- a faulted attempt may have died mid-copy,
+and Datalog evaluation is cheap to restart relative to reasoning about
+resumable state.  With a
+:class:`~repro.resilience.checkpoint.CheckpointManager` attached, the
+session upgrades to **resume-from-checkpoint** retries: every attempt
+writes durable round snapshots through the governor's ``on_round``
+hook, and each attempt (including the first, which is how a freshly
+constructed session recovers from a killed predecessor process) starts
+from the latest valid checkpoint generation instead of the EDB -- work
+done before a fault is never repeated.  Because the fault plan's
+counters are shared across attempts, a one-shot (transient) fault
+consumed in attempt *n* does not re-fire in attempt *n + 1*, while a
+persistent fault keeps firing until retries are exhausted and then
+surfaces as the typed error.
 """
 
 from __future__ import annotations
@@ -30,9 +38,10 @@ import random
 import time
 from dataclasses import dataclass
 
-from ..errors import ResourceLimitExceeded, TransientStorageError
+from ..errors import CheckpointError, ResourceLimitExceeded, TransientStorageError
 from ..obs.metrics import metrics_registry
 from ..obs.tracer import trace
+from .checkpoint import CheckpointManager, resume_evaluation
 from .faults import FaultPlan
 from .governor import ResourceGovernor
 
@@ -105,6 +114,13 @@ class EvaluationSession:
         on_limit: ``"partial"`` returns the PARTIAL outcome;
             ``"raise"`` re-raises the governor's
             :class:`ResourceLimitExceeded` instead.
+        checkpoint_manager: when given (fixpoint engines only), every
+            attempt writes durable round snapshots and starts from the
+            latest valid checkpoint generation instead of the EDB.  The
+            session fills in the manager's program/engine and wires its
+            :meth:`~repro.resilience.checkpoint.CheckpointManager.on_round`
+            into the governor (creating a limitless governor if none
+            was given, so the hook has a carrier).
     """
 
     def __init__(
@@ -117,6 +133,7 @@ class EvaluationSession:
         retry_policy: RetryPolicy = RetryPolicy(),
         fault_plan: FaultPlan | None = None,
         on_limit: str = "partial",
+        checkpoint_manager: CheckpointManager | None = None,
     ):
         if on_limit not in ("partial", "raise"):
             raise ValueError(f"on_limit must be 'partial' or 'raise', got {on_limit!r}")
@@ -128,12 +145,66 @@ class EvaluationSession:
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.on_limit = on_limit
+        self.checkpoint_manager = checkpoint_manager
+        if checkpoint_manager is not None:
+            from ..engine.fixpoint import get_engine
+
+            if get_engine(engine).kind != "fixpoint":
+                raise ValueError(
+                    f"checkpointing requires a fixpoint engine, not {engine!r}"
+                )
+            if checkpoint_manager.program is None:
+                checkpoint_manager.program = program
+            if checkpoint_manager.engine is None:
+                checkpoint_manager.engine = engine
+            if self.governor is None:
+                self.governor = ResourceGovernor()
+            self.governor.on_round = checkpoint_manager.on_round
 
     # -- one attempt -----------------------------------------------------------
+    def _resume_attempt(self):
+        """Continue from the latest valid checkpoint, if one exists.
+
+        Returns ``None`` (caller falls back to a fresh start) when there
+        is no loadable generation, or the latest one belongs to another
+        program or engine configuration (fingerprint mismatch) -- a
+        stale file must never poison a new evaluation.
+        """
+        checkpoint = self.checkpoint_manager.latest()
+        if checkpoint is None or checkpoint.engine != self.engine:
+            return None
+        source = (
+            self.fault_plan.wrap(checkpoint.database)
+            if self.fault_plan
+            else checkpoint.database
+        )
+        if self.governor is not None:
+            self.governor.reset()
+            self.governor.note(engine=self.engine)
+            state = checkpoint.governor_state or {}
+            self.governor.restore(
+                facts=state.get("facts", 0), rounds=state.get("rounds", 0)
+            )
+        metrics_registry().increment("checkpoint.resumed_attempts")
+        try:
+            result = resume_evaluation(
+                checkpoint,
+                governor=self.governor,
+                database=source,
+                program=self.program,
+            )
+        except CheckpointError:
+            return None
+        return result.database, result
+
     def _attempt(self):
         from ..engine.fixpoint import get_engine
 
         spec = get_engine(self.engine)
+        if self.checkpoint_manager is not None and spec.kind == "fixpoint":
+            resumed = self._resume_attempt()
+            if resumed is not None:
+                return resumed
         source = self.fault_plan.wrap(self.db) if self.fault_plan else self.db
         if self.governor is not None:
             self.governor.reset()

@@ -13,25 +13,36 @@ Three invariants, checked over a matrix of engines and fault seeds:
    budget by more than the per-attempt bound documented on
    :class:`EvaluationSession`.
 
+A fourth invariant rides the ``crash`` seam
+(:class:`TestCrashRecoverySweep`): an evaluation killed mid-round at a
+seeded checkpoint-write stage is resumed from the latest durable
+generation and converges to the **bitwise-identical** final database --
+across every fixpoint engine, both storage backends, and with the
+latest generation deliberately corrupted (checksum fallback).
+
 Every schedule is derived from a seed, so any failure here replays
 bit-for-bit from the parameters in the test id.
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 import pytest
 
 from repro import Database, parse_atom, parse_program
 from repro.engine import evaluate, get_engine
-from repro.errors import ResourceLimitExceeded, TransientStorageError
+from repro.errors import ResourceLimitExceeded, SimulatedCrash, TransientStorageError
+from repro.lang.serialize import database_to_json
 from repro.resilience import (
+    CheckpointManager,
     EvaluationSession,
     EvaluationStatus,
     FaultPlan,
     ResourceGovernor,
     RetryPolicy,
+    corrupt_checkpoint,
 )
 
 TC = parse_program(
@@ -156,3 +167,82 @@ class TestFaultsComposeWithGovernance:
         )
         result = session.run()
         assert set(result.database.atoms()) <= clean
+
+
+FIXPOINT_ENGINES = ("naive", "seminaive", "stratified")
+BACKENDS = ("rows", "columnar")
+
+
+def backend_chain(n: int, backend: str) -> Database:
+    db = Database(backend=backend)
+    for i in range(n):
+        db.add_fact("E", i, i + 1)
+    return db
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("engine", FIXPOINT_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCrashRecoverySweep:
+    """Kill mid-round at a seeded write stage; resume; demand equality.
+
+    The crash position is drawn from the seed over the stages of
+    checkpoint writes 3+, so the kill lands mid-fixpoint with at least
+    two durable generations behind it -- every run is replayable from
+    its test id.
+    """
+
+    def _crash_position(self, seed: int) -> int:
+        # Writes 1..2 occupy crash counts 1..6; land inside writes 3..6.
+        return random.Random(seed).randint(7, 18)
+
+    def test_resume_equals_uninterrupted(self, tmp_path, engine, backend, seed):
+        baseline = database_to_json(
+            evaluate(TC, backend_chain(12, backend), engine=engine).database
+        )
+        path = tmp_path / "ck.json"
+        plan = FaultPlan.crash_at([self._crash_position(seed)])
+        crashed = EvaluationSession(
+            TC,
+            backend_chain(12, backend),
+            engine=engine,
+            checkpoint_manager=CheckpointManager(path, fault_plan=plan),
+        )
+        with pytest.raises(SimulatedCrash):
+            crashed.run()
+        recovered = EvaluationSession(
+            TC,
+            backend_chain(12, backend),
+            engine=engine,
+            checkpoint_manager=CheckpointManager(path),
+        )
+        result = recovered.run()
+        assert result.status is EvaluationStatus.COMPLETE
+        assert database_to_json(result.database) == baseline
+
+    def test_corrupt_latest_generation_still_recovers(
+        self, tmp_path, engine, backend, seed
+    ):
+        baseline = database_to_json(
+            evaluate(TC, backend_chain(12, backend), engine=engine).database
+        )
+        path = tmp_path / "ck.json"
+        plan = FaultPlan.crash_at([self._crash_position(seed)])
+        with pytest.raises(SimulatedCrash):
+            EvaluationSession(
+                TC,
+                backend_chain(12, backend),
+                engine=engine,
+                checkpoint_manager=CheckpointManager(path, fault_plan=plan),
+            ).run()
+        # Flip a payload byte in the surviving latest generation: the
+        # checksum must reject it and recovery fall back to .prev.
+        corrupt_checkpoint(path, mode="flip")
+        result = EvaluationSession(
+            TC,
+            backend_chain(12, backend),
+            engine=engine,
+            checkpoint_manager=CheckpointManager(path),
+        ).run()
+        assert result.status is EvaluationStatus.COMPLETE
+        assert database_to_json(result.database) == baseline

@@ -467,3 +467,178 @@ class TestChaseFlags:
             ]
         )
         assert code == 1
+
+
+class TestJsonResults:
+    CHAIN = "\n".join(f"A({i}, {i + 1})." for i in range(30)) + "\n"
+
+    def test_eval_json_complete(self, files, capsys):
+        code = main(
+            ["eval", files("tc.dl", TC), "--edb", files("e.dl", EDB), "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "complete"
+        assert doc["degradation"] is None
+        assert doc["database"]["format"] == 2
+        assert "G" in doc["database"]["facts"]
+        assert doc["stats"]["iterations"] >= 1
+
+    def test_eval_json_partial_carries_degradation(self, files, capsys):
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--max-facts",
+                "20",
+                "--json",
+            ]
+        )
+        assert code == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "partial"
+        assert doc["degradation"]["limit"] == "max_facts"
+        assert doc["degradation"]["engine"] == "seminaive"
+        assert doc["degradation"]["facts_seen"] > 20
+
+    def test_query_json_partial_carries_degradation(self, files, capsys):
+        code = main(
+            [
+                "query",
+                files("tc.dl", TC),
+                "G(0, x)",
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--max-facts",
+                "10",
+                "--json",
+            ]
+        )
+        assert code == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "partial"
+        assert doc["degradation"]["limit"] == "max_facts"
+
+    def test_query_json_complete(self, files, capsys):
+        code = main(
+            [
+                "query",
+                files("tc.dl", TC),
+                "G(1, x)",
+                "--edb",
+                files("e.dl", EDB),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "complete"
+        assert doc["database"]["facts"]["G"]
+
+
+class TestCheckpointFlags:
+    CHAIN = "\n".join(f"A({i}, {i + 1})." for i in range(20)) + "\n"
+
+    def _eval_with_checkpoint(self, files, tmp_path, *extra):
+        ck = str(tmp_path / "ck.json")
+        code = main(
+            [
+                "eval",
+                files("tc.dl", TC),
+                "--edb",
+                files("edb.dl", self.CHAIN),
+                "--checkpoint",
+                ck,
+                *extra,
+            ]
+        )
+        return ck, code
+
+    def test_eval_writes_checkpoint_generations(self, files, tmp_path, capsys):
+        ck, code = self._eval_with_checkpoint(files, tmp_path)
+        assert code == 0
+        assert pathlib.Path(ck).exists()
+        assert pathlib.Path(ck + ".prev").exists()
+
+    def test_resume_reproduces_the_eval_output(self, files, tmp_path, capsys):
+        ck, code = self._eval_with_checkpoint(files, tmp_path)
+        assert code == 0
+        full_output = capsys.readouterr().out
+        assert main(["resume", ck]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == full_output
+        assert "resuming seminaive evaluation" in captured.err
+
+    def test_resume_verifies_program_fingerprint(self, files, tmp_path, capsys):
+        ck, _ = self._eval_with_checkpoint(files, tmp_path)
+        other = files("other.dl", "G(x, z) :- A(z, x).\n")
+        assert main(["resume", ck, "--program", other]) == 2
+        assert "fingerprint" in capsys.readouterr().err
+        assert main(["resume", ck, "--program", files("tc.dl", TC)]) == 0
+
+    def test_resume_falls_back_past_corrupt_generation(self, files, tmp_path, capsys):
+        from repro.resilience import corrupt_checkpoint
+
+        ck, _ = self._eval_with_checkpoint(files, tmp_path)
+        capsys.readouterr()
+        corrupt_checkpoint(ck, mode="flip")
+        assert main(["resume", ck]) == 0
+        assert "G(0, 19)" in capsys.readouterr().out
+
+    def test_resume_with_no_valid_generation_exits_2(self, files, tmp_path, capsys):
+        from repro.resilience import corrupt_checkpoint
+
+        ck, _ = self._eval_with_checkpoint(files, tmp_path)
+        corrupt_checkpoint(ck, mode="flip")
+        corrupt_checkpoint(ck + ".prev", mode="truncate")
+        assert main(["resume", ck]) == 2
+        assert "no valid checkpoint" in capsys.readouterr().err
+
+    def test_resume_honors_governor_flags(self, files, tmp_path, capsys):
+        ck, _ = self._eval_with_checkpoint(files, tmp_path, "--checkpoint-every", "2")
+        capsys.readouterr()
+        code = main(["resume", ck, "--max-rounds", "1", "--no-checkpoint"])
+        assert code == 3
+        assert "PARTIAL: max_rounds tripped" in capsys.readouterr().err
+
+    def test_checkpoint_every_flag(self, files, tmp_path, capsys):
+        ck, code = self._eval_with_checkpoint(
+            files, tmp_path, "--checkpoint-every", "5"
+        )
+        assert code == 0
+        doc = json.loads(pathlib.Path(ck).read_text())
+        assert doc["payload"]["round"] % 5 == 0
+        assert doc["payload"]["every"] == 5
+
+    def test_bench_checkpoint_dir(self, tmp_path, capsys):
+        ckdir = tmp_path / "cks"
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--suite",
+                "tc+2atoms/chain",
+                "--size",
+                "8",
+                "--out",
+                str(out),
+                "--quiet",
+                "--checkpoint",
+                str(ckdir),
+            ]
+        )
+        assert code == 0
+        written = list(ckdir.glob("*.ckpt.json"))
+        assert written  # one file per fixpoint cell
+        document = json.loads(out.read_text())
+        fixpoint = [
+            e
+            for e in document["entries"]
+            if e["engine"] in ("naive", "seminaive", "stratified")
+        ]
+        assert fixpoint and all(
+            e["stats"].get("checkpoints", 0) >= 1 for e in fixpoint
+        )
