@@ -147,6 +147,19 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_flag(p: argparse.ArgumentParser) -> None:
+    """The worker-pool selector shared by the evaluation verbs."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate on a pool of N worker processes (seminaive shards "
+        "each round's delta, stratified schedules independent SCCs "
+        "concurrently; results are identical to --workers 1)",
+    )
+
+
 def _load_tgds(path: str) -> list[Tgd]:
     return parse_tgds(_read(path))
 
@@ -354,7 +367,12 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     governor = _governor_from_args(args)
     governor, _manager = _checkpointed_governor(args, governor, program, args.engine)
     result = evaluate(
-        program, edb, engine=args.engine, governor=governor, on_limit=args.on_limit
+        program,
+        edb,
+        engine=args.engine,
+        governor=governor,
+        on_limit=args.on_limit,
+        workers=args.workers,
     )
     return _emit_result(args, result)
 
@@ -390,7 +408,9 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             f"backend {checkpoint.backend})",
             file=sys.stderr,
         )
-    result = resume_evaluation(checkpoint, governor=governor, program=program)
+    result = resume_evaluation(
+        checkpoint, governor=governor, program=program, workers=args.workers
+    )
     if args.on_limit == "raise" and result.is_partial:
         from .errors import ResourceLimitExceeded
 
@@ -520,6 +540,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
     kwargs = {"governor": governor}
     if args.method in ("magic", "supplementary"):
         kwargs["engine"] = args.engine
+        if args.workers > 1:
+            kwargs["workers"] = args.workers
+    elif args.workers > 1:
+        print(
+            f"note: --workers applies to magic/supplementary only; "
+            f"{args.method} runs in-process",
+            file=sys.stderr,
+        )
     answers, result = spec.answer(program, edb, query, **kwargs)
     if args.on_limit == "raise" and result.is_partial:
         from .errors import ResourceLimitExceeded
@@ -656,6 +684,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             date=args.date,
             progress=progress,
             backends=backends,
+            workers=tuple(args.workers) if args.workers else (1,),
             checkpoint_dir=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
         )
@@ -832,6 +861,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the degradation report) as machine-readable JSON",
     )
     _add_backend_flag(p)
+    _add_workers_flag(p)
     _add_governor_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(func=_cmd_eval)
@@ -870,6 +900,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result (database, stats, status, degradation) as JSON",
     )
+    _add_workers_flag(p)
     _add_governor_flags(p)
     p.set_defaults(func=_cmd_resume)
 
@@ -940,6 +971,7 @@ def build_parser() -> argparse.ArgumentParser:
         "degradation report) as machine-readable JSON",
     )
     _add_backend_flag(p)
+    _add_workers_flag(p)
     _add_governor_flags(p)
     p.set_defaults(func=_cmd_query)
 
@@ -1001,6 +1033,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="rows",
         help="storage backend(s) to measure; 'both' repeats every cell "
         "per backend (entries carry a 'backend' field)",
+    )
+    p.add_argument(
+        "--workers",
+        action="append",
+        type=int,
+        metavar="N",
+        help="worker-process count to sweep (repeatable; default 1). "
+        "Fixpoint cells are repeated per count and keyed by a "
+        "'workers' entry field; other engines bench at 1 only",
     )
     p.add_argument(
         "--compare",

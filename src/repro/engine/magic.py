@@ -285,6 +285,7 @@ def answer_query(
     engine: EngineName = "seminaive",
     sips: str = "left-to-right",
     governor: ResourceGovernor | None = None,
+    workers: int = 1,
 ) -> tuple[Database, EvaluationResult]:
     """Evaluate *query* over ``program(db)`` using magic sets.
 
@@ -316,7 +317,9 @@ def answer_query(
         rewriting = magic_transform(program, query, sips=sips, governor=governor)
         seeded = db.copy()
         seeded.add(rewriting.seed)
-        result = evaluate(rewriting.program, seeded, engine=engine, governor=governor)
+        result = evaluate(
+            rewriting.program, seeded, engine=engine, governor=governor, workers=workers
+        )
         answers = rewriting.answers(result.database)
         if span:
             span.add("answers", len(answers))

@@ -60,14 +60,18 @@ def _entry(
     engine: str,
     stats: dict[str, float | int],
     backend: str = "rows",
+    workers: int = 1,
 ) -> dict[str, Any]:
-    return {
+    entry = {
         "workload": workload.name,
         "size": size,
         "engine": engine,
         "backend": backend,
         "stats": stats,
     }
+    if workers != 1:
+        entry["workers"] = workers
+    return entry
 
 
 def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int]:
@@ -141,6 +145,7 @@ def run_workload(
     backend: str = "rows",
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
+    workers: int = 1,
 ) -> list[dict[str, Any]]:
     """Measure one workload at one size under the applicable *engines*.
 
@@ -163,6 +168,12 @@ def run_workload(
     ``stats.checkpoints`` records how many snapshots each cell wrote
     (checkpoint I/O is inside the measured wall clock, deliberately --
     the figure is the honest cost of running durably).
+
+    With *workers* > 1, fixpoint cells evaluate on a worker pool of
+    that size and the entries carry a ``workers`` field (keying the
+    sweep in the v3 schema); the non-fixpoint engines have no parallel
+    variant and are skipped, so a sweep never duplicates their
+    single-process numbers under several worker counts.
     """
     from ..resilience.governor import EvaluationStatus, ResourceGovernor
 
@@ -172,6 +183,8 @@ def run_workload(
         if workload.engines is not None and engine not in workload.engines:
             continue
         if engine == "chase":
+            if workers != 1:
+                continue
             # Pseudo-engine outside the fixpoint registry: benches
             # [P, T] saturation on tgd-carrying workloads only.
             if workload.tgds:
@@ -180,6 +193,8 @@ def run_workload(
                 )
             continue
         spec = get_engine(engine)
+        if workers != 1 and spec.kind != "fixpoint":
+            continue
         if spec.kind == "fixpoint":
             governor = (
                 ResourceGovernor(max_memory_bytes=workload.memory_cap_bytes)
@@ -200,7 +215,15 @@ def run_workload(
                     governor = ResourceGovernor()
                 governor.on_round = manager.on_round
             started = time.perf_counter()
-            result = spec.run(workload.program, edb, governor=governor)
+            if workers > 1:
+                from ..engine.parallel import parallel_evaluate
+
+                result = parallel_evaluate(
+                    workload.program, edb, engine=engine,
+                    governor=governor, workers=workers,
+                )
+            else:
+                result = spec.run(workload.program, edb, governor=governor)
             elapsed = time.perf_counter() - started
             stats = result.stats.to_dict()
             if governor is not None:
@@ -211,7 +234,7 @@ def run_workload(
                 stats["checkpoints"] = manager.writes
             if result.status is EvaluationStatus.PARTIAL:
                 stats["partial"] = 1
-            entries.append(_entry(workload, size, engine, stats, backend))
+            entries.append(_entry(workload, size, engine, stats, backend, workers))
         elif spec.kind == "query":
             if workload.query is None:
                 continue
@@ -237,6 +260,7 @@ def run_bench(
     backends: Iterable[str] = ("rows",),
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
+    workers: Iterable[int] = (1,),
 ) -> dict[str, Any]:
     """Run the bench matrix; return a schema-valid bench document.
 
@@ -252,10 +276,15 @@ def run_bench(
         checkpoint_dir: when set, fixpoint cells write durable round
             checkpoints into this directory (see :func:`run_workload`).
         checkpoint_every: checkpoint cadence in rounds.
+        workers: worker-process counts to sweep; fixpoint cells are
+            repeated per count (entries carry a ``workers`` field for
+            counts other than 1) while the engines without a parallel
+            variant bench only at 1.
     """
     suite_names = list(suites) if suites else list(QUICK_SUITES if quick else sorted(SUITES))
     size_list = [int(s) for s in (sizes if sizes else (QUICK_SIZES if quick else FULL_SIZES))]
     backend_list = list(backends)
+    worker_list = [int(w) for w in workers] or [1]
     unknown = [name for name in suite_names if name not in SUITES]
     if unknown:
         known = ", ".join(sorted(SUITES))
@@ -266,18 +295,23 @@ def run_bench(
         workload = SUITES[name]()
         for size in size_list:
             for backend in backend_list:
-                if progress:
-                    progress(f"bench {name} size={size} backend={backend}")
-                entries.extend(
-                    run_workload(
-                        workload,
-                        size,
-                        ALL_ENGINES,
-                        backend,
-                        checkpoint_dir=checkpoint_dir,
-                        checkpoint_every=checkpoint_every,
+                for worker_count in worker_list:
+                    if progress:
+                        label = f"bench {name} size={size} backend={backend}"
+                        if worker_count != 1:
+                            label += f" workers={worker_count}"
+                        progress(label)
+                    entries.extend(
+                        run_workload(
+                            workload,
+                            size,
+                            ALL_ENGINES,
+                            backend,
+                            checkpoint_dir=checkpoint_dir,
+                            checkpoint_every=checkpoint_every,
+                            workers=worker_count,
+                        )
                     )
-                )
 
     document = {
         "schema": BENCH_SCHEMA,
@@ -296,30 +330,39 @@ def run_bench(
 def diff_bench_documents(
     old: dict[str, Any], new: dict[str, Any]
 ) -> list[dict[str, Any]]:
-    """Compare two documents on shared (workload, size, engine, backend) keys.
+    """Compare two documents on shared (workload, size, engine, backend,
+    workers) keys.
 
     Returns one record per shared key with the old/new elapsed seconds
     and subgoal attempts, plus the relative time change.  Keys present
     in only one document are reported with ``status`` ``"added"`` /
     ``"removed"``.  Schema-v1 entries carry no backend and default to
-    ``"rows"``, so old trajectory files diff cleanly against new ones.
+    ``"rows"``; pre-v3 entries carry no workers and default to 1, so
+    old trajectory files diff cleanly against new ones.
     """
 
     def keyed(doc: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
         return {
-            (e["workload"], e["size"], e["engine"], e.get("backend", "rows")): e
+            (
+                e["workload"],
+                e["size"],
+                e["engine"],
+                e.get("backend", "rows"),
+                e.get("workers", 1),
+            ): e
             for e in doc.get("entries", [])
         }
 
     old_entries, new_entries = keyed(old), keyed(new)
     records: list[dict[str, Any]] = []
     for key in sorted(set(old_entries) | set(new_entries), key=str):
-        workload, size, engine, backend = key
+        workload, size, engine, backend, worker_count = key
         record: dict[str, Any] = {
             "workload": workload,
             "size": size,
             "engine": engine,
             "backend": backend,
+            "workers": worker_count,
         }
         if key not in old_entries:
             record["status"] = "added"
@@ -363,9 +406,15 @@ def regressions(
                 continue
             change = (new - old) / old
             if change > threshold:
+                workers_tag = (
+                    f" workers={record['workers']}"
+                    if record.get("workers", 1) != 1
+                    else ""
+                )
                 flagged.append(
                     f"{record['workload']} size={record['size']} "
-                    f"{record['engine']}[{record.get('backend', 'rows')}]: "
+                    f"{record['engine']}[{record.get('backend', 'rows')}]"
+                    f"{workers_tag}: "
                     f"{metric} {old} -> {new} "
                     f"({change * 100:+.1f}%)"
                 )
@@ -375,22 +424,24 @@ def regressions(
 def render_diff(records: list[dict[str, Any]]) -> str:
     """Text rendering of :func:`diff_bench_documents` output."""
     lines = [
-        f"{'workload':<24} {'size':>8} {'engine':<14} {'backend':<9} "
+        f"{'workload':<24} {'size':>8} {'engine':<14} {'backend':<9} {'wrk':>3} "
         f"{'elapsed old':>12} {'elapsed new':>12} {'change':>8}"
     ]
     for record in records:
         backend = record.get("backend", "rows")
+        worker_count = record.get("workers", 1)
         if record["status"] != "shared":
             lines.append(
                 f"{record['workload']:<24} {record['size']:>8} "
-                f"{record['engine']:<14} {backend:<9} [{record['status']}]"
+                f"{record['engine']:<14} {backend:<9} {worker_count:>3} "
+                f"[{record['status']}]"
             )
             continue
         change = record.get("elapsed_change")
         change_text = f"{change * 100:+.1f}%" if change is not None else "n/a"
         lines.append(
             f"{record['workload']:<24} {record['size']:>8} {record['engine']:<14} "
-            f"{backend:<9} "
+            f"{backend:<9} {worker_count:>3} "
             f"{record['elapsed_s_old'] * 1000:>10.2f}ms "
             f"{record['elapsed_s_new'] * 1000:>10.2f}ms {change_text:>8}"
         )

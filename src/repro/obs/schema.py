@@ -12,7 +12,7 @@ drift.
 Document shape (version :data:`BENCH_SCHEMA`)::
 
     {
-      "schema": "repro.bench/2",
+      "schema": "repro.bench/3",
       "generated": "2026-08-05",            # ISO date of the run
       "quick": false,                        # --quick subset?
       "engines": ["incremental", ...],       # distinct engines, sorted
@@ -22,6 +22,7 @@ Document shape (version :data:`BENCH_SCHEMA`)::
           "size": 32,                        # EDB generator parameter
           "engine": "seminaive",
           "backend": "columnar",             # storage backend (v2; optional)
+          "workers": 4,                      # worker processes (v3; optional)
           "stats": {"elapsed_s": 0.0123, ...}   # numeric work counters
         }, ...
       ],
@@ -32,13 +33,16 @@ Document shape (version :data:`BENCH_SCHEMA`)::
 EvaluationStats counters; ``incremental`` reports maintenance
 counters); ``elapsed_s`` is mandatory everywhere so that any two files
 can be compared time-wise on their shared (workload, size, engine,
-backend) keys.  A governed run that tripped its resource cap reports
-``stats.partial = 1`` (sound under-approximation; see the resource
-governor).
+backend, workers) keys.  A governed run that tripped its resource cap
+reports ``stats.partial = 1`` (sound under-approximation; see the
+resource governor).
 
-Version history: ``repro.bench/1`` had no ``backend`` field -- v1
-documents remain valid (:func:`validate_bench_document` accepts both)
-and diff against v2 documents with backend defaulted to ``"rows"``.
+Version history: ``repro.bench/1`` had no ``backend`` field;
+``repro.bench/2`` added it; ``repro.bench/3`` added the optional
+``workers`` field (worker-process count of a ``--workers`` sweep,
+defaulting to 1) and keys entries by it.  Older documents remain valid
+(:func:`validate_bench_document` accepts all three) and diff against
+v3 documents with backend defaulted to ``"rows"`` and workers to 1.
 """
 
 from __future__ import annotations
@@ -49,11 +53,11 @@ from typing import Any
 from .metrics import METRICS_SCHEMA
 
 #: Version marker of the bench document format (what the runner emits).
-BENCH_SCHEMA = "repro.bench/2"
+BENCH_SCHEMA = "repro.bench/3"
 
 #: Versions :func:`validate_bench_document` accepts (older documents in
 #: the trajectory stay valid and diffable).
-ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
+ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2", "repro.bench/3")
 
 #: Storage backends a v2 entry may name.
 KNOWN_BACKENDS = ("rows", "columnar")
@@ -122,10 +126,13 @@ def validate_bench_document(doc: Any) -> list[str]:
                 errors.append(
                     f"{at}.backend: {backend!r} is not one of {sorted(KNOWN_BACKENDS)}"
                 )
-            key = (workload, size, engine, backend)
+            workers = entry.get("workers", 1)
+            if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+                errors.append(f"{at}.workers: expected a positive integer, got {workers!r}")
+            key = (workload, size, engine, backend, workers)
             if key in seen_keys:
                 errors.append(
-                    f"{at}: duplicate (workload, size, engine, backend) key {key}"
+                    f"{at}: duplicate (workload, size, engine, backend, workers) key {key}"
                 )
             seen_keys.add(key)
             stats = entry.get("stats")

@@ -430,6 +430,7 @@ def resume_evaluation(
     governor: "ResourceGovernor | None" = None,
     database: "Database | None" = None,
     program: Program | None = None,
+    workers: int = 1,
 ) -> "EvaluationResult":
     """Continue an interrupted evaluation from *checkpoint*.
 
@@ -448,6 +449,9 @@ def resume_evaluation(
         program: when given, verified against the stored fingerprint --
             a mismatch raises :class:`~repro.errors.CheckpointError`
             instead of silently computing the wrong model.
+        workers: continue on this many worker processes.  Checkpoints
+            record only barrier states, which serial and parallel runs
+            share, so any worker count can resume any checkpoint.
     """
     from ..engine.fixpoint import evaluate, get_engine
     from ..engine.seminaive import seminaive_fixpoint
@@ -472,7 +476,23 @@ def resume_evaluation(
                 state = ResumeState(
                     database=db, delta=state.delta, round=state.round
                 )
+            if workers > 1:
+                from ..engine.parallel import parallel_seminaive_fixpoint
+
+                return parallel_seminaive_fixpoint(
+                    checkpoint.program,
+                    db,
+                    governor=governor,
+                    workers=workers,
+                    resume_state=state,
+                )
             return seminaive_fixpoint(
                 checkpoint.program, db, governor=governor, resume_state=state
             )
-        return evaluate(checkpoint.program, db, engine=checkpoint.engine, governor=governor)
+        return evaluate(
+            checkpoint.program,
+            db,
+            engine=checkpoint.engine,
+            governor=governor,
+            workers=workers,
+        )

@@ -147,6 +147,24 @@ def de_chain_workload() -> Workload:
     )
 
 
+def tc_chain_workload() -> Workload:
+    """Plain nonlinear transitive closure over a chain, no redundancy.
+
+    The parallel-scaling workload: a chain of *n* edges closes to a
+    quadratic IDB through ``O(n)`` semi-naive rounds with fat deltas,
+    so per-round sharding has real work to split.  Restricted to the
+    semi-naive engine -- the point is the worker sweep, not the engine
+    matrix (``tc+2atoms/chain`` already covers that on this shape).
+    """
+    return Workload(
+        name="tc/chain",
+        program=programs.tc_nonlinear(),
+        edb=_tc_edb_chain,
+        description="plain nonlinear transitive closure over a chain",
+        engines=("seminaive",),
+    )
+
+
 def magic_tc_workload() -> Workload:
     """Q6: single-source reachability query over linear TC."""
     return Workload(
@@ -217,6 +235,7 @@ def reach_workload() -> Workload:
 
 #: The standard suite indexed by name (used by `repro.cli bench-list`).
 SUITES: dict[str, Callable[[], Workload]] = {
+    "tc/chain": tc_chain_workload,
     "tc+2atoms/chain": lambda: tc_redundant_atoms(2, "chain"),
     "tc+4atoms/chain": lambda: tc_redundant_atoms(4, "chain"),
     "tc+2atoms/random": lambda: tc_redundant_atoms(2, "random"),
