@@ -151,6 +151,9 @@ class LintConfig:
     #: rules (``weakly-acyclic-certified``, ``nonterminating-chase-risk``),
     #: which stay silent when no tgds are supplied.
     tgds: tuple = ()
+    #: Closure-size budget for the ``adornment-space-explosion`` rule
+    #: (mirrors ``specialize.DEFAULT_ADORNMENT_BUDGET``).
+    adornment_budget: int = 64
 
     def enables(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -278,6 +281,7 @@ def register(cls: type[LintRule]) -> type[LintRule]:
 def _ensure_builtin_rules() -> None:
     from . import lint_rules  # noqa: F401  (import populates the registry)
     from . import lint_absint  # noqa: F401  (abstract-interpretation passes)
+    from . import lint_specialize  # noqa: F401  (specialization-analysis passes)
 
 
 def registered_rules() -> dict[str, LintRule]:

@@ -1,0 +1,111 @@
+"""Lint passes built on the specialization (advise) analysis.
+
+Both rules probe every IDB predicate under its fully-bound adornment —
+the most demanding query form a serving workload produces — and judge
+the magic rewriting that form would trigger:
+
+* ``adornment-space-explosion`` (warning) — the reachable adornment
+  closure exceeds the configured budget
+  (:attr:`~repro.analysis.lint.LintConfig.adornment_budget`), so every
+  specialized evaluation pays for a blown-up rewritten program and a
+  prepared-program cache holds that many adorned predicates per entry.
+* ``magic-unstratifiable`` (error) — the program itself stratifies, but
+  its magic rewriting does not: the magic predicates introduce a cycle
+  through negation, so ``query``-time goal-directed evaluation of this
+  form is unsound to attempt.  Programs that are already unstratifiable
+  are skipped (the stratified engine rejects them regardless of any
+  rewriting; this rule is about damage *caused by* the rewrite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .lint import Diagnostic, LintContext, LintRule, register
+from .specialize.rewrite import QueryForm, materialize_specialization
+from ..engine.magic import Adornment, _ADORN_SEP, _MAGIC_PREFIX
+
+
+def _probe_forms(context: LintContext) -> list[QueryForm]:
+    from .specialize.rewrite import _probe_atom
+
+    forms: list[QueryForm] = []
+    arities = context.program.arities
+    for pred in sorted(context.program.idb_predicates):
+        # Generated adorned/magic names would collide with a second
+        # round of rewriting; lint the source program only.
+        if pred.startswith(_MAGIC_PREFIX) or _ADORN_SEP in pred:
+            return []
+        adornment = Adornment((True,) * arities[pred])
+        forms.append(QueryForm(pred, adornment, _probe_atom(pred, adornment)))
+    return forms
+
+
+@register
+class AdornmentSpaceExplosionLint(LintRule):
+    rule_id = "adornment-space-explosion"
+    severity = "warning"
+    description = (
+        "a query form's reachable adornment closure exceeds the budget; "
+        "specialized plans and caches blow up with it"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        from .absint.groundness import binding_analysis
+
+        budget = context.config.adornment_budget
+        for form in _probe_forms(context):
+            analysis = binding_analysis(
+                context.program, form.probe, facts=context.facts
+            )
+            size = len(analysis.demand)
+            if size > budget:
+                anchor = context.facts.rules_by_head.get(form.predicate, ())
+                yield context.diagnostic(
+                    self.rule_id,
+                    self.severity,
+                    f"query form {form.display} demands {size} adorned "
+                    f"predicates (budget {budget}); the magic rewriting "
+                    "multiplies the program by that factor — consider a "
+                    "different SIPS or body order",
+                    rule=anchor[0][1] if anchor else None,
+                )
+
+
+@register
+class MagicUnstratifiableLint(LintRule):
+    rule_id = "magic-unstratifiable"
+    severity = "error"
+    description = (
+        "magic-sets rewriting of a stratified program breaks "
+        "stratification for some query form"
+    )
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        program = context.program
+        if program.is_positive:
+            return
+        if context.facts.dependence.has_negative_cycle():
+            return  # already unstratifiable before any rewriting
+        from .absint.framework import ProgramFacts
+
+        for form in _probe_forms(context):
+            rewriting = materialize_specialization(program, form.probe)
+            cycle = sorted(
+                ProgramFacts(rewriting.program).dependence.negative_cycle_predicates()
+            )
+            if cycle:
+                anchor = context.facts.rules_by_head.get(form.predicate, ())
+                yield context.diagnostic(
+                    self.rule_id,
+                    self.severity,
+                    f"magic rewriting for query form {form.display} is "
+                    f"unstratifiable (negative cycle through "
+                    f"{', '.join(cycle)}); goal-directed evaluation of "
+                    "this form must fall back to full bottom-up "
+                    "stratified evaluation",
+                    rule=anchor[0][1] if anchor else None,
+                )
+
+
+__all__ = ["AdornmentSpaceExplosionLint", "MagicUnstratifiableLint"]

@@ -1,0 +1,58 @@
+"""Whole-program specialization analysis (the ``advise`` verb).
+
+Statically decides, per query form (predicate + adornment), how a query
+should be run — which rewrite, which engine — and emits a
+schema-versioned :class:`~.certificate.PlanCertificate` carrying the
+evidence.  The certificate is keyed by the program's canonical
+isomorphism class and is exactly the prepared-program cache entry a
+query-serving daemon loads: ``query --certificate`` consumes it to skip
+re-analysis (ROADMAP item 4).
+"""
+
+from .advisor import (
+    DEFAULT_ADORNMENT_BUDGET,
+    advise_form,
+    advise_program,
+    apply_certificate,
+    execute_plan,
+    select_answers,
+)
+from .certificate import (
+    ADVISE_SCHEMA_VERSION,
+    CertificateError,
+    PlanCertificate,
+    Recommendation,
+    SpecializationPlan,
+    load_certificate,
+    save_certificate,
+    validate_certificate_document,
+)
+from .rewrite import (
+    QueryForm,
+    QueryFormError,
+    default_query_forms,
+    materialize_specialization,
+    parse_query_form,
+)
+
+__all__ = [
+    "ADVISE_SCHEMA_VERSION",
+    "CertificateError",
+    "DEFAULT_ADORNMENT_BUDGET",
+    "PlanCertificate",
+    "QueryForm",
+    "QueryFormError",
+    "Recommendation",
+    "SpecializationPlan",
+    "advise_form",
+    "advise_program",
+    "apply_certificate",
+    "default_query_forms",
+    "execute_plan",
+    "load_certificate",
+    "materialize_specialization",
+    "parse_query_form",
+    "save_certificate",
+    "select_answers",
+    "validate_certificate_document",
+]

@@ -1,0 +1,102 @@
+"""Reporters for the ``advise`` verb (text and JSON).
+
+The JSON document embeds the plan certificate verbatim (same keys a
+``--export`` file holds, so the two never drift) plus the findings of
+the specialization lint pair and their severity counts — the same
+finding payloads, stable ids included, that ``lint --format json``
+emits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..lint import Diagnostic
+from ..lint_report import diagnostic_payloads, severity_counts
+from .certificate import PlanCertificate
+
+
+def render_advise_json(
+    certificate: PlanCertificate,
+    diagnostics: Sequence[Diagnostic],
+    filename: str = "<program>",
+) -> str:
+    document = certificate.to_dict()
+    document["filename"] = filename
+    document["diagnostics"] = diagnostic_payloads(diagnostics)
+    document["counts"] = severity_counts(diagnostics)
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_advise_text(
+    certificate: PlanCertificate,
+    diagnostics: Sequence[Diagnostic],
+    filename: str = "<program>",
+) -> str:
+    lines = [
+        f"{filename}: specialization advice "
+        f"(sips={certificate.sips}, assume-edb={certificate.assume_edb}, "
+        f"program key {certificate.program_key[:12]}...)"
+    ]
+    for plan in certificate.plans:
+        rec = plan.recommendation
+        lines.append(f"  {plan.query}:")
+        lines.append(
+            f"    recommend: rewrite={rec.rewrite} method={rec.method} "
+            f"engine={rec.engine}"
+        )
+        if rec.reason:
+            lines.append(f"      ({rec.reason})")
+        lines.append(
+            "    closure: "
+            + (
+                ", ".join(f"{p}({a})" for p, a in plan.closure)
+                if plan.closure
+                else "(none)"
+            )
+            + f" [{plan.closure_size} adorned predicate"
+            + ("s" if plan.closure_size != 1 else "")
+            + "]"
+        )
+        if plan.classification:
+            flags = ", ".join(
+                f"{name}={'yes' if value else 'no'}"
+                for name, value in sorted(plan.classification.items())
+            )
+            lines.append(f"    class: {flags}")
+        if plan.cost:
+            parts = []
+            for candidate in ("none", "magic"):
+                entry = plan.cost.get(candidate)
+                if entry:
+                    parts.append(
+                        f"{candidate}: {entry['interval']} "
+                        f"(est {entry['estimate']})"
+                    )
+            lines.append("    cost: " + "; ".join(parts))
+        if plan.stratification.get("status") == "unstratifiable":
+            cycle = ", ".join(plan.stratification.get("negative_cycle", []))
+            lines.append(f"    stratification: BROKEN by rewrite ({cycle})")
+        for issue in plan.issues:
+            lines.append(f"    issue [{issue['kind']}]: {issue['message']}")
+    if diagnostics:
+        lines.append("")
+        for diagnostic in diagnostics:
+            lines.append(f"  {diagnostic}")
+    counts = severity_counts(diagnostics)
+    summary = ", ".join(
+        f"{n} {severity}{'s' if n != 1 else ''}"
+        for severity, n in counts.items()
+        if n
+    )
+    lines.append("")
+    lines.append(
+        f"{len(certificate.plans)} plan"
+        + ("s" if len(certificate.plans) != 1 else "")
+        + (f"; {summary}" if summary else "; no findings")
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["render_advise_json", "render_advise_text"]

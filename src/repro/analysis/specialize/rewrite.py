@@ -1,0 +1,239 @@
+"""Query forms and specialization materialization (no execution).
+
+A *query form* is a predicate plus an adornment — the unit the advisor
+plans for.  The CLI accepts two spellings:
+
+* a concrete atom, ``Tc("a", y)`` — the adornment is derived from which
+  arguments are constants, exactly as :func:`repro.engine.magic
+  .magic_transform` would;
+* an adornment pattern, ``Tc(bf)`` (predicate resolved
+  case-insensitively, so ``tc(bf)`` works too) — a synthetic *probe
+  atom* with placeholder constants at the bound positions stands in for
+  any concrete query of that shape.  The distinction is harmless: the
+  rewriting's **rules** depend only on the boundness pattern; constants
+  appear in the seed fact alone.
+
+:func:`materialize_specialization` builds the magic-rewritten program
+for a form *without evaluating it*.  For positive programs it is
+:func:`~repro.engine.magic.magic_transform` verbatim (so the analyzed
+program is byte-for-byte the one ``query --method magic`` runs).  For
+programs with negation — which ``magic_transform`` rejects, since the
+rewrite can break stratification — it runs the same demand-driven
+rewriting but preserves literal polarity, producing an *analysis
+artifact*: the specialize domain classifies it (the
+``magic-unstratifiable`` lint reads the answer) but never recommends
+executing it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...engine.magic import (
+    Adornment,
+    MagicRewriting,
+    adorned_name,
+    demanded_closure,
+    magic_name,
+    magic_transform,
+    _apply_sips,
+)
+from ...lang.atoms import Atom, Literal
+from ...lang.programs import Program
+from ...lang.rules import Rule
+from ...lang.terms import Constant, Variable
+
+_PATTERN_FORM = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(\s*([bf]+)\s*\)\s*$"
+)
+
+
+class QueryFormError(ValueError):
+    """A query form that cannot be resolved against the program."""
+
+
+@dataclass(frozen=True)
+class QueryForm:
+    """A (predicate, adornment) pair with a probe atom to analyze."""
+
+    predicate: str
+    adornment: Adornment
+    probe: Atom
+
+    @property
+    def suffix(self) -> str:
+        return self.adornment.suffix
+
+    @property
+    def display(self) -> str:
+        return f"{self.predicate}({self.suffix})"
+
+
+def _probe_atom(predicate: str, adornment: Adornment) -> Atom:
+    """A synthetic atom of the given shape: constants at bound slots."""
+    return Atom(
+        predicate,
+        tuple(
+            Constant(i) if bound else Variable(f"x{i}")
+            for i, bound in enumerate(adornment.pattern)
+        ),
+    )
+
+
+def parse_query_form(text: str, program: Program) -> QueryForm:
+    """Resolve a ``--query`` argument against *program*.
+
+    Tries the adornment-pattern spelling first (``Tc(bf)``, predicate
+    case-insensitive, argument string over ``{b, f}`` matching the
+    predicate's arity); anything else must parse as a plain atom.  An
+    atom like ``P(bf)`` whose single argument is the *variable* ``bf``
+    is taken as a pattern when ``P`` has arity 2 and as an atom when it
+    has arity 1 — the arity check disambiguates.
+    """
+    arities = program.arities
+    match = _PATTERN_FORM.match(text)
+    if match is not None:
+        name, suffix = match.groups()
+        resolved = _resolve_predicate(name, program)
+        if resolved is not None and arities.get(resolved) == len(suffix):
+            adornment = Adornment(tuple(ch == "b" for ch in suffix))
+            return QueryForm(resolved, adornment, _probe_atom(resolved, adornment))
+    from ...lang.parser import parse_atom
+
+    try:
+        atom = parse_atom(text)
+    except Exception as exc:
+        raise QueryFormError(
+            f"query form {text!r} is neither an adornment pattern "
+            f"('Pred(bf)') nor a parseable atom: {exc}"
+        ) from exc
+    resolved = _resolve_predicate(atom.predicate, program)
+    if resolved is None:
+        raise QueryFormError(
+            f"query predicate {atom.predicate!r} does not occur in the program"
+        )
+    if arities.get(resolved) != len(atom.args):
+        raise QueryFormError(
+            f"query {text!r} has arity {len(atom.args)}; "
+            f"{resolved} has arity {arities.get(resolved)}"
+        )
+    if resolved != atom.predicate:
+        atom = Atom(resolved, atom.args)
+    return QueryForm(resolved, Adornment.for_atom(atom, frozenset()), atom)
+
+
+def _resolve_predicate(name: str, program: Program) -> str | None:
+    """Exact match first, then unique case-insensitive match."""
+    if name in program.predicates:
+        return name
+    folded = [p for p in sorted(program.predicates) if p.lower() == name.lower()]
+    return folded[0] if len(folded) == 1 else None
+
+
+def default_query_forms(program: Program) -> list[QueryForm]:
+    """The forms analyzed when ``--query`` is not given.
+
+    For every IDB predicate: the fully-bound form (the point query a
+    serving daemon answers) and the fully-free form (the full
+    materialization baseline).
+    """
+    forms: list[QueryForm] = []
+    arities = program.arities
+    for pred in sorted(program.idb_predicates):
+        arity = arities[pred]
+        patterns = [Adornment((True,) * arity)]
+        if arity:
+            patterns.append(Adornment.all_free(arity))
+        for adornment in patterns:
+            forms.append(QueryForm(pred, adornment, _probe_atom(pred, adornment)))
+    return forms
+
+
+def materialize_specialization(
+    program: Program, query: Atom, sips: str = "left-to-right"
+) -> MagicRewriting:
+    """The magic rewriting of *program* for *query*, never executed.
+
+    Positive programs delegate to :func:`magic_transform` (identical
+    output, shared closure cache).  With negation, the same demand set
+    drives a polarity-preserving variant; its stratifiability is the
+    ``stratifiable_after_magic`` verdict.
+    """
+    if program.is_positive:
+        return magic_transform(program, query, sips=sips)
+
+    query_adornment, closure = demanded_closure(program, query, sips=sips)
+    seed_args = tuple(query.args[i] for i in query_adornment.bound_positions)
+    seed = Atom(magic_name(query.predicate, query_adornment), seed_args)
+    idb = program.idb_predicates
+    out_rules: list[Rule] = []
+    for pred, adornment in closure:
+        for rule in program.rules_for(pred):
+            ordered = _apply_sips(rule, adornment, sips)
+            out_rules.extend(_rewrite_rule_with_negation(ordered, adornment, idb))
+    return MagicRewriting(
+        program=Program(out_rules),
+        seed=seed,
+        query_atom=query,
+        adorned_query_predicate=adorned_name(query.predicate, query_adornment),
+    )
+
+
+def _rewrite_rule_with_negation(
+    rule: Rule, head_adornment: Adornment, idb: frozenset[str]
+) -> list[Rule]:
+    """``magic._rewrite_rule`` generalized to keep literal polarity.
+
+    Binding propagation mirrors ``binding_analysis`` exactly (negated
+    literals contribute their variables too — in a safe rule they are
+    bound elsewhere anyway), so the generated adornments stay within
+    the demanded closure.
+    """
+    head = rule.head
+    bound_vars: set[Variable] = set()
+    for pos in head_adornment.bound_positions:
+        term = head.args[pos]
+        if isinstance(term, Variable):
+            bound_vars.add(term)
+
+    magic_head_args = tuple(head.args[pos] for pos in head_adornment.bound_positions)
+    guard = Atom(magic_name(head.predicate, head_adornment), magic_head_args)
+
+    transformed: list[Literal] = []
+    magic_rules: list[Rule] = []
+    for literal in rule.body:
+        atom = literal.atom
+        if atom.predicate in idb:
+            sub_adornment = Adornment.for_atom(atom, frozenset(bound_vars))
+            magic_args = tuple(atom.args[i] for i in sub_adornment.bound_positions)
+            magic_rules.append(
+                Rule(
+                    Atom(magic_name(atom.predicate, sub_adornment), magic_args),
+                    [Literal(guard), *(Literal(lit.atom) for lit in transformed if lit.positive)],
+                )
+            )
+            transformed.append(
+                Literal(
+                    Atom(adorned_name(atom.predicate, sub_adornment), atom.args),
+                    positive=literal.positive,
+                )
+            )
+        else:
+            transformed.append(literal)
+        bound_vars.update(atom.variables())
+
+    modified = Rule(
+        Atom(adorned_name(head.predicate, head_adornment), head.args),
+        [Literal(guard), *transformed],
+    )
+    return [modified, *magic_rules]
+
+
+__all__ = [
+    "QueryForm",
+    "QueryFormError",
+    "default_query_forms",
+    "materialize_specialization",
+    "parse_query_form",
+]

@@ -5,6 +5,7 @@ Subcommands::
     repro-datalog parse      PROGRAM            # validate + profile
     repro-datalog lint       PROGRAM            # static diagnostics
     repro-datalog analyze    PROGRAM            # abstract-interpretation report
+    repro-datalog advise     PROGRAM            # specialization plans per query form
     repro-datalog eval       PROGRAM --edb F    # bottom-up evaluation
     repro-datalog resume     CHECKPOINT         # continue an interrupted eval
     repro-datalog minimize   PROGRAM            # Fig. 2 minimization
@@ -288,6 +289,52 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .analysis import severity_at_least
+    from .analysis.lint import LintConfig, lint_source
+    from .analysis.specialize import (
+        QueryFormError,
+        advise_program,
+        parse_query_form,
+        save_certificate,
+    )
+    from .analysis.specialize.report import render_advise_json, render_advise_text
+
+    source = _read(args.program)
+    program = parse_program(source)
+    forms = None
+    if args.query:
+        try:
+            forms = [parse_query_form(q, program) for q in args.query]
+        except QueryFormError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    config = LintConfig(
+        select=frozenset({"adornment-space-explosion", "magic-unstratifiable"}),
+        adornment_budget=args.adornment_budget,
+    )
+    diagnostics = lint_source(source, config)
+    certificate = advise_program(
+        program,
+        forms,
+        sips=args.sips,
+        assume_edb=args.assume_edb,
+        source=args.program,
+    )
+    if args.export:
+        save_certificate(certificate, args.export)
+        print(f"wrote certificate {args.export}", file=sys.stderr)
+    if args.json:
+        print(render_advise_json(certificate, diagnostics, filename=args.program))
+    else:
+        print(render_advise_text(certificate, diagnostics, filename=args.program))
+    if args.fail_on != "never" and any(
+        severity_at_least(d.severity, args.fail_on) for d in diagnostics
+    ):
+        return 1
+    return 0
+
+
 def _add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
     """Durable-checkpoint flags shared by ``eval`` and ``bench``."""
     p.add_argument(
@@ -536,19 +583,61 @@ def _cmd_query(args: argparse.Namespace) -> int:
     edb = _load_edb(args.edb, args.backend)
     query = parse_atom(args.query)
     governor = _governor_from_args(args)
-    spec = get_engine(args.method)
-    kwargs = {"governor": governor}
-    if args.method in ("magic", "supplementary"):
-        kwargs["engine"] = args.engine
-        if args.workers > 1:
-            kwargs["workers"] = args.workers
-    elif args.workers > 1:
-        print(
-            f"note: --workers applies to magic/supplementary only; "
-            f"{args.method} runs in-process",
-            file=sys.stderr,
+    plan = None
+    certificate = None
+    if args.certificate:
+        from .analysis.specialize import (
+            CertificateError,
+            apply_certificate,
+            load_certificate,
         )
-    answers, result = spec.answer(program, edb, query, **kwargs)
+
+        try:
+            certificate = load_certificate(args.certificate)
+            plan = apply_certificate(certificate, program, query)
+        except CertificateError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if plan is None:
+            print(
+                "note: certificate holds no plan for this query form; "
+                "analyzing fresh",
+                file=sys.stderr,
+            )
+    if plan is not None and args.method is None:
+        from .analysis.specialize import execute_plan
+
+        if args.stats and not args.json:
+            rec = plan.recommendation
+            print(
+                f"certificate plan {plan.query}: rewrite={rec.rewrite} "
+                f"method={rec.method} engine={rec.engine}",
+                file=sys.stderr,
+            )
+        answers, result = execute_plan(
+            program,
+            edb,
+            query,
+            plan,
+            sips=certificate.sips,
+            governor=governor,
+            workers=args.workers,
+        )
+    else:
+        method = args.method or "magic"
+        spec = get_engine(method)
+        kwargs = {"governor": governor}
+        if method in ("magic", "supplementary"):
+            kwargs["engine"] = args.engine
+            if args.workers > 1:
+                kwargs["workers"] = args.workers
+        elif args.workers > 1:
+            print(
+                f"note: --workers applies to magic/supplementary only; "
+                f"{method} runs in-process",
+                file=sys.stderr,
+            )
+        answers, result = spec.answer(program, edb, query, **kwargs)
     if args.on_limit == "raise" and result.is_partial:
         from .errors import ResourceLimitExceeded
 
@@ -687,6 +776,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             workers=tuple(args.workers) if args.workers else (1,),
             checkpoint_dir=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            advised=args.advised,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -847,6 +937,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_analyze)
 
+    p = sub.add_parser(
+        "advise",
+        help="whole-program specialization analysis: per query form, the "
+        "recommended rewrite and engine with evidence (a plan certificate)",
+    )
+    p.add_argument("program")
+    p.add_argument(
+        "--query",
+        action="append",
+        metavar="FORM",
+        help="query form to plan for: an atom ('Tc(\"a\", y)') or an "
+        "adornment pattern ('Tc(bf)', predicate case-insensitive); "
+        "repeatable (default: the all-bound and all-free forms of every "
+        "IDB predicate)",
+    )
+    p.add_argument(
+        "--assume-edb",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="assumed facts per EDB relation for cost estimates (default 1000)",
+    )
+    p.add_argument(
+        "--sips",
+        choices=["left-to-right", "most-bound"],
+        default="left-to-right",
+        help="sideways-information-passing strategy for the closure "
+        "(default left-to-right)",
+    )
+    p.add_argument(
+        "--export",
+        metavar="FILE",
+        help="write the plan certificate JSON to FILE; reuse it with "
+        "'query --certificate FILE' to skip re-analysis",
+    )
+    p.add_argument(
+        "--adornment-budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="closure size above which adornment-space-explosion warns "
+        "(default 64)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "hint", "never"],
+        default="error",
+        help="exit 1 when a finding at/above this severity exists (default error)",
+    )
+    p.set_defaults(func=_cmd_advise)
+
     p = sub.add_parser("eval", help="bottom-up evaluation")
     p.add_argument("program")
     p.add_argument("--edb", required=True, help="file of ground facts")
@@ -954,8 +1096,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--method",
         choices=list(engine_names("query")),
-        default="magic",
-        help="query-evaluation strategy (default magic sets)",
+        default=None,
+        help="query-evaluation strategy (default magic sets, or the "
+        "certificate's recommendation under --certificate)",
+    )
+    p.add_argument(
+        "--certificate",
+        metavar="FILE",
+        help="plan certificate from 'advise --export'; preloads the "
+        "adornment closure and planner hints and runs the recommended "
+        "plan, skipping query-time analysis",
     )
     p.add_argument(
         "--engine",
@@ -1042,6 +1192,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-process count to sweep (repeatable; default 1). "
         "Fixpoint cells are repeated per count and keyed by a "
         "'workers' entry field; other engines bench at 1 only",
+    )
+    p.add_argument(
+        "--advised",
+        action="store_true",
+        help="add one advisor-picked cell per query-carrying workload "
+        "(the specialization advisor chooses the rewrite/engine; entries "
+        "carry 'advised: true')",
     )
     p.add_argument(
         "--compare",

@@ -575,16 +575,47 @@ def compile_kernel(
     )
 
 
+#: Planner hints installed from a plan certificate, keyed by the
+#: program's canonical isomorphism class (``canonical_program_key``).
+#: Consulted *before* the interval analysis, so ``query --certificate``
+#: skips re-analysis entirely.
+_certificate_hints: dict[str, Mapping[str, int]] = {}
+
+
+def install_certificate_hints(program_key: str, hints: Mapping[str, int]) -> None:
+    """Register precomputed per-predicate size estimates for a program.
+
+    Subsequent :func:`cardinality_hint_provider` calls for a program
+    with this canonical key return *hints* without running the
+    cardinality analysis (``compile.certificate_hints`` counts the
+    hits).
+    """
+    _certificate_hints[program_key] = dict(hints)
+
+
+def clear_certificate_hints() -> None:
+    _certificate_hints.clear()
+
+
 def cardinality_hint_provider(program, db: Database):
     """A :class:`KernelCache` *hint_provider* backed by interval analysis.
 
     Deferred import: the absint package reaches the engines through the
     groundness/magic coupling, so importing it at module load would
     cycle.  The provider is only ever called when a kernel actually
-    needs an estimate (see :meth:`KernelCache._hints_for`).
+    needs an estimate (see :meth:`KernelCache._hints_for`).  Hints
+    installed from a plan certificate (:func:`install_certificate_hints`)
+    short-circuit the analysis.
     """
 
     def provider() -> Mapping[str, int]:
+        if _certificate_hints:
+            from ..lang.canonical import canonical_program_key
+
+            installed = _certificate_hints.get(canonical_program_key(program))
+            if installed is not None:
+                metrics_registry().increment("compile.certificate_hints")
+                return installed
         from ..analysis.absint.cardinality import cardinality_hints
 
         return cardinality_hints(program, db)

@@ -23,12 +23,14 @@ Overview of the rewriting for a query ``Q(c̄, x̄)``:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
 from ..data.database import Database
 from ..errors import UnsafeRuleError
 from ..lang.atoms import Atom, Literal
+from ..lang.canonical import canonical_program_key
 from ..lang.programs import Program
 from ..lang.rules import Rule
 from ..lang.terms import Term, Variable
@@ -79,6 +81,94 @@ def adorned_name(predicate: str, adornment: Adornment) -> str:
 
 def magic_name(predicate: str, adornment: Adornment) -> str:
     return _MAGIC_PREFIX + adorned_name(predicate, adornment)
+
+
+# ---------------------------------------------------------------------------
+# Adornment-closure cache
+#
+# The demanded-adornment fixpoint depends only on the program's
+# isomorphism class (canonical_program_key), the query predicate, the
+# query's boundness pattern, and the SIPS -- not on the query's actual
+# constants and not on variable names.  Caching at that granularity
+# dedups adorned predicates up to variable renaming: every point query
+# ``Tc("a", y)``, ``Tc("b", y)``, ... shares one closure entry.  A plan
+# certificate (analysis.specialize) carries the same closure, so
+# ``query --certificate`` preloads it here and skips the analysis.
+# ---------------------------------------------------------------------------
+
+_CLOSURE_CACHE_MAX = 256
+_closure_cache: "OrderedDict[tuple[str, str, str, str], tuple[tuple[str, Adornment], ...]]" = (
+    OrderedDict()
+)
+
+
+def _closure_key(program_key: str, predicate: str, suffix: str, sips: str):
+    return (program_key, predicate, suffix, sips)
+
+
+def clear_closure_cache() -> None:
+    _closure_cache.clear()
+
+
+def preload_closure(
+    program_key: str,
+    predicate: str,
+    adornment_suffix: str,
+    sips: str,
+    closure: Iterable[tuple[str, str]],
+) -> None:
+    """Install a precomputed adornment closure (from a plan certificate).
+
+    *closure* is the demand list in discovery order as ``(predicate,
+    adornment suffix)`` pairs.  A subsequent :func:`magic_transform` for
+    a matching (program, query form, SIPS) hits the cache and never runs
+    ``binding_analysis``.
+    """
+    demand = tuple(
+        (pred, Adornment(tuple(ch == "b" for ch in suffix)))
+        for pred, suffix in closure
+    )
+    _store_closure(_closure_key(program_key, predicate, adornment_suffix, sips), demand)
+
+
+def _store_closure(key, demand) -> None:
+    _closure_cache[key] = demand
+    _closure_cache.move_to_end(key)
+    while len(_closure_cache) > _CLOSURE_CACHE_MAX:
+        _closure_cache.popitem(last=False)
+
+
+def demanded_closure(
+    program: Program,
+    query: Atom,
+    sips: str = "left-to-right",
+    program_key: str | None = None,
+) -> tuple[Adornment, tuple[tuple[str, Adornment], ...]]:
+    """The query's adornment and the reachable adornment closure, cached.
+
+    On a miss, runs :func:`repro.analysis.absint.groundness.binding_analysis`
+    and memoises its demand set; on a hit, increments the
+    ``magic.closure_cache_hits`` metric and performs no analysis.
+    """
+    from ..obs.metrics import metrics_registry
+
+    query_adornment = Adornment.for_atom(query, frozenset())
+    if program_key is None:
+        program_key = canonical_program_key(program)
+    key = _closure_key(program_key, query.predicate, query_adornment.suffix, sips)
+    cached = _closure_cache.get(key)
+    if cached is not None:
+        _closure_cache.move_to_end(key)
+        metrics_registry().increment("magic.closure_cache_hits")
+        return query_adornment, cached
+
+    # Lazily imported: groundness imports Adornment and _apply_sips from
+    # this module at load time.
+    from ..analysis.absint.groundness import binding_analysis
+
+    analysis = binding_analysis(program, query, sips=sips)
+    _store_closure(key, analysis.demand)
+    return query_adornment, analysis.demand
 
 
 @dataclass(frozen=True)
@@ -159,12 +249,8 @@ def magic_transform(
     # (demanded-adornment fixpoint over the powerset lattice); it lives
     # in analysis.absint.groundness so the linter and ``analyze`` verb
     # can run it without rewriting, and this transform is driven by its
-    # demand set.  Imported lazily: groundness imports Adornment and
-    # _apply_sips from this module at load time.
-    from ..analysis.absint.groundness import binding_analysis
-
-    analysis = binding_analysis(program, query, sips=sips)
-    query_adornment = analysis.query_adornment
+    # demand set -- memoised per isomorphism class in demanded_closure.
+    query_adornment, closure = demanded_closure(program, query, sips=sips)
     seed_args = tuple(query.args[i] for i in query_adornment.bound_positions)
     seed = Atom(magic_name(query.predicate, query_adornment), seed_args)
 
@@ -173,7 +259,7 @@ def magic_transform(
     out_rules: list[Rule] = []
 
     with trace("magic.transform", sips=sips) as span:
-        for pred, adornment in analysis.demand:
+        for pred, adornment in closure:
             if governor is not None:
                 # The adornment frontier is finite but can be exponential
                 # in arity; keep the deadline/cancellation responsive.
@@ -183,7 +269,7 @@ def magic_transform(
                 out_rules.extend(
                     _rewrite_rule(ordered, adornment, idb, discovered)
                 )
-        demanded = set(analysis.demand)
+        demanded = set(closure)
         for pair in discovered:
             if pair not in demanded:
                 raise RuntimeError(

@@ -21,6 +21,7 @@ which this module provides:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 from .atoms import Literal
@@ -72,6 +73,19 @@ def canonicalize_program(program: Program) -> Program:
 def programs_isomorphic(left: Program, right: Program) -> bool:
     """Whether two programs are equal modulo variable renaming and rule order."""
     return canonicalize_program(left) == canonicalize_program(right)
+
+
+def canonical_program_key(program: Program) -> str:
+    """A stable digest of the program's isomorphism class.
+
+    Two programs that differ only in variable names and rule order hash
+    identically, so the key addresses the *prepared-program cache
+    entry*: adornment closures (``engine/magic.py``), planner hints
+    (``engine/compile.py``), and plan certificates
+    (``analysis/specialize``) are all keyed by it.
+    """
+    text = "\n".join(str(rule) for rule in canonicalize_program(program).rules)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def modulo_body_order(rule: Rule) -> Rule:

@@ -61,6 +61,7 @@ def _entry(
     stats: dict[str, float | int],
     backend: str = "rows",
     workers: int = 1,
+    advised: bool = False,
 ) -> dict[str, Any]:
     entry = {
         "workload": workload.name,
@@ -71,7 +72,46 @@ def _entry(
     }
     if workers != 1:
         entry["workers"] = workers
+    if advised:
+        entry["advised"] = True
     return entry
+
+
+def _run_advised(
+    workload: Workload, edb: Database
+) -> Optional[tuple[str, dict[str, float | int]]]:
+    """One cell running the specialization advisor's recommended plan.
+
+    The advisor runs *outside* the measured wall clock (its cost is the
+    prepare-once step a certificate amortizes; it is reported separately
+    as ``stats.advise_s``), then the recommended rewrite/engine answers
+    the workload's query.  Returns the executed engine name plus the
+    stats, or ``None`` when the recommendation's executed engine has no
+    name in the bench schema's engine set.
+    """
+    from ..analysis.specialize import advise_form, execute_plan
+    from ..analysis.specialize.rewrite import QueryForm
+    from ..engine.magic import Adornment
+
+    query = workload.query
+    form = QueryForm(
+        query.predicate, Adornment.for_atom(query, frozenset()), query
+    )
+    advise_started = time.perf_counter()
+    plan = advise_form(workload.program, form)
+    advise_elapsed = time.perf_counter() - advise_started
+    rec = plan.recommendation
+    executed = rec.method if rec.rewrite == "magic" else rec.engine
+    if executed not in ALL_ENGINES:
+        return None
+    started = time.perf_counter()
+    answers, result = execute_plan(workload.program, edb, query, plan)
+    elapsed = time.perf_counter() - started
+    stats = result.stats.to_dict()
+    stats["elapsed_s"] = elapsed
+    stats["advise_s"] = advise_elapsed
+    stats["answers"] = len(answers)
+    return executed, stats
 
 
 def _run_incremental(workload: Workload, edb: Database) -> dict[str, float | int]:
@@ -146,6 +186,7 @@ def run_workload(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
     workers: int = 1,
+    advised: bool = False,
 ) -> list[dict[str, Any]]:
     """Measure one workload at one size under the applicable *engines*.
 
@@ -174,6 +215,12 @@ def run_workload(
     sweep in the v3 schema); the non-fixpoint engines have no parallel
     variant and are skipped, so a sweep never duplicates their
     single-process numbers under several worker counts.
+
+    With *advised*, each query-carrying workload gets one extra cell
+    executing the specialization advisor's recommended plan for the
+    workload's query (entry field ``advised: true``, engine field set
+    to the engine the advisor actually executed); advised cells bench
+    only at ``workers == 1``.
     """
     from ..resilience.governor import EvaluationStatus, ResourceGovernor
 
@@ -248,6 +295,13 @@ def run_workload(
             )
         else:  # pragma: no cover - registry kinds are closed
             raise ValueError(f"engine {engine!r} has unknown kind {spec.kind!r}")
+    if advised and workload.query is not None and workers == 1:
+        outcome = _run_advised(workload, edb)
+        if outcome is not None:
+            executed, stats = outcome
+            entries.append(
+                _entry(workload, size, executed, stats, backend, advised=True)
+            )
     return entries
 
 
@@ -261,6 +315,7 @@ def run_bench(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
     workers: Iterable[int] = (1,),
+    advised: bool = False,
 ) -> dict[str, Any]:
     """Run the bench matrix; return a schema-valid bench document.
 
@@ -280,6 +335,9 @@ def run_bench(
             repeated per count (entries carry a ``workers`` field for
             counts other than 1) while the engines without a parallel
             variant bench only at 1.
+        advised: add one advisor-picked cell per query-carrying
+            workload (entries carry ``advised: true``; the v4 schema
+            keys them apart from the fixed-engine matrix).
     """
     suite_names = list(suites) if suites else list(QUICK_SUITES if quick else sorted(SUITES))
     size_list = [int(s) for s in (sizes if sizes else (QUICK_SIZES if quick else FULL_SIZES))]
@@ -310,6 +368,7 @@ def run_bench(
                             checkpoint_dir=checkpoint_dir,
                             checkpoint_every=checkpoint_every,
                             workers=worker_count,
+                            advised=advised,
                         )
                     )
 
@@ -331,14 +390,15 @@ def diff_bench_documents(
     old: dict[str, Any], new: dict[str, Any]
 ) -> list[dict[str, Any]]:
     """Compare two documents on shared (workload, size, engine, backend,
-    workers) keys.
+    workers, advised) keys.
 
     Returns one record per shared key with the old/new elapsed seconds
     and subgoal attempts, plus the relative time change.  Keys present
     in only one document are reported with ``status`` ``"added"`` /
     ``"removed"``.  Schema-v1 entries carry no backend and default to
-    ``"rows"``; pre-v3 entries carry no workers and default to 1, so
-    old trajectory files diff cleanly against new ones.
+    ``"rows"``; pre-v3 entries carry no workers and default to 1;
+    pre-v4 entries carry no advised flag and default to false, so old
+    trajectory files diff cleanly against new ones.
     """
 
     def keyed(doc: dict[str, Any]) -> dict[tuple, dict[str, Any]]:
@@ -349,6 +409,7 @@ def diff_bench_documents(
                 e["engine"],
                 e.get("backend", "rows"),
                 e.get("workers", 1),
+                e.get("advised", False),
             ): e
             for e in doc.get("entries", [])
         }
@@ -356,13 +417,14 @@ def diff_bench_documents(
     old_entries, new_entries = keyed(old), keyed(new)
     records: list[dict[str, Any]] = []
     for key in sorted(set(old_entries) | set(new_entries), key=str):
-        workload, size, engine, backend, worker_count = key
+        workload, size, engine, backend, worker_count, advised = key
         record: dict[str, Any] = {
             "workload": workload,
             "size": size,
             "engine": engine,
             "backend": backend,
             "workers": worker_count,
+            "advised": advised,
         }
         if key not in old_entries:
             record["status"] = "added"
@@ -411,10 +473,11 @@ def regressions(
                     if record.get("workers", 1) != 1
                     else ""
                 )
+                advised_tag = " advised" if record.get("advised") else ""
                 flagged.append(
                     f"{record['workload']} size={record['size']} "
                     f"{record['engine']}[{record.get('backend', 'rows')}]"
-                    f"{workers_tag}: "
+                    f"{workers_tag}{advised_tag}: "
                     f"{metric} {old} -> {new} "
                     f"({change * 100:+.1f}%)"
                 )
@@ -422,7 +485,11 @@ def regressions(
 
 
 def render_diff(records: list[dict[str, Any]]) -> str:
-    """Text rendering of :func:`diff_bench_documents` output."""
+    """Text rendering of :func:`diff_bench_documents` output.
+
+    Advisor-picked cells (``advised: true``) render their engine with a
+    trailing ``*`` so they read apart from the fixed-engine matrix.
+    """
     lines = [
         f"{'workload':<24} {'size':>8} {'engine':<14} {'backend':<9} {'wrk':>3} "
         f"{'elapsed old':>12} {'elapsed new':>12} {'change':>8}"
@@ -430,17 +497,18 @@ def render_diff(records: list[dict[str, Any]]) -> str:
     for record in records:
         backend = record.get("backend", "rows")
         worker_count = record.get("workers", 1)
+        engine = record["engine"] + ("*" if record.get("advised") else "")
         if record["status"] != "shared":
             lines.append(
                 f"{record['workload']:<24} {record['size']:>8} "
-                f"{record['engine']:<14} {backend:<9} {worker_count:>3} "
+                f"{engine:<14} {backend:<9} {worker_count:>3} "
                 f"[{record['status']}]"
             )
             continue
         change = record.get("elapsed_change")
         change_text = f"{change * 100:+.1f}%" if change is not None else "n/a"
         lines.append(
-            f"{record['workload']:<24} {record['size']:>8} {record['engine']:<14} "
+            f"{record['workload']:<24} {record['size']:>8} {engine:<14} "
             f"{backend:<9} {worker_count:>3} "
             f"{record['elapsed_s_old'] * 1000:>10.2f}ms "
             f"{record['elapsed_s_new'] * 1000:>10.2f}ms {change_text:>8}"

@@ -23,6 +23,7 @@ Document shape (version :data:`BENCH_SCHEMA`)::
           "engine": "seminaive",
           "backend": "columnar",             # storage backend (v2; optional)
           "workers": 4,                      # worker processes (v3; optional)
+          "advised": true,                   # advisor-picked engine (v4; optional)
           "stats": {"elapsed_s": 0.0123, ...}   # numeric work counters
         }, ...
       ],
@@ -40,9 +41,13 @@ resource governor).
 Version history: ``repro.bench/1`` had no ``backend`` field;
 ``repro.bench/2`` added it; ``repro.bench/3`` added the optional
 ``workers`` field (worker-process count of a ``--workers`` sweep,
-defaulting to 1) and keys entries by it.  Older documents remain valid
-(:func:`validate_bench_document` accepts all three) and diff against
-v3 documents with backend defaulted to ``"rows"`` and workers to 1.
+defaulting to 1) and keys entries by it; ``repro.bench/4`` added the
+optional boolean ``advised`` field (``bench --advised``: the engine was
+chosen by the specialization advisor rather than fixed by the matrix,
+defaulting to false) and keys entries by it.  Older documents remain
+valid (:func:`validate_bench_document` accepts all four) and diff
+against v4 documents with backend defaulted to ``"rows"``, workers to
+1, and advised to false.
 """
 
 from __future__ import annotations
@@ -53,11 +58,16 @@ from typing import Any
 from .metrics import METRICS_SCHEMA
 
 #: Version marker of the bench document format (what the runner emits).
-BENCH_SCHEMA = "repro.bench/3"
+BENCH_SCHEMA = "repro.bench/4"
 
 #: Versions :func:`validate_bench_document` accepts (older documents in
 #: the trajectory stay valid and diffable).
-ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2", "repro.bench/3")
+ACCEPTED_SCHEMAS = (
+    "repro.bench/1",
+    "repro.bench/2",
+    "repro.bench/3",
+    "repro.bench/4",
+)
 
 #: Storage backends a v2 entry may name.
 KNOWN_BACKENDS = ("rows", "columnar")
@@ -129,10 +139,14 @@ def validate_bench_document(doc: Any) -> list[str]:
             workers = entry.get("workers", 1)
             if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
                 errors.append(f"{at}.workers: expected a positive integer, got {workers!r}")
-            key = (workload, size, engine, backend, workers)
+            advised = entry.get("advised", False)
+            if not isinstance(advised, bool):
+                errors.append(f"{at}.advised: expected a boolean, got {advised!r}")
+            key = (workload, size, engine, backend, workers, advised)
             if key in seen_keys:
                 errors.append(
-                    f"{at}: duplicate (workload, size, engine, backend, workers) key {key}"
+                    f"{at}: duplicate (workload, size, engine, backend, "
+                    f"workers, advised) key {key}"
                 )
             seen_keys.add(key)
             stats = entry.get("stats")
